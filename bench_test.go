@@ -1,0 +1,243 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one benchmark
+// per table/figure, §6-§7) plus micro-benchmarks of the substrates. The
+// figure benchmarks run an entire experiment per iteration, so their
+// ns/op is the cost of regenerating that artifact; run
+//
+//	go test -bench=. -benchmem
+//
+// at the module root. Reduced parameters (short profiling clips, few
+// segments) keep a full sweep tractable; cmd/vbench runs the full-scale
+// versions.
+package repro_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/experiments"
+	"repro/internal/focusmodel"
+	"repro/internal/format"
+	"repro/internal/kvstore"
+	"repro/internal/ops"
+	"repro/internal/vidsim"
+)
+
+const benchClip = 120 // profiling clip frames for figure benchmarks
+
+func BenchmarkFig3aCodingSpeedSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3a("tucson", 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3bKeyframeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3b("tucson", 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4KnobImpacts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4(experiments.NewEnv(benchClip))
+	}
+}
+
+func BenchmarkFig5DisparateCosts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(experiments.NewEnv(benchClip))
+	}
+}
+
+func BenchmarkFig6RetrievalBottleneck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(experiments.NewEnv(benchClip))
+	}
+}
+
+func BenchmarkTable3Configuration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(experiments.NewEnv(benchClip)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4IngestBudgetLadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table4(experiments.NewEnv(benchClip), []float64{0, 6, 3})
+		for _, r := range rows {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig11EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "bench-fig11-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = experiments.Fig11(experiments.NewEnv(benchClip), dir, 1, []float64{1, 0.9, 0.7})
+		os.RemoveAll(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12OperatorScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(experiments.NewEnv(benchClip)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13ErosionPlanning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(experiments.NewEnv(benchClip), []float64{0.6, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14ProfilingOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig14(60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSFConfigStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SFConfig(experiments.NewEnv(benchClip), experiments.DefaultExhaustiveCFLimit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFocusModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		focusmodel.Sweep(focusmodel.Alpha, []float64{0.01, 0.05, 0.1, 0.25, 0.5})
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkSceneRender(b *testing.B) {
+	src := vidsim.NewSource(vidsim.Datasets[0])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src.Frame(i % 3000)
+	}
+}
+
+func BenchmarkEncodeMedium(b *testing.B) {
+	src := vidsim.NewSource(vidsim.Datasets[0])
+	frames := src.Clip(0, 60)
+	var bytes int64
+	for _, f := range frames {
+		bytes += int64(f.Bytes())
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := codec.Encode(frames, codec.Params{Quality: format.QGood, Speed: format.SpeedMedium, KeyframeI: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFull(b *testing.B) {
+	src := vidsim.NewSource(vidsim.Datasets[0])
+	frames := src.Clip(0, 60)
+	enc, _, err := codec.Encode(frames, codec.Params{Quality: format.QGood, Speed: format.SpeedMedium, KeyframeI: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytes int64
+	for _, f := range frames {
+		bytes += int64(f.Bytes())
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := enc.Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSampledSparse(b *testing.B) {
+	src := vidsim.NewSource(vidsim.Datasets[0])
+	frames := src.Clip(0, 240)
+	enc, _, err := codec.Encode(frames, codec.Params{Quality: format.QGood, Speed: format.SpeedMedium, KeyframeI: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := enc.DecodeSampled(func(i int) bool { return i%30 == 29 }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOperators(b *testing.B) {
+	src := vidsim.NewSource(vidsim.Datasets[0])
+	frames := src.Clip(0, 30)
+	for _, op := range ops.All() {
+		b.Run(op.Name(), func(b *testing.B) {
+			var pixels int64
+			for i := 0; i < b.N; i++ {
+				_, st := op.Run(frames)
+				pixels = st.Pixels
+			}
+			b.SetBytes(pixels)
+		})
+	}
+}
+
+func BenchmarkKVStorePut1MB(b *testing.B) {
+	dir := b.TempDir()
+	kv, err := kvstore.Open(dir, kvstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	val := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kv.Put("segment", val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKVStoreGet1MB(b *testing.B) {
+	dir := b.TempDir()
+	kv, err := kvstore.Open(dir, kvstore.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer kv.Close()
+	if err := kv.Put("segment", make([]byte, 1<<20)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kv.Get("segment"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

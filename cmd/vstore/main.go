@@ -1,0 +1,244 @@
+// Command vstore is the store's operational CLI: derive a configuration,
+// ingest streams under it, run queries, apply age-based erosion, and report
+// store statistics.
+//
+// Usage:
+//
+//	vstore configure -db DIR [-ingest-cores N] [-storage-gb N] [-lifespan D] [-clip frames]
+//	vstore ingest    -db DIR -scene NAME [-segments N] [-start I]
+//	vstore query     -db DIR -scene NAME -query A|B [-accuracy F] [-from I] [-to I]
+//	vstore erode     -db DIR -scene NAME [-today D]
+//	vstore stats     -db DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/erode"
+	"repro/internal/experiments"
+	"repro/internal/ingest"
+	"repro/internal/kvstore"
+	"repro/internal/query"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "configure":
+		err = cmdConfigure(args)
+	case "ingest":
+		err = cmdIngest(args)
+	case "query":
+		err = cmdQuery(args)
+	case "erode":
+		err = cmdErode(args)
+	case "stats":
+		err = cmdStats(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vstore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vstore <configure|ingest|query|erode|stats> [flags]`)
+	os.Exit(2)
+}
+
+func configPath(db string) string { return filepath.Join(db, "config.json") }
+
+func openStore(db string) (*segment.Store, func(), error) {
+	kv, err := kvstore.Open(filepath.Join(db, "segments"), kvstore.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return segment.NewStore(kv), func() { kv.Close() }, nil
+}
+
+func cmdConfigure(args []string) error {
+	fs := flag.NewFlagSet("configure", flag.ExitOnError)
+	db := fs.String("db", "vstore-db", "store directory")
+	cores := fs.Float64("ingest-cores", 0, "ingest budget in CPU cores (0 = unlimited)")
+	storageGB := fs.Float64("storage-gb", 0, "storage budget in GB over the lifespan (0 = unlimited)")
+	lifespan := fs.Int("lifespan", 10, "video lifespan in days")
+	clip := fs.Int("clip", 300, "profiling clip length in frames")
+	fs.Parse(args)
+	if err := os.MkdirAll(*db, 0o755); err != nil {
+		return err
+	}
+	env := experiments.NewEnv(*clip)
+	cfg, err := core.Configure(env.StandardConsumers(), core.Options{
+		StorageProfiler:    env.Profiler("jackson"),
+		IngestBudgetSec:    *cores,
+		StorageBudgetBytes: int64(*storageGB * 1e9),
+		LifespanDays:       *lifespan,
+	})
+	if err != nil {
+		return err
+	}
+	if err := cfg.Save(configPath(*db)); err != nil {
+		return err
+	}
+	fmt.Print(cfg.Table())
+	fmt.Printf("ingest %.2f cores, storage %.1f GB/day; erosion k=%.2f\n",
+		cfg.Derivation.TotalIngestSec(), cfg.Derivation.TotalBytesPerSec()*86400/1e9, cfg.Erosion.K)
+	fmt.Println("configuration saved to", configPath(*db))
+	return nil
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	db := fs.String("db", "vstore-db", "store directory")
+	scene := fs.String("scene", "jackson", "dataset to ingest")
+	n := fs.Int("segments", 5, "number of 8-second segments")
+	start := fs.Int("start", 0, "first segment index")
+	fs.Parse(args)
+	cfg, err := core.Load(configPath(*db))
+	if err != nil {
+		return fmt.Errorf("load configuration first (vstore configure): %w", err)
+	}
+	sc, err := vidsim.DatasetByName(*scene)
+	if err != nil {
+		return err
+	}
+	store, closeStore, err := openStore(*db)
+	if err != nil {
+		return err
+	}
+	defer closeStore()
+	ing := ingest.Ingester{Store: store, SFs: cfg.StorageFormats()}
+	st, err := ing.Stream(sc, *scene, *start, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d segments (%.0fs of video) of %s into %d formats\n",
+		st.Segments, st.VideoSeconds(), *scene, len(st.PerSF))
+	for _, s := range st.PerSF {
+		fmt.Printf("  %-40s %8.1f KB  %.3f cores\n", s.SF, float64(s.Bytes)/1024, s.CPUSeconds/st.VideoSeconds())
+	}
+	fmt.Printf("total: %.2f transcoding cores, %.1f KB/s stored, wall %.1fs\n",
+		st.CPUSecPerVideoSec(), st.BytesPerSec()/1024, st.WallSeconds)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	db := fs.String("db", "vstore-db", "store directory")
+	scene := fs.String("scene", "jackson", "stream to query")
+	q := fs.String("query", "A", "cascade: A (Diff+S-NN+NN) or B (Motion+License+OCR)")
+	acc := fs.Float64("accuracy", 0.9, "target operator accuracy")
+	from := fs.Int("from", 0, "first segment")
+	to := fs.Int("to", 5, "one past the last segment")
+	fs.Parse(args)
+	cfg, err := core.Load(configPath(*db))
+	if err != nil {
+		return err
+	}
+	cascade := query.QueryA()
+	names := []string{"Diff", "S-NN", "NN"}
+	if *q == "B" {
+		cascade = query.QueryB()
+		names = []string{"Motion", "License", "OCR"}
+	}
+	var binding query.Binding
+	for _, name := range names {
+		cf, sf, err := cfg.BindingFor(name, *acc)
+		if err != nil {
+			return err
+		}
+		binding = append(binding, query.StageBinding{CF: cf, SF: sf})
+	}
+	store, closeStore, err := openStore(*db)
+	if err != nil {
+		return err
+	}
+	defer closeStore()
+	eng := query.Engine{Store: store}
+	res, err := eng.Run(*scene, cascade, binding, *from, *to)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query %s over %.0fs of %s at accuracy %.2f: %.0fx realtime (wall %.2fs)\n",
+		cascade.Name, res.VideoSeconds, *scene, *acc, res.Speed(), res.WallSeconds)
+	for _, st := range res.StageStats {
+		fmt.Printf("  %-8s consumed %5d frames  retrieval %.4fs  consumption %.4fs\n",
+			st.Op, st.FramesConsumed, st.RetrievalSec, st.ConsumptionSec)
+	}
+	fmt.Printf("%d detections", len(res.Detections))
+	shown := 0
+	for _, d := range res.Detections {
+		if shown >= 8 {
+			fmt.Print(" ...")
+			break
+		}
+		fmt.Printf("  [t=%.1fs %s]", float64(d.PTS)/vidsim.FPS, d.Label)
+		shown++
+	}
+	fmt.Println()
+	return nil
+}
+
+func cmdErode(args []string) error {
+	fs := flag.NewFlagSet("erode", flag.ExitOnError)
+	db := fs.String("db", "vstore-db", "store directory")
+	scene := fs.String("scene", "jackson", "stream to erode")
+	today := fs.Int("today", 1, "current day index; segment age = today - segment's day")
+	fs.Parse(args)
+	cfg, err := core.Load(configPath(*db))
+	if err != nil {
+		return err
+	}
+	if cfg.Erosion == nil || cfg.Erosion.K == 0 {
+		fmt.Println("configuration has no erosion pressure (k=0); nothing to do")
+		return nil
+	}
+	store, closeStore, err := openStore(*db)
+	if err != nil {
+		return err
+	}
+	defer closeStore()
+	e := erode.Eroder{Store: store}
+	deleted, err := e.Apply(*scene, cfg.StorageFormats(), cfg.Derivation.Golden, cfg.Erosion,
+		func(idx int) int { return *today - idx/erode.SegmentsPerDay })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("eroded %d segments of %s (day %d, k=%.2f)\n", deleted, *scene, *today, cfg.Erosion.K)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	db := fs.String("db", "vstore-db", "store directory")
+	fs.Parse(args)
+	store, closeStore, err := openStore(*db)
+	if err != nil {
+		return err
+	}
+	defer closeStore()
+	st := store.KV().Stats()
+	disk, err := store.KV().DiskBytes()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("keys %d, live %.1f MB, garbage %.1f MB, disk %.1f MB in %d files\n",
+		st.Keys, float64(st.LiveBytes)/1e6, float64(st.GarbageBytes)/1e6, float64(disk)/1e6, st.Files)
+	if cfg, err := core.Load(configPath(*db)); err == nil {
+		fmt.Printf("configuration: %d consumers, %d storage formats, erosion k=%.2f\n",
+			len(cfg.Derivation.Choices), len(cfg.Derivation.SFs), cfg.Erosion.K)
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Trafficcars runs the paper's Query A (Diff → S-NN → NN, Figure 2a) over a
+// surveillance stream at several target accuracies and reports the paper's
+// headline trade-off: lower accuracy targets buy order-of-magnitude faster
+// queries, because VStore switches every cascade stage to cheaper
+// consumption and storage formats.
+//
+//	go run ./examples/trafficcars
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/kvstore"
+	"repro/internal/ops"
+	"repro/internal/profile"
+	"repro/internal/query"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+const segments = 4 // 32 seconds of video
+
+func main() {
+	log.SetFlags(0)
+	scene, err := vidsim.DatasetByName("jackson")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := profile.New(scene)
+	prof.ClipFrames = 150
+
+	// Consumers: the three cascade operators at every accuracy the store
+	// should support.
+	accuracies := []float64{0.9, 0.8, 0.7}
+	var consumers []core.Consumer
+	for _, op := range []ops.Operator{ops.Diff{}, ops.SNN{}, ops.NN{}} {
+		for _, a := range accuracies {
+			consumers = append(consumers, core.Consumer{Op: op, Target: a, Prof: prof})
+		}
+	}
+	cfg, err := core.Configure(consumers, core.Options{StorageProfiler: prof})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cfg.Table())
+
+	dir, err := os.MkdirTemp("", "vstore-traffic-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	kv, err := kvstore.Open(dir, kvstore.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer kv.Close()
+	store := segment.NewStore(kv)
+	ing := ingest.Ingester{Store: store, SFs: cfg.StorageFormats()}
+	if _, err := ing.Stream(scene, "jackson", 0, segments); err != nil {
+		log.Fatal(err)
+	}
+
+	eng := query.Engine{Store: store}
+	fmt.Printf("\nQuery A over %ds of jackson:\n", segments*segment.Seconds)
+	for _, acc := range accuracies {
+		var binding query.Binding
+		for _, name := range []string{"Diff", "S-NN", "NN"} {
+			cf, sf, err := cfg.BindingFor(name, acc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			binding = append(binding, query.StageBinding{CF: cf, SF: sf})
+		}
+		res, err := eng.Run("jackson", query.QueryA(), binding, 0, segments)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cars := 0
+		for _, d := range res.Detections {
+			if d.Label == "car" {
+				cars++
+			}
+		}
+		fmt.Printf("  accuracy %.2f: %6.0fx realtime, %3d car frames", acc, res.Speed(), cars)
+		for _, st := range res.StageStats {
+			fmt.Printf("  [%s: %d frames]", st.Op, st.FramesConsumed)
+		}
+		fmt.Println()
+	}
+
+	// Score the fastest run against the full-fidelity ground-truth cascade.
+	gt := query.GroundTruth(scene, query.QueryA(), 0, segments)
+	var binding query.Binding
+	for _, name := range []string{"Diff", "S-NN", "NN"} {
+		cf, sf, _ := cfg.BindingFor(name, 0.7)
+		binding = append(binding, query.StageBinding{CF: cf, SF: sf})
+	}
+	res, err := eng.Run("jackson", query.QueryA(), binding, 0, segments)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := ops.Output{PTS: res.FinalPTS, Detections: res.Detections}
+	fmt.Printf("accuracy of the 0.70 run against the ground-truth cascade: F1 = %.2f\n", ops.F1(gt, got))
+}

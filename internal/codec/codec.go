@@ -1,0 +1,372 @@
+// Package codec implements the software video codec that stands in for
+// x264/NVDEC in this reproduction. Streams are grouped into GOPs (groups of
+// pictures): each GOP starts with an intra-coded keyframe followed by
+// delta-coded frames, and the whole GOP is entropy-coded with compress/flate.
+//
+// The coding knobs map mechanistically onto the codec:
+//
+//   - image quality (a fidelity knob, applied at encode time): pixel
+//     quantisation step — coarser steps shrink the entropy-coded output and
+//     distort the reconstruction, without changing decoded pixel counts;
+//   - speed step: the flate effort level — slower levels compress harder and
+//     encode slower;
+//   - keyframe interval: the GOP length — decoding any frame requires
+//     decoding its GOP from the keyframe onward, so consumers that sample
+//     sparsely can skip whole GOPs when the interval is small (Figure 3b).
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/format"
+	"repro/internal/frame"
+)
+
+// Params configures an encode.
+type Params struct {
+	Quality   format.Quality
+	Speed     format.SpeedStep
+	KeyframeI int // frames per GOP, >= 1
+}
+
+// ParamsFor builds encoder parameters from a storage format's knobs. It must
+// not be called for raw (bypass) codings.
+func ParamsFor(sf format.StorageFormat) Params {
+	if sf.Coding.Raw {
+		panic("codec: ParamsFor called with raw coding")
+	}
+	return Params{Quality: sf.Fidelity.Quality, Speed: sf.Coding.Speed, KeyframeI: sf.Coding.KeyframeI}
+}
+
+// Stats accounts for the deterministic work a codec call performed. Virtual
+// time is derived from these by the profiler; wall time is measured by the
+// caller when needed.
+type Stats struct {
+	PixelsIntra int64 // pixels intra-coded or reconstructed from keyframes
+	PixelsDelta int64 // pixels delta-coded or delta-reconstructed
+	BytesFlate  int64 // bytes pushed through the entropy coder
+	Frames      int64 // frames encoded or reconstructed
+	GOPsTouched int64 // GOPs read during decode
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.PixelsIntra += other.PixelsIntra
+	s.PixelsDelta += other.PixelsDelta
+	s.BytesFlate += other.BytesFlate
+	s.Frames += other.Frames
+	s.GOPsTouched += other.GOPsTouched
+}
+
+// Pixels returns the total pixels transformed.
+func (s Stats) Pixels() int64 { return s.PixelsIntra + s.PixelsDelta }
+
+// gop records one group of pictures inside the container.
+type gop struct {
+	start  uint32 // index of the keyframe within the stream
+	frames uint32
+	off    uint64 // offset into Data
+	length uint64
+}
+
+// Encoded is an encoded stream: header fields, the per-GOP index that
+// enables skip-decoding, the per-frame PTS table (stored streams may be
+// temporally sampled, so positions are not consecutive timeline indices),
+// and the entropy-coded payload.
+type Encoded struct {
+	W, H     int
+	N        int // frame count
+	FirstPTS int
+	Params   Params
+	gops     []gop
+	pts      []int32 // original-timeline index of each stored frame
+	Data     []byte
+}
+
+const (
+	magic        uint32 = 0x56534331 // "VSC1"
+	headerSize          = 4 + 2 + 2 + 4 + 4 + 1 + 1 + 2 + 4
+	gopEntrySize        = 4 + 4 + 8 + 8
+)
+
+// Size returns the container size in bytes (header + indices + payload).
+func (e *Encoded) Size() int {
+	return headerSize + gopEntrySize*len(e.gops) + 4*len(e.pts) + len(e.Data)
+}
+
+// PTSAt returns the original-timeline index of the frame stored at position
+// i (0..N-1).
+func (e *Encoded) PTSAt(i int) int { return int(e.pts[i]) }
+
+// PTSList returns the original-timeline indices of all stored frames.
+func (e *Encoded) PTSList() []int {
+	out := make([]int, len(e.pts))
+	for i, p := range e.pts {
+		out[i] = int(p)
+	}
+	return out
+}
+
+// planeLen returns the byte length of one frame's concatenated YUV planes.
+func (e *Encoded) planeLen() int { return e.W*e.H + 2*((e.W/2)*(e.H/2)) }
+
+// Encode compresses frames with the given parameters. All frames must share
+// dimensions; the first frame's PTS is recorded and positions are assumed
+// consecutive within whatever (possibly sampled) timeline the caller uses.
+func Encode(frames []*frame.Frame, p Params) (*Encoded, Stats, error) {
+	var st Stats
+	if len(frames) == 0 {
+		return nil, st, errors.New("codec: no frames to encode")
+	}
+	if p.KeyframeI < 1 {
+		return nil, st, fmt.Errorf("codec: keyframe interval %d < 1", p.KeyframeI)
+	}
+	w, h := frames[0].W, frames[0].H
+	for i, f := range frames {
+		if f.W != w || f.H != h {
+			return nil, st, fmt.Errorf("codec: frame %d is %dx%d, want %dx%d", i, f.W, f.H, w, h)
+		}
+	}
+	e := &Encoded{W: w, H: h, N: len(frames), FirstPTS: frames[0].PTS, Params: p}
+	e.pts = make([]int32, len(frames))
+	for i, f := range frames {
+		e.pts[i] = int32(f.PTS)
+	}
+	q := p.Quality.QuantStep()
+	dz := byte(deadzone(q))
+	planeLen := e.planeLen()
+	var data bytes.Buffer
+	prev := make([]byte, planeLen) // previous reconstructed (quantised) frame
+	cur := make([]byte, planeLen)  // current quantised frame
+	gopBuf := make([]byte, 0, planeLen*min(p.KeyframeI, len(frames)))
+	for g := 0; g < len(frames); g += p.KeyframeI {
+		end := min(g+p.KeyframeI, len(frames))
+		gopBuf = gopBuf[:0]
+		for i := g; i < end; i++ {
+			quantise(cur, frames[i], q)
+			if i == g {
+				gopBuf = append(gopBuf, cur...)
+				st.PixelsIntra += int64(planeLen)
+			} else {
+				// Delta coding with a temporal deadzone: deltas within the
+				// sensor-noise band are coded as zero, which is what gives a
+				// real codec its inter-frame compression on static scenes.
+				// The encoder reconstructs what the decoder will see
+				// (cur[j] = prev[j] for suppressed deltas), so no drift
+				// accumulates across a GOP.
+				for j := 0; j < planeLen; j++ {
+					d := cur[j] - prev[j]
+					if d+dz <= 2*dz { // |delta| <= dz under mod-256 arithmetic
+						gopBuf = append(gopBuf, 0)
+						cur[j] = prev[j]
+					} else {
+						gopBuf = append(gopBuf, d)
+					}
+				}
+				st.PixelsDelta += int64(planeLen)
+			}
+			prev, cur = cur, prev
+			st.Frames++
+		}
+		off := data.Len()
+		fw, err := flate.NewWriter(&data, p.Speed.FlateLevel())
+		if err != nil {
+			return nil, st, fmt.Errorf("codec: flate init: %w", err)
+		}
+		if _, err := fw.Write(gopBuf); err != nil {
+			return nil, st, fmt.Errorf("codec: flate write: %w", err)
+		}
+		if err := fw.Close(); err != nil {
+			return nil, st, fmt.Errorf("codec: flate close: %w", err)
+		}
+		st.BytesFlate += int64(len(gopBuf))
+		e.gops = append(e.gops, gop{
+			start:  uint32(g),
+			frames: uint32(end - g),
+			off:    uint64(off),
+			length: uint64(data.Len() - off),
+		})
+	}
+	e.Data = data.Bytes()
+	return e, st, nil
+}
+
+// deadzone returns the temporal deadzone for a quantisation step: deltas of
+// at most this magnitude are suppressed. The floor of 4 covers the sensor
+// noise of the scene models; coarser quantisation needs an equally wide
+// deadzone, or quantisation-boundary flicker (noise flipping a pixel across
+// a step) would dominate the delta stream.
+func deadzone(quantStep int) int {
+	if quantStep > 4 {
+		return quantStep
+	}
+	return 4
+}
+
+// quantise writes the quantised planes of f into dst (concatenated Y, Cb,
+// Cr). Step 1 is the identity.
+func quantise(dst []byte, f *frame.Frame, q int) {
+	n := copy(dst, f.Y)
+	n += copy(dst[n:], f.Cb)
+	copy(dst[n:], f.Cr)
+	if q <= 1 {
+		return
+	}
+	half := q / 2
+	for i, v := range dst {
+		nv := (int(v)/q)*q + half
+		if nv > 255 {
+			nv = 255
+		}
+		dst[i] = byte(nv)
+	}
+}
+
+// Decode reconstructs every frame.
+func (e *Encoded) Decode() ([]*frame.Frame, Stats, error) {
+	return e.DecodeSampled(func(int) bool { return true })
+}
+
+// DecodeSampled reconstructs only the frames for which keep(i) is true,
+// where i is the frame's position within this stream (0..N-1). GOPs with no
+// kept frame are skipped entirely; within a touched GOP, decoding proceeds
+// from the keyframe to the last kept frame and stops. This is the mechanism
+// by which small keyframe intervals accelerate sparse consumers (Fig 3b).
+func (e *Encoded) DecodeSampled(keep func(i int) bool) ([]*frame.Frame, Stats, error) {
+	var st Stats
+	var out []*frame.Frame
+	planeLen := e.planeLen()
+	buf := make([]byte, planeLen)   // raw GOP read: intra planes or deltas
+	recon := make([]byte, planeLen) // reconstructed current frame
+	for _, g := range e.gops {
+		last := -1
+		for i := int(g.start); i < int(g.start+g.frames); i++ {
+			if keep(i) {
+				last = i
+			}
+		}
+		if last < 0 {
+			continue
+		}
+		if int(g.off)+int(g.length) > len(e.Data) {
+			return nil, st, fmt.Errorf("codec: gop at offset %d overruns payload", g.off)
+		}
+		st.GOPsTouched++
+		st.BytesFlate += int64(g.length)
+		r := flate.NewReader(bytes.NewReader(e.Data[g.off : g.off+g.length]))
+		for i := int(g.start); i <= last; i++ {
+			if _, err := io.ReadFull(r, buf); err != nil {
+				return nil, st, fmt.Errorf("codec: decoding frame %d: %w", i, err)
+			}
+			if i == int(g.start) {
+				copy(recon, buf)
+				st.PixelsIntra += int64(planeLen)
+			} else {
+				for j := range recon {
+					recon[j] += buf[j]
+				}
+				st.PixelsDelta += int64(planeLen)
+			}
+			st.Frames++
+			if keep(i) {
+				out = append(out, e.frameAt(i, recon))
+			}
+		}
+		if err := r.(io.Closer).Close(); err != nil {
+			return nil, st, fmt.Errorf("codec: flate close: %w", err)
+		}
+	}
+	return out, st, nil
+}
+
+func (e *Encoded) frameAt(i int, planes []byte) *frame.Frame {
+	f := frame.New(e.W, e.H)
+	f.PTS = int(e.pts[i])
+	n := copy(f.Y, planes)
+	n += copy(f.Cb, planes[n:])
+	copy(f.Cr, planes[n:])
+	return f
+}
+
+// Marshal serialises the container to bytes.
+func (e *Encoded) Marshal() []byte {
+	out := make([]byte, 0, e.Size())
+	var h [headerSize]byte
+	binary.BigEndian.PutUint32(h[0:], magic)
+	binary.BigEndian.PutUint16(h[4:], uint16(e.W))
+	binary.BigEndian.PutUint16(h[6:], uint16(e.H))
+	binary.BigEndian.PutUint32(h[8:], uint32(e.N))
+	binary.BigEndian.PutUint32(h[12:], uint32(int32(e.FirstPTS)))
+	h[16] = byte(e.Params.Quality)
+	h[17] = byte(e.Params.Speed)
+	binary.BigEndian.PutUint16(h[18:], uint16(e.Params.KeyframeI))
+	binary.BigEndian.PutUint32(h[20:], uint32(len(e.gops)))
+	out = append(out, h[:]...)
+	var ge [gopEntrySize]byte
+	for _, g := range e.gops {
+		binary.BigEndian.PutUint32(ge[0:], g.start)
+		binary.BigEndian.PutUint32(ge[4:], g.frames)
+		binary.BigEndian.PutUint64(ge[8:], g.off)
+		binary.BigEndian.PutUint64(ge[16:], g.length)
+		out = append(out, ge[:]...)
+	}
+	var pb [4]byte
+	for _, p := range e.pts {
+		binary.BigEndian.PutUint32(pb[:], uint32(p))
+		out = append(out, pb[:]...)
+	}
+	return append(out, e.Data...)
+}
+
+// Unmarshal parses a container serialised by Marshal.
+func Unmarshal(b []byte) (*Encoded, error) {
+	if len(b) < headerSize {
+		return nil, errors.New("codec: container too short")
+	}
+	if binary.BigEndian.Uint32(b[0:]) != magic {
+		return nil, errors.New("codec: bad magic")
+	}
+	e := &Encoded{
+		W:        int(binary.BigEndian.Uint16(b[4:])),
+		H:        int(binary.BigEndian.Uint16(b[6:])),
+		N:        int(binary.BigEndian.Uint32(b[8:])),
+		FirstPTS: int(int32(binary.BigEndian.Uint32(b[12:]))),
+		Params: Params{
+			Quality:   format.Quality(b[16]),
+			Speed:     format.SpeedStep(b[17]),
+			KeyframeI: int(binary.BigEndian.Uint16(b[18:])),
+		},
+	}
+	ngops := int(binary.BigEndian.Uint32(b[20:]))
+	need := headerSize + ngops*gopEntrySize + 4*e.N
+	if len(b) < need {
+		return nil, errors.New("codec: truncated index")
+	}
+	e.gops = make([]gop, ngops)
+	for i := range e.gops {
+		p := b[headerSize+i*gopEntrySize:]
+		e.gops[i] = gop{
+			start:  binary.BigEndian.Uint32(p[0:]),
+			frames: binary.BigEndian.Uint32(p[4:]),
+			off:    binary.BigEndian.Uint64(p[8:]),
+			length: binary.BigEndian.Uint64(p[16:]),
+		}
+	}
+	e.pts = make([]int32, e.N)
+	ptsOff := headerSize + ngops*gopEntrySize
+	for i := range e.pts {
+		e.pts[i] = int32(binary.BigEndian.Uint32(b[ptsOff+4*i:]))
+	}
+	e.Data = b[need:]
+	for _, g := range e.gops {
+		if int(g.off)+int(g.length) > len(e.Data) {
+			return nil, errors.New("codec: GOP index overruns payload")
+		}
+	}
+	return e, nil
+}

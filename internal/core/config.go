@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/format"
+)
+
+// Options configures a full backward derivation.
+type Options struct {
+	// StorageProfiler profiles storage formats and retrieval; consumption
+	// profiling uses each consumer's own profiler.
+	StorageProfiler StorageProfiler
+	// IngestBudgetSec caps ingest CPU (cores); zero = unlimited.
+	IngestBudgetSec float64
+	// StorageBudgetBytes caps the lifespan footprint; zero = unlimited.
+	StorageBudgetBytes int64
+	// LifespanDays is the retention period (default 10, as in §6.3).
+	LifespanDays int
+	// Strategy selects the coalescing policy.
+	Strategy Strategy
+}
+
+// Config is a complete derived configuration: the paper's Figure 7 output.
+type Config struct {
+	Derivation *StorageDerivation
+	Erosion    *ErosionPlan
+}
+
+// Configure runs the full backward derivation (Figure 7): consumption
+// formats from consumers, storage formats from consumption formats, and the
+// erosion plan from storage formats.
+func Configure(consumers []Consumer, opt Options) (*Config, error) {
+	if opt.LifespanDays == 0 {
+		opt.LifespanDays = 10
+	}
+	choices := DeriveConsumptionFormats(consumers)
+	d, err := DeriveStorageFormats(choices, SFOptions{
+		Profiler:        opt.StorageProfiler,
+		IngestBudgetSec: opt.IngestBudgetSec,
+		Strategy:        opt.Strategy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan, err := PlanErosion(d, ErosionOptions{
+		Profiler:           opt.StorageProfiler,
+		LifespanDays:       opt.LifespanDays,
+		StorageBudgetBytes: opt.StorageBudgetBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Config{Derivation: d, Erosion: plan}, nil
+}
+
+// Table renders the configuration in the style of the paper's Table 3.
+func (c *Config) Table() string {
+	var b strings.Builder
+	d := c.Derivation
+	fmt.Fprintf(&b, "Consumption formats (%d consumers, %d unique CFs):\n", len(d.Choices), countUniqueCFs(d.Choices))
+	byOp := map[string][]int{}
+	var opOrder []string
+	for i, ch := range d.Choices {
+		name := ch.Consumer.Op.Name()
+		if _, ok := byOp[name]; !ok {
+			opOrder = append(opOrder, name)
+		}
+		byOp[name] = append(byOp[name], i)
+	}
+	for _, op := range opOrder {
+		idx := byOp[op]
+		sort.Slice(idx, func(a, b int) bool {
+			return d.Choices[idx[a]].Consumer.Target > d.Choices[idx[b]].Consumer.Target
+		})
+		for _, i := range idx {
+			ch := d.Choices[i]
+			fmt.Fprintf(&b, "  %-8s F1=%.2f  %-22s -> SF%-2d  %8.0fx  (achieved F1=%.2f)\n",
+				op, ch.Consumer.Target, ch.CF.Fidelity, d.Subs[i], ch.Profile.Speed, ch.Profile.Accuracy)
+		}
+	}
+	fmt.Fprintf(&b, "Storage formats (%d):\n", len(d.SFs))
+	for i, sf := range d.SFs {
+		tag := ""
+		if i == d.Golden {
+			tag = " (golden)"
+		}
+		fmt.Fprintf(&b, "  SF%-2d %-22s %-12s %8.1f KB/s  ingest %.2f cores%s\n",
+			i, sf.SF.Fidelity, sf.SF.Coding, sf.Prof.BytesPerSec/1024, sf.Prof.IngestSec, tag)
+	}
+	return b.String()
+}
+
+func countUniqueCFs(choices []ConsumptionChoice) int {
+	cfs, _ := UniqueCFs(choices)
+	return len(cfs)
+}
+
+// ExhaustiveStorageSearch enumerates every partition of the unique CFs into
+// storage formats and returns the minimum-storage-cost feasible derivation.
+// Exponential in the number of CFs (Bell numbers); the paper uses it only to
+// validate heuristic coalescing (§6.4). The golden format is always added.
+func ExhaustiveStorageSearch(choices []ConsumptionChoice, p StorageProfiler) (*StorageDerivation, int) {
+	cfs, cfIdx := UniqueCFs(choices)
+	n := len(cfs)
+	consumersOf := make([][]int, n)
+	for i := range choices {
+		consumersOf[cfIdx[i]] = append(consumersOf[cfIdx[i]], i)
+	}
+	gFid := cfs[0].Fidelity
+	for _, cf := range cfs[1:] {
+		gFid = gFid.Max(cf.Fidelity)
+	}
+
+	var best *StorageDerivation
+	bestCost := math.Inf(1)
+	partitions := 0
+	// blocks[0] is the golden block: it always exists, and CFs may merge
+	// into it (heuristic coalescing can do the same, so the enumeration
+	// must include those partitions to be a true lower bound).
+	blocks := make([][]int, 1, n+1)
+	var recurse func(i int)
+	recurse = func(i int) {
+		if i == n {
+			partitions++
+			d := buildFromPartition(choices, consumersOf, cfs, blocks, gFid, p)
+			if cost := d.TotalBytesPerSec(); cost < bestCost {
+				bestCost = cost
+				best = d
+			}
+			return
+		}
+		for bi := range blocks {
+			blocks[bi] = append(blocks[bi], i)
+			recurse(i + 1)
+			blocks[bi] = blocks[bi][:len(blocks[bi])-1]
+		}
+		blocks = append(blocks, []int{i})
+		recurse(i + 1)
+		blocks = blocks[:len(blocks)-1]
+	}
+	recurse(0)
+	best.rebuildSubs()
+	return best, partitions
+}
+
+func buildFromPartition(choices []ConsumptionChoice, consumersOf [][]int, cfs []format.ConsumptionFormat, blocks [][]int, gFid format.Fidelity, p StorageProfiler) *StorageDerivation {
+	d := &StorageDerivation{Choices: choices, Subs: make([]int, len(choices))}
+	for bi, block := range blocks {
+		fid := gFid // block 0 is the golden block
+		if bi > 0 {
+			fid = cfs[block[0]].Fidelity
+		}
+		var subs []int
+		for _, cfI := range block {
+			fid = fid.Max(cfs[cfI].Fidelity)
+			subs = append(subs, consumersOf[cfI]...)
+		}
+		sf := sfFor(p, fid, demandsOf(choices, subs), format.SpeedSlowest)
+		d.SFs = append(d.SFs, DerivedSF{SF: sf, Prof: p.ProfileStorage(sf), Consumers: subs})
+	}
+	d.Golden = 0
+	return d
+}

@@ -1,0 +1,173 @@
+// Package core implements VStore's contribution: automatic configuration of
+// video formats by backward derivation (§4). From consumers it derives
+// consumption formats (§4.2); from consumption formats it derives coalesced
+// storage formats under an ingest budget (§4.3); from storage formats it
+// derives an age-based data erosion plan under a storage budget (§4.4).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/format"
+	"repro/internal/ops"
+	"repro/internal/profile"
+)
+
+// ConsumptionProfiler supplies (operator, fidelity) profiles. It is the
+// subset of *profile.Profiler the consumption-format search needs, split out
+// so tests can drive the search with synthetic monotone profiles.
+type ConsumptionProfiler interface {
+	ProfileConsumption(op ops.Operator, fid format.Fidelity) profile.CFProfile
+}
+
+// StorageProfiler supplies storage-format and retrieval profiles: the
+// subset of *profile.Profiler that storage derivation and erosion planning
+// need.
+type StorageProfiler interface {
+	ProfileStorage(sf format.StorageFormat) profile.SFProfile
+	RetrievalSpeed(sf format.StorageFormat, s format.Sampling) float64
+}
+
+// Consumer is one ⟨operator, accuracy⟩ pair (§2.2). Prof supplies the scene
+// on which this operator is profiled (§6.1 profiles query A's operators on
+// jackson and query B's on dashcam).
+type Consumer struct {
+	Op     ops.Operator
+	Target float64
+	Prof   ConsumptionProfiler
+}
+
+func (c Consumer) String() string { return fmt.Sprintf("<%s,%.2f>", c.Op.Name(), c.Target) }
+
+// ConsumptionChoice is the derived consumption format for one consumer.
+type ConsumptionChoice struct {
+	Consumer Consumer
+	CF       format.ConsumptionFormat
+	Profile  profile.CFProfile // accuracy and consumption speed at the CF
+}
+
+// DeriveConsumptionFormats derives a consumption format for every consumer:
+// the fidelity that meets the target accuracy at the highest consumption
+// speed, found by the quality-partitioned monotone boundary search of §4.2.
+func DeriveConsumptionFormats(consumers []Consumer) []ConsumptionChoice {
+	out := make([]ConsumptionChoice, len(consumers))
+	for i, c := range consumers {
+		out[i] = deriveOne(c)
+	}
+	return out
+}
+
+// deriveOne runs the §4.2 algorithm for one consumer:
+//
+//  1. fix image quality at its highest value (O2: quality does not affect
+//     consumption cost);
+//  2. partition the remaining 3D space along the crop factor (the shortest
+//     dimension) into 2D (resolution × sampling) spaces;
+//  3. walk each 2D space's accuracy boundary, profiling only boundary cells;
+//  4. among all adequate boundary cells pick the fastest;
+//  5. lower image quality while accuracy stays adequate, reducing storage
+//     and ingest costs opportunistically.
+func deriveOne(c Consumer) ConsumptionChoice {
+	best := profile.CFProfile{Speed: -1}
+	for _, crop := range format.Crops {
+		for _, cand := range boundarySearch(c, crop) {
+			if cand.Accuracy >= c.Target && cand.Speed > best.Speed {
+				best = cand
+			}
+		}
+	}
+	if best.Speed < 0 {
+		// No fidelity meets the target: fall back to the richest fidelity
+		// (its accuracy is 1.0 by the ground-truth definition).
+		best = c.Prof.ProfileConsumption(c.Op, format.MaxFidelity())
+	}
+	// Quality-lowering pass: keep reducing quality while accuracy remains
+	// adequate.
+	chosen := best
+	for qi := len(format.Qualities) - 2; qi >= 0; qi-- {
+		fid := chosen.Fidelity
+		fid.Quality = format.Qualities[qi]
+		p := c.Prof.ProfileConsumption(c.Op, fid)
+		if p.Accuracy < c.Target {
+			break
+		}
+		chosen = p
+	}
+	return ConsumptionChoice{Consumer: c, CF: format.ConsumptionFormat{Fidelity: chosen.Fidelity}, Profile: chosen}
+}
+
+// boundarySearch explores one 2D (resolution × sampling) space at the given
+// crop factor and best image quality, profiling only the accuracy boundary
+// (Figure 8). It returns every profiled cell; callers filter for adequacy.
+//
+// The walk relies on O1 (monotone accuracy): it starts at the top-right cell
+// (poorest sampling, richest resolution); an adequate cell lets it move left
+// (poorer resolution), an inadequate one forces it down (richer sampling).
+func boundarySearch(c Consumer, crop format.Crop) []profile.CFProfile {
+	var profiled []profile.CFProfile
+	row := 0                             // sampling index: 0 is poorest (1/30)
+	col := len(format.Resolutions) - 1   // resolution index: last is richest
+	samplings := poorestFirstSamplings() // poorest first
+	for row < len(samplings) && col >= 0 {
+		fid := format.Fidelity{
+			Quality:  format.QBest,
+			Crop:     crop,
+			Res:      format.Resolutions[col],
+			Sampling: samplings[row],
+		}
+		p := c.Prof.ProfileConsumption(c.Op, fid)
+		profiled = append(profiled, p)
+		if p.Accuracy >= c.Target {
+			col-- // adequate: try poorer resolution at this sampling
+		} else {
+			row++ // inadequate: need richer sampling
+		}
+	}
+	return profiled
+}
+
+// poorestFirstSamplings returns the sampling knob values ordered from
+// poorest to richest fraction.
+func poorestFirstSamplings() []format.Sampling {
+	s := append([]format.Sampling(nil), format.Samplings...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Fraction() < s[j].Fraction() })
+	return s
+}
+
+// DeriveConsumptionExhaustive profiles every fidelity option for the
+// consumer and returns the optimal choice. It exists to validate the
+// boundary search and to quantify its savings (Figure 14).
+func DeriveConsumptionExhaustive(c Consumer) ConsumptionChoice {
+	best := profile.CFProfile{Speed: -1}
+	for _, fid := range format.FidelitySpace() {
+		p := c.Prof.ProfileConsumption(c.Op, fid)
+		if p.Accuracy >= c.Target && (best.Speed < 0 ||
+			p.Speed > best.Speed ||
+			(p.Speed == best.Speed && fid.Quality < best.Fidelity.Quality)) {
+			best = p
+		}
+	}
+	if best.Speed < 0 {
+		best = c.Prof.ProfileConsumption(c.Op, format.MaxFidelity())
+	}
+	return ConsumptionChoice{Consumer: c, CF: format.ConsumptionFormat{Fidelity: best.Fidelity}, Profile: best}
+}
+
+// UniqueCFs returns the distinct consumption formats among choices, in a
+// stable order, plus the index of each choice's CF within the result.
+func UniqueCFs(choices []ConsumptionChoice) ([]format.ConsumptionFormat, []int) {
+	var cfs []format.ConsumptionFormat
+	idx := make([]int, len(choices))
+	seen := map[format.ConsumptionFormat]int{}
+	for i, ch := range choices {
+		j, ok := seen[ch.CF]
+		if !ok {
+			j = len(cfs)
+			seen[ch.CF] = j
+			cfs = append(cfs, ch.CF)
+		}
+		idx[i] = j
+	}
+	return cfs, idx
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+)
+
+func planFixture(t *testing.T, seed int64, budgetFrac float64) (*StorageDerivation, *ErosionPlan, int64) {
+	t.Helper()
+	fp := newFakeProfiler(seed)
+	choices := fakeConsumers(fp, []float64{0.95, 0.9, 0.8, 0.7, 0.9, 0.8})
+	d, err := DeriveStorageFormats(choices, SFOptions{Profiler: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifespan := 10
+	full := d.TotalBytesPerSec() * 86400 * float64(lifespan)
+	// The feasible floor: day 1 is always intact (P(1)=1) and the golden
+	// format is never eroded, so no plan can store less than this.
+	golden := d.SFs[d.Golden].Prof.BytesPerSec * 86400
+	floor := d.TotalBytesPerSec()*86400 + float64(lifespan-1)*golden
+	var budget int64
+	if budgetFrac > 0 {
+		// budgetFrac interpolates between the feasible floor (0) and the
+		// full, no-erosion footprint (1).
+		budget = int64(floor + budgetFrac*(full-floor))
+	}
+	plan, err := PlanErosion(d, ErosionOptions{
+		Profiler:           fp,
+		LifespanDays:       lifespan,
+		StorageBudgetBytes: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, plan, budget
+}
+
+func TestNoBudgetMeansNoDecay(t *testing.T) {
+	_, plan, _ := planFixture(t, 1, 0)
+	if plan.K != 0 {
+		t.Fatalf("k = %v, want 0 with no budget", plan.K)
+	}
+	for age, s := range plan.OverallSpeed {
+		if s != 1 {
+			t.Fatalf("day %d speed %v, want 1 (flat line of Fig 13a)", age+1, s)
+		}
+	}
+}
+
+func TestAmpleBudgetMeansNoDecay(t *testing.T) {
+	_, plan, _ := planFixture(t, 1, 1.5)
+	if plan.K != 0 {
+		t.Fatalf("k = %v, want 0 when budget exceeds full footprint", plan.K)
+	}
+}
+
+func TestErosionRespectsBudget(t *testing.T) {
+	_, plan, budget := planFixture(t, 2, 0.6)
+	if plan.TotalBytes > budget {
+		t.Fatalf("plan stores %d bytes, budget %d", plan.TotalBytes, budget)
+	}
+	if plan.K <= 0 {
+		t.Fatal("decay factor should be positive under a binding budget")
+	}
+}
+
+func TestTighterBudgetMoreAggressiveDecay(t *testing.T) {
+	_, loose, _ := planFixture(t, 3, 0.8)
+	_, tight, _ := planFixture(t, 3, 0.45)
+	if tight.K <= loose.K {
+		t.Fatalf("tighter budget k=%.2f not above looser k=%.2f (Fig 13a shape)", tight.K, loose.K)
+	}
+}
+
+func TestSpeedDecaysMonotonicallyWithAge(t *testing.T) {
+	_, plan, _ := planFixture(t, 4, 0.5)
+	prev := 1.0 + 1e-9
+	for age, s := range plan.OverallSpeed {
+		if s > prev+1e-9 {
+			t.Fatalf("overall speed increased with age at day %d: %.3f -> %.3f", age+1, prev, s)
+		}
+		if s < plan.PMin-0.02 {
+			t.Fatalf("day %d speed %.3f below Pmin %.3f", age+1, s, plan.PMin)
+		}
+		prev = s
+	}
+	// Day 1 must be (nearly) intact: P(1) = 1 by the power law.
+	if plan.OverallSpeed[0] < 0.99 {
+		t.Fatalf("day-1 speed %.3f, want ~1", plan.OverallSpeed[0])
+	}
+}
+
+func TestGoldenNeverEroded(t *testing.T) {
+	d, plan, _ := planFixture(t, 5, 0.4)
+	for age, fr := range plan.DeletedFrac {
+		if fr[d.Golden] != 0 {
+			t.Fatalf("golden format eroded at day %d", age+1)
+		}
+	}
+}
+
+func TestDeletionFractionsMonotoneInAge(t *testing.T) {
+	_, plan, _ := planFixture(t, 6, 0.5)
+	for s := range plan.DeletedFrac[0] {
+		prev := 0.0
+		for age := range plan.DeletedFrac {
+			f := plan.DeletedFrac[age][s]
+			if f < prev-1e-12 {
+				t.Fatalf("format %d un-deleted at day %d: %.3f -> %.3f", s, age+1, prev, f)
+			}
+			if f < 0 || f > 1 {
+				t.Fatalf("fraction out of range: %v", f)
+			}
+			prev = f
+		}
+	}
+}
+
+func TestFallbackTreeRootedAtGolden(t *testing.T) {
+	d, plan, _ := planFixture(t, 7, 0.5)
+	if plan.Parent[d.Golden] != -1 {
+		t.Fatal("golden is not the root")
+	}
+	for i, p := range plan.Parent {
+		if i == d.Golden {
+			continue
+		}
+		if p < 0 || p >= len(d.SFs) {
+			t.Fatalf("format %d has no parent", i)
+		}
+		if !d.SFs[p].SF.Fidelity.RicherEq(d.SFs[i].SF.Fidelity) {
+			t.Fatalf("parent %d is not richer than child %d", p, i)
+		}
+		// Walking up must reach the root.
+		seen := map[int]bool{}
+		for j := i; j != -1; j = plan.Parent[j] {
+			if seen[j] {
+				t.Fatalf("cycle in fallback tree at %d", j)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestInfeasibleStorageBudget(t *testing.T) {
+	fp := newFakeProfiler(8)
+	choices := fakeConsumers(fp, []float64{0.95, 0.9})
+	d, err := DeriveStorageFormats(choices, SFOptions{Profiler: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = PlanErosion(d, ErosionOptions{Profiler: fp, LifespanDays: 10, StorageBudgetBytes: 1})
+	if err == nil {
+		t.Fatal("1-byte budget accepted")
+	}
+}
+
+func TestRelativeSpeedFormula(t *testing.T) {
+	// A single-level chain must reproduce the paper's α/((1−p)α+p).
+	prm := relSpeedParams{chain: []int{0, 1}, speed: []float64{100, 25}} // α = 0.25
+	alpha := 0.25
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 1.0} {
+		frac := []float64{p, 0}
+		got := relativeSpeed(prm, frac)
+		want := alpha / ((1-p)*alpha + p)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("p=%.1f: relative speed %.6f, want %.6f", p, got, want)
+		}
+	}
+}
+
+func TestConfigureEndToEndFake(t *testing.T) {
+	fp := newFakeProfiler(11)
+	consumers := []Consumer{}
+	for _, tgt := range []float64{0.95, 0.9, 0.8, 0.7} {
+		consumers = append(consumers, Consumer{Op: fakeOp("A"), Target: tgt, Prof: fp})
+		consumers = append(consumers, Consumer{Op: fakeOp("B"), Target: tgt, Prof: fp})
+	}
+	cfg, err := Configure(consumers, Options{
+		StorageProfiler: fp,
+		LifespanDays:    10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Erosion.K != 0 {
+		t.Fatal("no storage budget but decay planned")
+	}
+	tbl := cfg.Table()
+	if tbl == "" || len(tbl) < 100 {
+		t.Fatalf("table too short:\n%s", tbl)
+	}
+}

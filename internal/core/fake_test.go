@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/ops"
+	"repro/internal/profile"
+)
+
+// fakeProfiler drives the configuration algorithms with synthetic,
+// perfectly monotone accuracy/cost surfaces, the regime the paper's
+// observations O1 and O2 describe. It also counts profiling calls so tests
+// can bound the search's effort.
+type fakeProfiler struct {
+	r        *rand.Rand
+	accW     [4]float64 // weights of quality, crop, res, sampling on accuracy
+	accBase  float64
+	runs     map[fakeKey]bool
+	RunCount int
+}
+
+type fakeKey struct {
+	op  string
+	fid format.Fidelity
+}
+
+func newFakeProfiler(seed int64) *fakeProfiler {
+	r := rand.New(rand.NewSource(seed))
+	f := &fakeProfiler{r: r, runs: map[fakeKey]bool{}}
+	total := 0.0
+	for i := range f.accW {
+		f.accW[i] = 0.1 + r.Float64()
+		total += f.accW[i]
+	}
+	for i := range f.accW {
+		f.accW[i] /= total
+	}
+	f.accBase = 0.2 * r.Float64()
+	return f
+}
+
+// knob index positions normalised to [0,1].
+func knobPos(fid format.Fidelity) [4]float64 {
+	return [4]float64{
+		float64(fid.Quality) / float64(len(format.Qualities)-1),
+		float64(cropIndex(fid.Crop)) / float64(len(format.Crops)-1),
+		float64(resIndex(fid.Res)) / float64(len(format.Resolutions)-1),
+		float64(samplingIndex(fid.Sampling)) / float64(len(format.Samplings)-1),
+	}
+}
+
+// accuracy is a weighted monotone blend of knob positions: exactly O1, and
+// every knob matters.
+func (f *fakeProfiler) accuracy(fid format.Fidelity) float64 {
+	p := knobPos(fid)
+	acc := f.accBase
+	for i := range p {
+		acc += (1 - f.accBase) * f.accW[i] * p[i]
+	}
+	return math.Min(acc, 1)
+}
+
+// speed is the reciprocal of data quantity (O2: quality-independent).
+func (f *fakeProfiler) speed(fid format.Fidelity) float64 {
+	return 1e4 / (1 + 1e4*fid.RelPixels())
+}
+
+func (f *fakeProfiler) ProfileConsumption(op ops.Operator, fid format.Fidelity) profile.CFProfile {
+	k := fakeKey{op.Name(), fid}
+	if !f.runs[k] {
+		f.runs[k] = true
+		f.RunCount++
+	}
+	return profile.CFProfile{Fidelity: fid, Accuracy: f.accuracy(fid), Speed: f.speed(fid)}
+}
+
+// Storage model: bytes/sec proportional to pixel quantity, discounted by
+// quality and coding; ingest cost inversely proportional to the speed step's
+// rate; retrieval speed grows as stored fidelity shrinks and (for sampled
+// consumers) as the keyframe interval shrinks.
+func (f *fakeProfiler) ProfileStorage(sf format.StorageFormat) profile.SFProfile {
+	fid := sf.Fidelity
+	pixels := 1e6 * fid.RelPixels()
+	var bytes, ingest float64
+	if sf.Coding.Raw {
+		bytes = pixels * 1.5
+		ingest = pixels / 1e7
+	} else {
+		qf := 0.3 + 0.7*float64(fid.Quality)/3
+		sf2 := 1.0 + 0.5*float64(sf.Coding.Speed)/4
+		kff := 1.0 + 20.0/float64(sf.Coding.KeyframeI)
+		bytes = pixels * 0.02 * qf * sf2 * kff
+		rate := []float64{0.2e6, 0.5e6, 2e6, 6e6, 10e6}[sf.Coding.Speed]
+		ingest = pixels / rate
+	}
+	return profile.SFProfile{SF: sf, BytesPerSec: bytes, IngestSec: ingest}
+}
+
+func (f *fakeProfiler) RetrievalSpeed(sf format.StorageFormat, s format.Sampling) float64 {
+	fid := sf.Fidelity
+	pixels := 1e6 * fid.RelPixels()
+	if sf.Coding.Raw {
+		// Reads only the sampled frames.
+		return 1 / (pixels*s.Fraction()/8e8 + s.Fraction()*30*20e-6)
+	}
+	// Must decode from keyframes: effective decoded fraction is bounded
+	// below by the GOP structure.
+	consumed := math.Max(s.Fraction(), math.Min(1, float64(sf.Coding.KeyframeI)/60))
+	return 1 / (pixels * consumed / 2.2e7)
+}
+
+var _ ConsumptionProfiler = (*fakeProfiler)(nil)
+var _ StorageProfiler = (*fakeProfiler)(nil)
+
+// fakeOp is a named no-op operator for driving the configuration engine
+// with synthetic profiles.
+type fakeOp string
+
+func (f fakeOp) Name() string { return string(f) }
+
+func (f fakeOp) Run([]*frame.Frame) (ops.Output, ops.Stats) { return ops.Output{}, ops.Stats{} }

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/format"
+	"repro/internal/ops"
+	"repro/internal/profile"
+	"repro/internal/vidsim"
+)
+
+func newRealProfiler(t *testing.T, scene string) *profile.Profiler {
+	t.Helper()
+	sc, err := vidsim.DatasetByName(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.New(sc)
+	p.ClipFrames = 120
+	return p
+}
+
+// fakeConsumers builds a consumer set over the fake profiler and derives
+// their CFs.
+func fakeConsumers(fp *fakeProfiler, targets []float64) []ConsumptionChoice {
+	var consumers []Consumer
+	operators := ops.All()
+	for i, tg := range targets {
+		consumers = append(consumers, Consumer{Op: operators[i%len(operators)], Target: tg, Prof: fp})
+	}
+	return DeriveConsumptionFormats(consumers)
+}
+
+func TestDeriveStorageFormatsInvariants(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		fp := newFakeProfiler(seed)
+		choices := fakeConsumers(fp, []float64{0.95, 0.9, 0.8, 0.7, 0.95, 0.9, 0.8, 0.7, 0.6, 0.5})
+		d, err := DeriveStorageFormats(choices, SFOptions{Profiler: fp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(fp, 0); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The golden format must be richer than or equal to every CF.
+		g := d.SFs[d.Golden].SF
+		for _, ch := range choices {
+			if !g.Satisfies(ch.CF) {
+				t.Fatalf("seed %d: golden %v does not satisfy %v", seed, g, ch.CF)
+			}
+		}
+		// Every consumer has a subscription.
+		for i, s := range d.Subs {
+			if s < 0 || s >= len(d.SFs) {
+				t.Fatalf("seed %d: consumer %d unsubscribed", seed, i)
+			}
+		}
+	}
+}
+
+func TestCoalescingReducesIngestCost(t *testing.T) {
+	fp := newFakeProfiler(4)
+	choices := fakeConsumers(fp, []float64{0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6})
+	// The un-coalesced cost: one SF per unique CF plus golden.
+	cfs, _ := UniqueCFs(choices)
+	var initialIngest float64
+	for _, cf := range cfs {
+		sf := sfFor(fp, cf.Fidelity, nil, format.SpeedSlowest)
+		initialIngest += fp.ProfileStorage(sf).IngestSec
+	}
+	d, err := DeriveStorageFormats(choices, SFOptions{Profiler: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SFs) >= len(cfs)+1 && d.Rounds == 0 {
+		t.Logf("no coalescing occurred (acceptable if no free pairs); SFs=%d CFs=%d", len(d.SFs), len(cfs))
+	}
+	if d.TotalIngestSec() > initialIngest+fp.ProfileStorage(d.SFs[d.Golden].SF).IngestSec+1e-12 {
+		t.Fatalf("coalescing increased ingest: %.3f > %.3f", d.TotalIngestSec(), initialIngest)
+	}
+}
+
+func TestIngestBudgetRespected(t *testing.T) {
+	fp := newFakeProfiler(9)
+	choices := fakeConsumers(fp, []float64{0.95, 0.9, 0.8, 0.7, 0.95, 0.9, 0.8, 0.7})
+	free, err := DeriveStorageFormats(choices, SFOptions{Profiler: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := free.TotalIngestSec() * 0.5
+	tight, err := DeriveStorageFormats(choices, SFOptions{Profiler: fp, IngestBudgetSec: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.TotalIngestSec() > budget+1e-12 {
+		t.Fatalf("budget %.4f exceeded: %.4f", budget, tight.TotalIngestSec())
+	}
+	if err := tight.Validate(fp, budget); err != nil {
+		t.Fatal(err)
+	}
+	// Table 4's shape: meeting a tighter ingest budget costs storage.
+	if tight.TotalBytesPerSec() < free.TotalBytesPerSec()-1e-9 {
+		t.Fatalf("tighter budget reduced storage: %.0f < %.0f", tight.TotalBytesPerSec(), free.TotalBytesPerSec())
+	}
+}
+
+func TestImpossibleBudgetErrors(t *testing.T) {
+	fp := newFakeProfiler(2)
+	choices := fakeConsumers(fp, []float64{0.95, 0.9})
+	_, err := DeriveStorageFormats(choices, SFOptions{Profiler: fp, IngestBudgetSec: 1e-12})
+	if err == nil {
+		t.Fatal("impossibly small ingest budget accepted")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestHeuristicCloseToExhaustive reproduces §6.4's validation: heuristic
+// coalescing should land at (nearly) the storage cost of exhaustive
+// partition enumeration. The exhaustive search includes the heuristic's
+// partition, so it can only be better or equal.
+func TestHeuristicCloseToExhaustive(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		fp := newFakeProfiler(seed + 40)
+		choices := fakeConsumers(fp, []float64{0.95, 0.85, 0.75, 0.65, 0.6})
+		h, err := DeriveStorageFormats(choices, SFOptions{Profiler: fp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, partitions := ExhaustiveStorageSearch(choices, fp)
+		if partitions < 1 {
+			t.Fatal("no partitions enumerated")
+		}
+		if ex.TotalBytesPerSec() > h.TotalBytesPerSec()+1e-9 {
+			t.Fatalf("seed %d: exhaustive (%.0f B/s) worse than heuristic (%.0f B/s)?",
+				seed, ex.TotalBytesPerSec(), h.TotalBytesPerSec())
+		}
+		if h.TotalBytesPerSec() > 1.3*ex.TotalBytesPerSec() {
+			t.Fatalf("seed %d: heuristic %.0f B/s far above exhaustive %.0f B/s",
+				seed, h.TotalBytesPerSec(), ex.TotalBytesPerSec())
+		}
+	}
+}
+
+// TestDistanceStrategyWorseOrEqual reproduces §6.4's comparison: the
+// distance-based strategy overlooks resource impacts and tends to cost more
+// storage than the heuristic.
+func TestDistanceStrategyWorseOrEqual(t *testing.T) {
+	worse := 0
+	trials := 8
+	for seed := int64(0); seed < int64(trials); seed++ {
+		fp := newFakeProfiler(seed + 60)
+		choices := fakeConsumers(fp, []float64{0.95, 0.9, 0.8, 0.7, 0.95, 0.9, 0.8, 0.7, 0.6})
+		h, err := DeriveStorageFormats(choices, SFOptions{Profiler: fp, Strategy: HeuristicSelection})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dd, err := DeriveStorageFormats(choices, SFOptions{Profiler: fp, Strategy: DistanceSelection})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dd.Validate(fp, 0); err != nil {
+			t.Fatalf("distance strategy violated requirements: %v", err)
+		}
+		if dd.TotalBytesPerSec() >= h.TotalBytesPerSec()-1e-9 {
+			worse++
+		}
+	}
+	if worse < trials/2 {
+		t.Fatalf("distance-based beat heuristic in %d/%d trials; expected it to cost more storage", trials-worse, trials)
+	}
+}
+
+func TestRealStorageDerivation(t *testing.T) {
+	p := newRealProfiler(t, "jackson")
+	consumers := []Consumer{
+		{Op: ops.Diff{}, Target: 0.9, Prof: p},
+		{Op: ops.SNN{}, Target: 0.9, Prof: p},
+		{Op: ops.Motion{}, Target: 0.8, Prof: p},
+	}
+	choices := DeriveConsumptionFormats(consumers)
+	d, err := DeriveStorageFormats(choices, SFOptions{Profiler: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SFs) < 1 || len(d.SFs) > len(choices)+1 {
+		t.Fatalf("implausible SF count %d", len(d.SFs))
+	}
+}

@@ -1,0 +1,110 @@
+// Package erode applies a derived data-erosion plan to the segment store:
+// as footage ages, the planned fraction of each storage format's segments is
+// deleted, oldest-plan-first, leaving the golden format intact (§4.4).
+// Deletion is deterministic: segment i of n is deleted once the cumulative
+// fraction reaches (i+1)/n under a bit-reversal order, so erosion spreads
+// evenly across the timeline instead of truncating it.
+package erode
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/format"
+	"repro/internal/segment"
+)
+
+// SegmentsPerDay is how many 8-second segments one day of video holds.
+const SegmentsPerDay = 86400 / segment.Seconds
+
+// Eroder applies erosion plans to a store.
+type Eroder struct {
+	Store *segment.Store
+}
+
+// Apply erodes the stream's segments according to the plan, given the
+// current age of each stored day. ageOfSegment maps a segment index to its
+// age in days (1-based); segments older than the plan's lifespan are
+// deleted entirely (retention expiry). It returns the number of segments
+// deleted.
+func (e *Eroder) Apply(stream string, sfs []format.StorageFormat, golden int, plan *core.ErosionPlan, ageOfSegment func(idx int) int) (int, error) {
+	deleted := 0
+	for si, sf := range sfs {
+		if si == golden {
+			continue // the golden format is never eroded
+		}
+		segs := e.Store.Segments(stream, sf)
+		// Group segments by age so per-age fractions apply within each day.
+		byAge := map[int][]int{}
+		for _, idx := range segs {
+			byAge[ageOfSegment(idx)] = append(byAge[ageOfSegment(idx)], idx)
+		}
+		for age, idxs := range byAge {
+			frac := fractionFor(plan, si, age)
+			for pos, idx := range idxs {
+				if !Selected(pos, len(idxs), frac) {
+					continue
+				}
+				if err := e.Store.Delete(stream, sf, idx); err != nil {
+					return deleted, fmt.Errorf("erode: %w", err)
+				}
+				deleted++
+			}
+		}
+	}
+	// Retention expiry applies to the golden format too.
+	lifespan := len(plan.DeletedFrac)
+	for si, sf := range sfs {
+		_ = si
+		for _, idx := range e.Store.Segments(stream, sf) {
+			if ageOfSegment(idx) > lifespan {
+				if err := e.Store.Delete(stream, sf, idx); err != nil {
+					return deleted, fmt.Errorf("erode: %w", err)
+				}
+				deleted++
+			}
+		}
+	}
+	return deleted, nil
+}
+
+// fractionFor returns the planned cumulative deleted fraction for format si
+// at the given age (clamped to the plan's lifespan).
+func fractionFor(plan *core.ErosionPlan, si, age int) float64 {
+	if age < 1 {
+		return 0
+	}
+	if age > len(plan.DeletedFrac) {
+		return 1
+	}
+	fr := plan.DeletedFrac[age-1]
+	if si >= len(fr) {
+		return 0
+	}
+	return fr[si]
+}
+
+// Selected reports whether the segment at position pos of n is deleted at
+// cumulative fraction frac. The bit-reversal permutation makes the deleted
+// set grow monotonically with frac (a segment once deleted stays deleted as
+// the plan tightens) while spreading deletions evenly over the day.
+func Selected(pos, n int, frac float64) bool {
+	if n <= 0 || frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	// rank in [0,1): bit-reversed position.
+	rank := bitrev(uint32(pos)) // uniform-ish, deterministic
+	return float64(rank)/float64(1<<32) < frac
+}
+
+func bitrev(x uint32) uint64 {
+	x = (x&0x55555555)<<1 | (x&0xAAAAAAAA)>>1
+	x = (x&0x33333333)<<2 | (x&0xCCCCCCCC)>>2
+	x = (x&0x0F0F0F0F)<<4 | (x&0xF0F0F0F0)>>4
+	x = (x&0x00FF00FF)<<8 | (x&0xFF00FF00)>>8
+	x = x<<16 | x>>16
+	return uint64(x)
+}

@@ -1,0 +1,120 @@
+package erode
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/format"
+	"repro/internal/kvstore"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+func TestSelectedMonotoneInFraction(t *testing.T) {
+	n := 100
+	for pos := 0; pos < n; pos++ {
+		was := false
+		for _, frac := range []float64{0, 0.1, 0.3, 0.5, 0.9, 1.0} {
+			sel := Selected(pos, n, frac)
+			if was && !sel {
+				t.Fatalf("segment %d deselected as fraction grew", pos)
+			}
+			was = sel
+		}
+	}
+}
+
+func TestSelectedDensity(t *testing.T) {
+	n := 1000
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75} {
+		count := 0
+		for pos := 0; pos < n; pos++ {
+			if Selected(pos, n, frac) {
+				count++
+			}
+		}
+		got := float64(count) / float64(n)
+		if got < frac-0.08 || got > frac+0.08 {
+			t.Errorf("fraction %.2f deleted %.3f of segments", frac, got)
+		}
+	}
+	if Selected(3, 10, 0) || !Selected(3, 10, 1) || Selected(0, 0, 0.5) {
+		t.Error("edge cases wrong")
+	}
+}
+
+func TestApplyPlan(t *testing.T) {
+	kv, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	store := segment.NewStore(kv)
+	src := vidsim.NewSource(vidsim.Datasets[4]) // park: cheap to render
+
+	sfs := []format.StorageFormat{
+		{Fidelity: format.Fidelity{Quality: format.QGood, Crop: format.Crop100, Res: 100, Sampling: format.Sampling{Num: 1, Den: 1}},
+			Coding: format.Coding{Speed: format.SpeedFastest, KeyframeI: 50}},
+		{Fidelity: format.MaxFidelity(), Coding: format.Coding{Speed: format.SpeedFastest, KeyframeI: 250}},
+	}
+	golden := 1
+	// Store 3 "days" of 4 tiny segments each (we alias segment indexes to
+	// days via ageOfSegment below).
+	tw, th := vidsim.Dims(100)
+	for idx := 0; idx < 12; idx++ {
+		clip := src.Clip(idx*30, 30)
+		for _, sf := range sfs {
+			frames := codec.ApplyFidelity(clip, sf.Fidelity, tw, th)
+			if sf.Fidelity == format.MaxFidelity() {
+				frames = codec.ApplyFidelity(clip, sf.Fidelity, clip[0].W, clip[0].H)
+			}
+			enc, _, err := codec.Encode(frames, codec.ParamsFor(sf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.PutEncoded("cam", sf, idx, enc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A hand-written plan over 2 days: day 1 intact, day 2 deletes half of
+	// SF0; anything older than 2 days expires entirely.
+	plan := &core.ErosionPlan{
+		DeletedFrac: [][]float64{{0, 0}, {0.5, 0}},
+	}
+	ageOf := func(idx int) int { return idx/4 + 1 } // 4 segments per "day"
+	e := Eroder{Store: store}
+	deleted, err := e.Apply("cam", sfs, golden, plan, ageOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted == 0 {
+		t.Fatal("nothing deleted")
+	}
+	// Day 1 (segments 0..3) intact in both formats.
+	for idx := 0; idx < 4; idx++ {
+		if !store.Has("cam", sfs[0], idx) || !store.Has("cam", sfs[1], idx) {
+			t.Fatalf("day-1 segment %d eroded", idx)
+		}
+	}
+	// Day 2 (4..7): about half of SF0 gone, golden intact.
+	gone := 0
+	for idx := 4; idx < 8; idx++ {
+		if !store.Has("cam", sfs[0], idx) {
+			gone++
+		}
+		if !store.Has("cam", sfs[1], idx) {
+			t.Fatalf("golden segment %d eroded", idx)
+		}
+	}
+	if gone == 0 || gone == 4 {
+		t.Fatalf("day-2 SF0 deletions = %d, want partial", gone)
+	}
+	// Day 3 (8..11): expired everywhere, including golden.
+	for idx := 8; idx < 12; idx++ {
+		if store.Has("cam", sfs[0], idx) || store.Has("cam", sfs[1], idx) {
+			t.Fatalf("expired segment %d survives", idx)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) plus the §7 Focus comparison. Each experiment returns
+// structured rows and renders a paper-style text table; cmd/vbench prints
+// them and bench_test.go wraps them as benchmarks.
+//
+// Absolute numbers come from the reproduction's virtual clock (calibrated
+// per internal/profile), so the point of comparison with the paper is the
+// shape: orderings, approximate ratios, and crossover locations.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/profile"
+	"repro/internal/vidsim"
+)
+
+// AccuracyLevels are the per-operator accuracy options declared by the
+// admin (§6.1).
+var AccuracyLevels = []float64{0.95, 0.9, 0.8, 0.7}
+
+// QueryAOps are profiled on jackson, QueryBOps on dashcam (§6.1).
+var (
+	QueryAOps = []ops.Operator{ops.Diff{}, ops.SNN{}, ops.NN{}}
+	QueryBOps = []ops.Operator{ops.Motion{}, ops.License{}, ops.OCR{}}
+)
+
+// Env carries the shared profilers of an experiment run.
+type Env struct {
+	// ClipFrames is the profiling clip length; the full 10-second clip for
+	// vbench, shorter for unit tests.
+	ClipFrames int
+	profilers  map[string]*profile.Profiler
+}
+
+// NewEnv returns an experiment environment with the given profiling clip
+// length (0 selects the paper's 10-second clip).
+func NewEnv(clipFrames int) *Env {
+	if clipFrames == 0 {
+		clipFrames = profile.DefaultClipFrames
+	}
+	return &Env{ClipFrames: clipFrames, profilers: map[string]*profile.Profiler{}}
+}
+
+// Profiler returns (creating on first use) the profiler for a dataset.
+func (e *Env) Profiler(scene string) *profile.Profiler {
+	if p, ok := e.profilers[scene]; ok {
+		return p
+	}
+	sc, err := vidsim.DatasetByName(scene)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	p := profile.New(sc)
+	p.ClipFrames = e.ClipFrames
+	e.profilers[scene] = p
+	return p
+}
+
+// StandardConsumers returns the 24 consumers of the evaluation: the six
+// query operators at the four accuracy levels, each bound to its profiling
+// scene.
+func (e *Env) StandardConsumers() []core.Consumer {
+	var out []core.Consumer
+	for _, op := range QueryAOps {
+		for _, acc := range AccuracyLevels {
+			out = append(out, core.Consumer{Op: op, Target: acc, Prof: e.Profiler("jackson")})
+		}
+	}
+	for _, op := range QueryBOps {
+		for _, acc := range AccuracyLevels {
+			out = append(out, core.Consumer{Op: op, Target: acc, Prof: e.Profiler("dashcam")})
+		}
+	}
+	return out
+}
+
+// Table renders rows as an aligned text table.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func x0(v float64) string  { return fmt.Sprintf("%.0fx", v) }
+func mb(v float64) string  { return fmt.Sprintf("%.2f MB", v/1e6) }
+func kbs(v float64) string { return fmt.Sprintf("%.1f KB/s", v/1024) }

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/format"
+	"repro/internal/ingest"
+	"repro/internal/kvstore"
+	"repro/internal/query"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+// ConfigName identifies the alternative configurations of §6.2.
+type ConfigName string
+
+// The evaluated configurations.
+const (
+	ConfVStore ConfigName = "VStore" // derived CFs and coalesced SFs
+	Conf1to1   ConfigName = "1->1"   // golden CF and golden SF for everyone
+	Conf1toN   ConfigName = "1->N"   // derived CFs, golden SF only
+	ConfNtoN   ConfigName = "N->N"   // derived CFs, one SF per unique CF
+)
+
+// QueryDatasets maps each dataset to its benchmark query (§6.1).
+var QueryDatasets = []struct {
+	Scene string
+	Query string // "A" or "B"
+}{
+	{"jackson", "A"}, {"miami", "A"}, {"tucson", "A"},
+	{"dashcam", "B"}, {"park", "B"}, {"airport", "B"},
+}
+
+// Fig11Row is one (dataset, accuracy, configuration) query execution.
+type Fig11Row struct {
+	Scene    string
+	Accuracy float64 // 1.0 means the full-fidelity ground-truth run
+	Config   ConfigName
+	Speed    float64
+}
+
+// Fig11Result carries all three panels of Figure 11.
+type Fig11Result struct {
+	QuerySpeeds []Fig11Row // panel (a)
+	Storage     []CostRow  // panel (b): GB/day per stream
+	Ingest      []CostRow  // panel (c): CPU cores per stream
+}
+
+// CostRow is one (dataset, configuration) resource cost.
+type CostRow struct {
+	Scene    string
+	Config   ConfigName
+	GBPerDay float64
+	Cores    float64
+}
+
+// fig11Bindings builds the per-stage (CF, SF) bindings of each configuration
+// for one query's operators at one accuracy level.
+func fig11Bindings(d *core.StorageDerivation, opsOf []string, acc float64, conf ConfigName) (query.Binding, []format.StorageFormat, error) {
+	golden := goldenOf(d)
+	var binding query.Binding
+	sfSet := map[string]format.StorageFormat{}
+	for _, opName := range opsOf {
+		ci := -1
+		for i, ch := range d.Choices {
+			if ch.Consumer.Op.Name() == opName && ch.Consumer.Target == acc {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("experiments: no consumer %s@%.2f in derivation", opName, acc)
+		}
+		ch := d.Choices[ci]
+		var sb query.StageBinding
+		switch conf {
+		case Conf1to1:
+			sb = query.StageBinding{CF: format.ConsumptionFormat{Fidelity: golden.Fidelity}, SF: golden}
+		case Conf1toN:
+			sb = query.StageBinding{CF: ch.CF, SF: golden}
+		case ConfNtoN:
+			// One SF per CF: identical fidelity, coding as chosen for a
+			// dedicated format.
+			sf := d.SFs[d.Subs[ci]].SF
+			sf.Fidelity = ch.CF.Fidelity
+			if sf.Coding.Raw {
+				sf.Fidelity.Quality = format.QBest
+			}
+			sb = query.StageBinding{CF: ch.CF, SF: sf}
+		default:
+			sb = query.StageBinding{CF: ch.CF, SF: d.SFs[d.Subs[ci]].SF}
+		}
+		binding = append(binding, sb)
+		sfSet[sb.SF.Key()] = sb.SF
+	}
+	sfs := make([]format.StorageFormat, 0, len(sfSet))
+	for _, sf := range sfSet {
+		sfs = append(sfs, sf)
+	}
+	return binding, sfs, nil
+}
+
+// Fig11 runs queries A and B over all six datasets at every accuracy level
+// under each configuration, after ingesting nSegments segments per dataset.
+// Passing the accuracies {1, 0.95, 0.9, 0.8} reproduces panel (a)'s x-axis
+// (accuracy 1 is the 1→1 ground-truth point).
+func Fig11(e *Env, dir string, nSegments int, accuracies []float64) (*Fig11Result, error) {
+	cfg, err := Table3(e)
+	if err != nil {
+		return nil, err
+	}
+	d := cfg.Derivation
+	res := &Fig11Result{}
+
+	for _, ds := range QueryDatasets {
+		sc, err := vidsim.DatasetByName(ds.Scene)
+		if err != nil {
+			return nil, err
+		}
+		cascade := query.QueryA()
+		opNames := []string{"Diff", "S-NN", "NN"}
+		if ds.Query == "B" {
+			cascade = query.QueryB()
+			opNames = []string{"Motion", "License", "OCR"}
+		}
+		// Collect every SF any configuration needs, ingest once.
+		needed := map[string]format.StorageFormat{}
+		type job struct {
+			acc  float64
+			conf ConfigName
+			bind query.Binding
+		}
+		var jobs []job
+		for _, acc := range accuracies {
+			for _, conf := range []ConfigName{ConfVStore, Conf1toN, Conf1to1, ConfNtoN} {
+				a := acc
+				if acc == 1 {
+					// Accuracy 1 is only meaningful as the golden run.
+					if conf != Conf1to1 {
+						continue
+					}
+					a = AccuracyLevels[0] // any declared level; formats are overridden to golden
+				}
+				b, sfs, err := fig11Bindings(d, opNames, a, conf)
+				if err != nil {
+					return nil, err
+				}
+				for _, sf := range sfs {
+					needed[sf.Key()] = sf
+				}
+				jobs = append(jobs, job{acc, conf, b})
+			}
+		}
+		sfList := make([]format.StorageFormat, 0, len(needed))
+		for _, sf := range needed {
+			sfList = append(sfList, sf)
+		}
+		kv, err := kvstore.Open(fmt.Sprintf("%s/%s", dir, ds.Scene), kvstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		store := segment.NewStore(kv)
+		ing := ingest.Ingester{Store: store, SFs: sfList}
+		if _, err := ing.Stream(sc, ds.Scene, 0, nSegments); err != nil {
+			kv.Close()
+			return nil, err
+		}
+		eng := query.Engine{Store: store}
+		for _, j := range jobs {
+			r, err := eng.Run(ds.Scene, cascade, j.bind, 0, nSegments)
+			if err != nil {
+				kv.Close()
+				return nil, fmt.Errorf("%s %s@%.2f: %w", ds.Scene, j.conf, j.acc, err)
+			}
+			res.QuerySpeeds = append(res.QuerySpeeds, Fig11Row{
+				Scene: ds.Scene, Accuracy: j.acc, Config: j.conf, Speed: r.Speed(),
+			})
+		}
+		// Panels (b) and (c): storage and ingest per configuration, from
+		// the SF sets each would maintain.
+		res.Storage, res.Ingest = appendCosts(res.Storage, res.Ingest, e, d, ds.Scene)
+		kv.Close()
+	}
+	return res, nil
+}
+
+// appendCosts computes panels (b) and (c) for one dataset: the cost of
+// maintaining each configuration's SF set for that dataset's stream,
+// profiled on the dataset itself.
+func appendCosts(storage, ingestRows []CostRow, e *Env, d *core.StorageDerivation, scene string) ([]CostRow, []CostRow) {
+	p := e.Profiler(scene)
+	golden := goldenOf(d)
+
+	// VStore: the coalesced SF set.
+	var vB, vC float64
+	for _, sf := range d.SFs {
+		prof := p.ProfileStorage(sf.SF)
+		vB += prof.BytesPerSec
+		vC += prof.IngestSec
+	}
+	// 1→1 and 1→N: golden only.
+	gProf := p.ProfileStorage(golden)
+	// N→N: one SF per unique CF (identical fidelity) plus golden.
+	cfs, _ := core.UniqueCFs(d.Choices)
+	nB, nC := gProf.BytesPerSec, gProf.IngestSec
+	for _, cf := range cfs {
+		sf := format.StorageFormat{Fidelity: cf.Fidelity, Coding: format.Coding{Speed: format.SpeedSlowest, KeyframeI: 250}}
+		// Match the dedicated coding the derivation would choose.
+		for i, ch := range d.Choices {
+			if ch.CF == cf {
+				sf.Coding = d.SFs[d.Subs[i]].SF.Coding
+				break
+			}
+		}
+		if sf.Coding.Raw {
+			sf.Fidelity.Quality = format.QBest
+		}
+		prof := p.ProfileStorage(sf)
+		nB += prof.BytesPerSec
+		nC += prof.IngestSec
+	}
+	gbDay := func(bps float64) float64 { return bps * 86400 / 1e9 }
+	storage = append(storage,
+		CostRow{scene, ConfVStore, gbDay(vB), vC},
+		CostRow{scene, Conf1to1, gbDay(gProf.BytesPerSec), gProf.IngestSec},
+		CostRow{scene, ConfNtoN, gbDay(nB), nC},
+	)
+	ingestRows = append(ingestRows,
+		CostRow{scene, ConfVStore, gbDay(vB), vC},
+		CostRow{scene, Conf1to1, gbDay(gProf.BytesPerSec), gProf.IngestSec},
+		CostRow{scene, ConfNtoN, gbDay(nB), nC},
+	)
+	return storage, ingestRows
+}
+
+// RenderFig11 renders all three panels.
+func RenderFig11(r *Fig11Result) string {
+	var a [][]string
+	for _, row := range r.QuerySpeeds {
+		a = append(a, []string{row.Scene, f2(row.Accuracy), string(row.Config), x0(row.Speed)})
+	}
+	s := "Figure 11(a): query speed by target accuracy and configuration\n" +
+		Table([]string{"dataset", "accuracy", "config", "speed"}, a)
+	var b [][]string
+	for _, row := range r.Storage {
+		b = append(b, []string{row.Scene, string(row.Config), fmt.Sprintf("%.1f GB/day", row.GBPerDay)})
+	}
+	s += "Figure 11(b): storage cost per stream\n" + Table([]string{"dataset", "config", "storage"}, b)
+	var c [][]string
+	for _, row := range r.Ingest {
+		c = append(c, []string{row.Scene, string(row.Config), fmt.Sprintf("%.2f cores", row.Cores)})
+	}
+	s += "Figure 11(c): ingestion cost per stream\n" + Table([]string{"dataset", "config", "ingest"}, c)
+	return s
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+)
+
+// Fig12Row is one point of Figure 12: ingest cost as operators join the
+// library.
+type Fig12Row struct {
+	NumOperators int
+	LastAdded    string
+	IngestCores  float64
+	NumSFs       int
+}
+
+// Fig12 adds the Table 2 operators one by one (each at all accuracy levels)
+// and re-derives the storage formats: the transcoding cost plateaus because
+// additional operators share existing formats.
+func Fig12(e *Env) ([]Fig12Row, error) {
+	// Table 2 order, with each operator profiled on a scene that exercises
+	// it.
+	sceneOf := func(name string) string {
+		switch name {
+		case "Motion", "License", "OCR":
+			return "dashcam"
+		default:
+			return "jackson"
+		}
+	}
+	var rows []Fig12Row
+	var consumers []core.Consumer
+	rows = append(rows, Fig12Row{NumOperators: 0})
+	for _, op := range ops.All() {
+		for _, acc := range AccuracyLevels {
+			consumers = append(consumers, core.Consumer{Op: op, Target: acc, Prof: e.Profiler(sceneOf(op.Name()))})
+		}
+		choices := core.DeriveConsumptionFormats(consumers)
+		d, err := core.DeriveStorageFormats(choices, core.SFOptions{Profiler: e.Profiler("jackson")})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig12Row{
+			NumOperators: len(consumers) / len(AccuracyLevels),
+			LastAdded:    op.Name(),
+			IngestCores:  d.TotalIngestSec(),
+			NumSFs:       len(d.SFs),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig12 renders Figure 12.
+func RenderFig12(rows []Fig12Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{f0(r.NumOperators), r.LastAdded, f2(r.IngestCores), f0(r.NumSFs)})
+	}
+	return "Figure 12: transcoding cost does not scale with the number of operators\n" +
+		Table([]string{"#operators", "added", "ingest cores", "#SFs"}, out)
+}
+
+// Fig13Budget is one storage-budget curve of Figure 13(a).
+type Fig13Budget struct {
+	Label        string
+	BudgetBytes  int64
+	K            float64
+	OverallSpeed []float64   // per day
+	Residual     [][]float64 // per day, per SF: residual GB
+	SFLabels     []string
+	Err          error
+}
+
+// Fig13 plans erosion under several storage budgets expressed as fractions
+// of the full 10-day footprint (the paper's 2/3.5/4/5 TB against a 5 TB
+// footprint correspond to fractions 0.4/0.7/0.8/1.0).
+func Fig13(e *Env, fractions []float64) ([]Fig13Budget, error) {
+	cfg, err := Table3(e)
+	if err != nil {
+		return nil, err
+	}
+	d := cfg.Derivation
+	lifespan := 10
+	fullPerDay := d.TotalBytesPerSec() * 86400
+	full := fullPerDay * float64(lifespan)
+	var out []Fig13Budget
+	for _, fr := range fractions {
+		budget := int64(full * fr)
+		b := Fig13Budget{
+			Label:       fmt.Sprintf("%.1f%% of full footprint", fr*100),
+			BudgetBytes: budget,
+		}
+		plan, err := core.PlanErosion(d, core.ErosionOptions{
+			Profiler:           e.Profiler("jackson"),
+			LifespanDays:       lifespan,
+			StorageBudgetBytes: budget,
+		})
+		if err != nil {
+			b.Err = err
+			out = append(out, b)
+			continue
+		}
+		b.K = plan.K
+		b.OverallSpeed = plan.OverallSpeed
+		for i := range d.SFs {
+			tag := fmt.Sprintf("SF%d", i)
+			if i == d.Golden {
+				tag += "(golden)"
+			}
+			b.SFLabels = append(b.SFLabels, tag)
+		}
+		for _, fracs := range plan.DeletedFrac {
+			day := make([]float64, len(d.SFs))
+			for i := range d.SFs {
+				day[i] = d.SFs[i].Prof.BytesPerSec * 86400 * (1 - fracs[i]) / 1e9
+			}
+			b.Residual = append(b.Residual, day)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// RenderFig13 renders both panels.
+func RenderFig13(budgets []Fig13Budget) string {
+	s := "Figure 13(a): overall relative speed vs video age\n"
+	var a [][]string
+	for _, b := range budgets {
+		if b.Err != nil {
+			a = append(a, []string{b.Label, "-", "infeasible: " + b.Err.Error()})
+			continue
+		}
+		speeds := ""
+		for day, sp := range b.OverallSpeed {
+			if day > 0 {
+				speeds += " "
+			}
+			speeds += f2(sp)
+		}
+		a = append(a, []string{b.Label, fmt.Sprintf("k=%.2f", b.K), speeds})
+	}
+	s += Table([]string{"budget", "decay", "speed by day 1..10"}, a)
+	// Panel (b): residual sizes under the tightest feasible budget.
+	for i := range budgets {
+		b := budgets[i]
+		if b.Err != nil || b.K == 0 {
+			continue
+		}
+		s += fmt.Sprintf("Figure 13(b): residual stored GB per day (budget %s, k=%.2f)\n", b.Label, b.K)
+		var rows [][]string
+		for day, sizes := range b.Residual {
+			row := []string{f0(day + 1)}
+			var total float64
+			for _, gb := range sizes {
+				row = append(row, fmt.Sprintf("%.2f", gb))
+				total += gb
+			}
+			row = append(row, fmt.Sprintf("%.2f", total))
+			rows = append(rows, row)
+		}
+		s += Table(append(append([]string{"day"}, b.SFLabels...), "total"), rows)
+		break
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/profile"
+	"repro/internal/vidsim"
+)
+
+// Fig14Row compares VStore's consumption-format derivation against
+// exhaustive profiling for one operator (Figure 14).
+type Fig14Row struct {
+	Op             string
+	VStoreRuns     int
+	VStoreSeconds  float64
+	ExhaustiveRuns int
+	ExhaustiveSecs float64
+}
+
+// Fig14 measures, per query operator, the profiling runs and wall time of
+// deriving consumption formats for all accuracy levels, with the boundary
+// search and exhaustively. Fresh profilers isolate the counters; memoisation
+// across the operator's accuracy levels is retained, as the paper does.
+func Fig14(clipFrames int) ([]Fig14Row, error) {
+	sceneOf := map[string]string{
+		"Diff": "jackson", "S-NN": "jackson", "NN": "jackson",
+		"Motion": "dashcam", "License": "dashcam", "OCR": "dashcam",
+	}
+	operators := append(append([]ops.Operator{}, QueryAOps...), QueryBOps...)
+	var rows []Fig14Row
+	for _, op := range operators {
+		sc, err := vidsim.DatasetByName(sceneOf[op.Name()])
+		if err != nil {
+			return nil, err
+		}
+		mk := func() *profile.Profiler {
+			p := profile.New(sc)
+			p.ClipFrames = clipFrames
+			return p
+		}
+		// Boundary search for all accuracy levels.
+		pv := mk()
+		t0 := time.Now()
+		for _, acc := range AccuracyLevels {
+			core.DeriveConsumptionFormats([]core.Consumer{{Op: op, Target: acc, Prof: pv}})
+		}
+		vSecs := time.Since(t0).Seconds()
+		// Exhaustive profiling (one pass covers all accuracy levels).
+		pe := mk()
+		t1 := time.Now()
+		for _, acc := range AccuracyLevels {
+			core.DeriveConsumptionExhaustive(core.Consumer{Op: op, Target: acc, Prof: pe})
+		}
+		eSecs := time.Since(t1).Seconds()
+		rows = append(rows, Fig14Row{
+			Op:             op.Name(),
+			VStoreRuns:     pv.Counters().ConsumptionRuns,
+			VStoreSeconds:  vSecs,
+			ExhaustiveRuns: pe.Counters().ConsumptionRuns,
+			ExhaustiveSecs: eSecs,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig14 renders the comparison.
+func RenderFig14(rows []Fig14Row) string {
+	var out [][]string
+	var vr, er int
+	var vs, es float64
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Op, f0(r.VStoreRuns), f2(r.VStoreSeconds) + "s",
+			f0(r.ExhaustiveRuns), f2(r.ExhaustiveSecs) + "s",
+			f1(float64(r.ExhaustiveRuns) / float64(r.VStoreRuns)),
+		})
+		vr += r.VStoreRuns
+		er += r.ExhaustiveRuns
+		vs += r.VStoreSeconds
+		es += r.ExhaustiveSecs
+	}
+	out = append(out, []string{"TOTAL", f0(vr), f2(vs) + "s", f0(er), f2(es) + "s", f1(es / vs)})
+	return "Figure 14: consumption-format derivation overhead, VStore vs exhaustive\n" +
+		Table([]string{"op", "vstore runs", "vstore time", "exhaustive runs", "exhaustive time", "run ratio"}, out)
+}

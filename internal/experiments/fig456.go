@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/format"
+	"repro/internal/ops"
+	"repro/internal/profile"
+)
+
+// Fig4Row is one knob setting's normalised costs and accuracy (Figure 4):
+// each fidelity knob has high, complex impacts on multiple components.
+type Fig4Row struct {
+	Knob        string
+	Value       string
+	Accuracy    float64
+	Ingest      float64 // normalised 0..1 within the sweep
+	Storage     float64
+	Retrieval   float64
+	Consumption float64
+}
+
+// fig4Sweep profiles one (operator, varying knob) pair with all other knobs
+// fixed, reporting costs normalised to the sweep's maximum, as the figure's
+// radar axes are.
+func fig4Sweep(p *profile.Profiler, op ops.Operator, base format.Fidelity, vary func(format.Fidelity, int) (format.Fidelity, string, bool), knob string) []Fig4Row {
+	type raw struct {
+		val                      string
+		acc, ing, sto, ret, cons float64
+	}
+	var raws []raw
+	for i := 0; ; i++ {
+		fid, label, ok := vary(base, i)
+		if !ok {
+			break
+		}
+		cf := p.ProfileConsumption(op, fid)
+		// Storage at identical fidelity, slowest coding (the figure fixes
+		// coding knobs).
+		sf := format.StorageFormat{Fidelity: fid, Coding: format.Coding{Speed: format.SpeedMedium, KeyframeI: 250}}
+		sp := p.ProfileStorage(sf)
+		ret := p.RetrievalSpeed(sf, fid.Sampling)
+		raws = append(raws, raw{
+			val: label, acc: cf.Accuracy,
+			ing: sp.IngestSec, sto: sp.BytesPerSec,
+			ret: 1 / ret, cons: 1 / cf.Speed,
+		})
+	}
+	var maxIng, maxSto, maxRet, maxCons float64
+	for _, r := range raws {
+		maxIng = maxf(maxIng, r.ing)
+		maxSto = maxf(maxSto, r.sto)
+		maxRet = maxf(maxRet, r.ret)
+		maxCons = maxf(maxCons, r.cons)
+	}
+	out := make([]Fig4Row, 0, len(raws))
+	for _, r := range raws {
+		out = append(out, Fig4Row{
+			Knob: knob, Value: r.val, Accuracy: r.acc,
+			Ingest: r.ing / maxIng, Storage: r.sto / maxSto,
+			Retrieval: r.ret / maxRet, Consumption: r.cons / maxCons,
+		})
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// Fig4 reproduces the four panels of Figure 4: crop×Motion, quality×License,
+// sampling×S-NN, sampling×NN.
+func Fig4(e *Env) map[string][]Fig4Row {
+	full := format.MaxFidelity()
+	out := map[string][]Fig4Row{}
+
+	out["a: crop x Motion"] = fig4Sweep(e.Profiler("dashcam"), ops.Motion{}, full,
+		func(b format.Fidelity, i int) (format.Fidelity, string, bool) {
+			if i >= len(format.Crops) {
+				return b, "", false
+			}
+			b.Crop = format.Crops[i]
+			return b, b.Crop.String(), true
+		}, "crop")
+
+	out["b: quality x License"] = fig4Sweep(e.Profiler("dashcam"), ops.License{}, full,
+		func(b format.Fidelity, i int) (format.Fidelity, string, bool) {
+			if i >= len(format.Qualities) {
+				return b, "", false
+			}
+			b.Quality = format.Qualities[i]
+			return b, b.Quality.String(), true
+		}, "quality")
+
+	samplingVary := func(b format.Fidelity, i int) (format.Fidelity, string, bool) {
+		if i >= len(format.Samplings) {
+			return b, "", false
+		}
+		b.Sampling = format.Samplings[i]
+		return b, b.Sampling.String(), true
+	}
+	out["c: sampling x S-NN"] = fig4Sweep(e.Profiler("jackson"), ops.SNN{}, full, samplingVary, "sampling")
+	out["d: sampling x NN"] = fig4Sweep(e.Profiler("jackson"), ops.NN{}, full, samplingVary, "sampling")
+	return out
+}
+
+// RenderFig4 renders the Figure 4 panels.
+func RenderFig4(panels map[string][]Fig4Row) string {
+	order := []string{"a: crop x Motion", "b: quality x License", "c: sampling x S-NN", "d: sampling x NN"}
+	s := "Figure 4: fidelity knob impacts (costs normalised per sweep)\n"
+	for _, name := range order {
+		rows := panels[name]
+		var out [][]string
+		for _, r := range rows {
+			out = append(out, []string{r.Value, f3(r.Accuracy), f2(r.Ingest), f2(r.Storage), f2(r.Retrieval), f2(r.Consumption)})
+		}
+		s += "(" + name + ")\n" + Table([]string{"value", "F1", "ingest", "storage", "retrieval", "consumption"}, out)
+	}
+	return s
+}
+
+// Fig5Row is one fidelity option of Figure 5: disparate costs despite equal
+// accuracy.
+type Fig5Row struct {
+	Label       string
+	Fidelity    format.Fidelity
+	Accuracy    float64
+	Ingest      float64
+	Storage     float64
+	Retrieval   float64
+	Consumption float64
+}
+
+// Fig5 finds fidelity options for License with accuracy in a band around
+// 0.8 that trade resources against each other: none dominates.
+func Fig5(e *Env) []Fig5Row {
+	p := e.Profiler("dashcam")
+	coding := format.Coding{Speed: format.SpeedMedium, KeyframeI: 250}
+	// The paper's three options vary quality, sampling and crop around the
+	// same achieved accuracy.
+	cands := []struct {
+		label string
+		fid   format.Fidelity
+	}{
+		{"A (poor quality, dense)", format.Fidelity{Quality: format.QBad, Crop: format.Crop100, Res: 540, Sampling: format.Sampling{Num: 2, Den: 3}}},
+		{"B (best quality, sparse)", format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 540, Sampling: format.Sampling{Num: 1, Den: 6}}},
+		{"C (good quality, cropped)", format.Fidelity{Quality: format.QGood, Crop: format.Crop75, Res: 720, Sampling: format.Sampling{Num: 1, Den: 2}}},
+	}
+	var rows []Fig5Row
+	for _, c := range cands {
+		cf := p.ProfileConsumption(ops.License{}, c.fid)
+		sf := format.StorageFormat{Fidelity: c.fid, Coding: coding}
+		sp := p.ProfileStorage(sf)
+		rows = append(rows, Fig5Row{
+			Label: c.label, Fidelity: c.fid, Accuracy: cf.Accuracy,
+			Ingest: sp.IngestSec, Storage: sp.BytesPerSec,
+			Retrieval: 1 / p.RetrievalSpeed(sf, c.fid.Sampling), Consumption: 1 / cf.Speed,
+		})
+	}
+	return rows
+}
+
+// RenderFig5 renders Figure 5.
+func RenderFig5(rows []Fig5Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Label, r.Fidelity.String(), f3(r.Accuracy),
+			fmt.Sprintf("%.3f cores", r.Ingest), kbs(r.Storage),
+			fmt.Sprintf("%.2e s/s", r.Retrieval), fmt.Sprintf("%.2e s/s", r.Consumption),
+		})
+	}
+	return "Figure 5: disparate costs of fidelity options with similar License accuracy\n" +
+		Table([]string{"option", "fidelity", "F1", "ingest", "storage", "retrieval cost", "consumption cost"}, out)
+}
+
+// Fig6Row compares decode speed against consumption speed (Figure 6):
+// retrieval can bottleneck consumption.
+type Fig6Row struct {
+	Op           string
+	Fidelity     format.Fidelity
+	Accuracy     float64
+	Consumption  float64 // × realtime
+	DecodeSame   float64 // decoding video stored at the same fidelity
+	DecodeGolden float64 // decoding video stored at ingestion fidelity
+	RawSame      float64 // reading raw frames stored at the same fidelity
+}
+
+// Fig6 evaluates the two cases of the figure: (a) License, whose consumption
+// can outpace golden-format decoding; (b) Motion, which outpaces even
+// same-fidelity decoding and needs raw frames.
+func Fig6(e *Env) []Fig6Row {
+	cases := []struct {
+		scene string
+		op    ops.Operator
+		fids  []format.Fidelity
+	}{
+		{"dashcam", ops.License{}, []format.Fidelity{
+			{Quality: format.QGood, Crop: format.Crop75, Res: 540, Sampling: format.Sampling{Num: 1, Den: 6}},
+			{Quality: format.QBad, Crop: format.Crop100, Res: 540, Sampling: format.Sampling{Num: 1, Den: 6}},
+			{Quality: format.QGood, Crop: format.Crop100, Res: 540, Sampling: format.Sampling{Num: 1, Den: 6}},
+		}},
+		{"dashcam", ops.Motion{}, []format.Fidelity{
+			{Quality: format.QBest, Crop: format.Crop100, Res: 180, Sampling: format.Sampling{Num: 1, Den: 1}},
+			{Quality: format.QBad, Crop: format.Crop50, Res: 180, Sampling: format.Sampling{Num: 1, Den: 6}},
+		}},
+	}
+	coding := format.Coding{Speed: format.SpeedSlowest, KeyframeI: 250}
+	var rows []Fig6Row
+	for _, c := range cases {
+		p := e.Profiler(c.scene)
+		for _, fid := range c.fids {
+			cf := p.ProfileConsumption(c.op, fid)
+			same := format.StorageFormat{Fidelity: fid, Coding: coding}
+			golden := format.StorageFormat{Fidelity: format.MaxFidelity(), Coding: coding}
+			rawSF := fid
+			rawSF.Quality = format.QBest
+			raw := format.StorageFormat{Fidelity: rawSF, Coding: format.RawCoding}
+			rows = append(rows, Fig6Row{
+				Op: c.op.Name(), Fidelity: fid, Accuracy: cf.Accuracy,
+				Consumption:  cf.Speed,
+				DecodeSame:   p.RetrievalSpeed(same, fid.Sampling),
+				DecodeGolden: p.RetrievalSpeed(golden, fid.Sampling),
+				RawSame:      p.RetrievalSpeed(raw, fid.Sampling),
+			})
+		}
+	}
+	return rows
+}
+
+// RenderFig6 renders Figure 6.
+func RenderFig6(rows []Fig6Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Op, r.Fidelity.String(), f2(r.Accuracy),
+			x0(r.Consumption), x0(r.DecodeSame), x0(r.DecodeGolden), x0(r.RawSame),
+		})
+	}
+	return "Figure 6: video retrieval can bottleneck consumption\n" +
+		Table([]string{"op", "fidelity", "F1", "consume", "decode(same fid)", "decode(golden)", "raw(same fid)"}, out)
+}
+
+func f0(v int) string { return fmt.Sprintf("%d", v) }

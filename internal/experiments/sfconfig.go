@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SFConfigResult compares the storage-format selection strategies (§6.4):
+// heuristic coalescing against exhaustive partition enumeration and against
+// distance-based clustering.
+type SFConfigResult struct {
+	NumCFs int
+
+	HeuristicBytes  float64
+	HeuristicSecs   float64
+	HeuristicSFs    int
+	HeuristicRounds int
+
+	// Exhaustive enumeration is run only when the unique-CF count is at
+	// most ExhaustiveCFLimit (Bell-number growth; the paper could afford 12
+	// CFs on its testbed, this reproduction caps lower and documents it).
+	ExhaustiveBytes      float64
+	ExhaustiveSecs       float64
+	ExhaustivePartitions int
+	ExhaustiveSkipped    bool
+
+	DistanceBytes float64
+	DistanceSecs  float64
+	DistanceSFs   int
+}
+
+// DefaultExhaustiveCFLimit bounds the exhaustive enumeration's input size
+// for tests; vbench raises it.
+const DefaultExhaustiveCFLimit = 9
+
+// SFConfig derives storage formats for query B's consumers (as §6.4 does)
+// under all three methods and reports costs and derivation times.
+// exhaustiveLimit caps the unique-CF count the partition enumeration will
+// attempt (Bell-number growth).
+func SFConfig(e *Env, exhaustiveLimit int) (*SFConfigResult, error) {
+	var consumers []core.Consumer
+	for _, op := range QueryBOps {
+		for _, acc := range AccuracyLevels {
+			consumers = append(consumers, core.Consumer{Op: op, Target: acc, Prof: e.Profiler("dashcam")})
+		}
+	}
+	choices := core.DeriveConsumptionFormats(consumers)
+	cfs, _ := core.UniqueCFs(choices)
+	res := &SFConfigResult{NumCFs: len(cfs)}
+	p := e.Profiler("dashcam")
+
+	t0 := time.Now()
+	h, err := core.DeriveStorageFormats(choices, core.SFOptions{Profiler: p, Strategy: core.HeuristicSelection})
+	if err != nil {
+		return nil, fmt.Errorf("heuristic: %w", err)
+	}
+	res.HeuristicSecs = time.Since(t0).Seconds()
+	res.HeuristicBytes = h.TotalBytesPerSec()
+	res.HeuristicSFs = len(h.SFs)
+	res.HeuristicRounds = h.Rounds
+
+	t1 := time.Now()
+	dd, err := core.DeriveStorageFormats(choices, core.SFOptions{Profiler: p, Strategy: core.DistanceSelection})
+	if err != nil {
+		return nil, fmt.Errorf("distance: %w", err)
+	}
+	res.DistanceSecs = time.Since(t1).Seconds()
+	res.DistanceBytes = dd.TotalBytesPerSec()
+	res.DistanceSFs = len(dd.SFs)
+
+	if len(cfs) <= exhaustiveLimit {
+		t2 := time.Now()
+		ex, parts := core.ExhaustiveStorageSearch(choices, p)
+		res.ExhaustiveSecs = time.Since(t2).Seconds()
+		res.ExhaustiveBytes = ex.TotalBytesPerSec()
+		res.ExhaustivePartitions = parts
+	} else {
+		res.ExhaustiveSkipped = true
+	}
+	return res, nil
+}
+
+// RenderSFConfig renders the §6.4 comparison.
+func RenderSFConfig(r *SFConfigResult) string {
+	rows := [][]string{
+		{"heuristic", kbs(r.HeuristicBytes), f2(r.HeuristicSecs) + "s",
+			fmt.Sprintf("%d SFs, %d rounds", r.HeuristicSFs, r.HeuristicRounds)},
+		{"distance", kbs(r.DistanceBytes), f2(r.DistanceSecs) + "s",
+			fmt.Sprintf("%d SFs, %.2fx heuristic storage", r.DistanceSFs, r.DistanceBytes/r.HeuristicBytes)},
+	}
+	if r.ExhaustiveSkipped {
+		rows = append(rows, []string{"exhaustive", "-", "-",
+			fmt.Sprintf("skipped: %d CFs exceed the enumeration limit", r.NumCFs)})
+	} else {
+		rows = append(rows, []string{"exhaustive", kbs(r.ExhaustiveBytes), f2(r.ExhaustiveSecs) + "s",
+			fmt.Sprintf("%d partitions", r.ExhaustivePartitions)})
+	}
+	return fmt.Sprintf("Storage-format configuration (§6.4), %d unique CFs\n", r.NumCFs) +
+		Table([]string{"method", "storage", "derivation time", "notes"}, rows)
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestTable3Smoke derives the full configuration with a short profiling
+// clip and prints it (-v) for inspection.
+func TestTable3Smoke(t *testing.T) {
+	e := NewEnv(120)
+	cfg, err := Table3(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderTable3(cfg))
+	d := cfg.Derivation
+	if len(d.Choices) != 24 {
+		t.Fatalf("consumers = %d, want 24", len(d.Choices))
+	}
+	if len(d.SFs) < 2 || len(d.SFs) > 12 {
+		t.Fatalf("derived %d SFs; expected a small coalesced set", len(d.SFs))
+	}
+	for i, ch := range d.Choices {
+		if !d.SFs[d.Subs[i]].SF.Satisfies(ch.CF) {
+			t.Fatalf("R1 violated for consumer %v", ch.Consumer)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/format"
+)
+
+// Table3 derives the full configuration of §6.2: all 24 consumers, no
+// budgets. The rendered table mirrors the paper's Table 3.
+func Table3(e *Env) (*core.Config, error) {
+	return core.Configure(e.StandardConsumers(), core.Options{
+		StorageProfiler: e.Profiler("jackson"),
+		LifespanDays:    10,
+	})
+}
+
+// RenderTable3 renders the configuration.
+func RenderTable3(cfg *core.Config) string {
+	return "Table 3: automatically derived configuration\n" + cfg.Table()
+}
+
+// Table4Row is one ingest-budget setting (Table 4): as the budget drops,
+// VStore tunes coding faster and storage cost rises.
+type Table4Row struct {
+	BudgetCores float64
+	IngestCores float64
+	BytesPerSec float64
+	GBPerDay    float64
+	Codings     []string // per storage format
+	NumSFs      int
+	Err         error
+}
+
+// Table4 sweeps the ingest budget over the paper's ladder. A zero budget
+// means unlimited (the paper's "≥7 cores" row).
+func Table4(e *Env, budgets []float64) []Table4Row {
+	consumers := e.StandardConsumers()
+	var rows []Table4Row
+	for _, b := range budgets {
+		choices := core.DeriveConsumptionFormats(consumers)
+		d, err := core.DeriveStorageFormats(choices, core.SFOptions{
+			Profiler:        e.Profiler("jackson"),
+			IngestBudgetSec: b,
+		})
+		row := Table4Row{BudgetCores: b, Err: err}
+		if err == nil {
+			row.IngestCores = d.TotalIngestSec()
+			row.BytesPerSec = d.TotalBytesPerSec()
+			row.GBPerDay = d.TotalBytesPerSec() * 86400 / 1e9
+			row.NumSFs = len(d.SFs)
+			for _, sf := range d.SFs {
+				row.Codings = append(row.Codings, sf.SF.Coding.String())
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable4 renders the budget ladder.
+func RenderTable4(rows []Table4Row) string {
+	var out [][]string
+	for _, r := range rows {
+		budget := "unlimited"
+		if r.BudgetCores > 0 {
+			budget = f1(r.BudgetCores)
+		}
+		if r.Err != nil {
+			out = append(out, []string{budget, "-", "-", "-", "infeasible: " + r.Err.Error()})
+			continue
+		}
+		out = append(out, []string{
+			budget, f2(r.IngestCores), kbs(r.BytesPerSec), fmt.Sprintf("%.1f GB/day", r.GBPerDay),
+			fmt.Sprintf("%d SFs: %v", r.NumSFs, r.Codings),
+		})
+	}
+	return "Table 4: adapting to the ingestion budget\n" +
+		Table([]string{"budget (cores)", "ingest", "storage", "per day", "codings"}, out)
+}
+
+// DefaultTable4Budgets is the paper's ladder: unlimited, then 7, 6, 3, 2, 1
+// cores.
+var DefaultTable4Budgets = []float64{0, 7, 6, 3, 2, 1}
+
+// goldenOf returns the derivation's golden storage format.
+func goldenOf(d *core.StorageDerivation) format.StorageFormat {
+	return d.SFs[d.Golden].SF
+}

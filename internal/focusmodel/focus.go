@@ -1,0 +1,64 @@
+// Package focusmodel reproduces §7's qualitative comparison against Focus
+// (OSDI'18), which runs the cheap NN of an object-detection cascade at
+// ingestion time. The comparison is the paper's own analytic model: VStore
+// runs both NNs at query time, so its query delay relative to Focus is
+// r = 1 + α/f, where α is the full-NN/cheap-NN speed ratio and f the frame
+// selectivity of the cheap NN.
+package focusmodel
+
+import "fmt"
+
+// Alpha is the speed ratio between the full NN and the cheap NN used by
+// Focus (the paper cites α = 1/48).
+const Alpha = 1.0 / 48
+
+// QueryDelayRatio returns r = 1 + α/f: VStore's query delay relative to
+// Focus at frame selectivity f.
+func QueryDelayRatio(alpha, selectivity float64) float64 {
+	if selectivity <= 0 {
+		return 1e18
+	}
+	return 1 + alpha/selectivity
+}
+
+// IngestCostComparison summarises §7's ingestion-cost argument.
+type IngestCostComparison struct {
+	// VStoreUSDPerStream is the estimated transcoding hardware cost per
+	// ingested stream ("less than a few dozen dollars").
+	VStoreUSDPerStream float64
+	// FocusUSDPerStream is the ingest-GPU cost per stream ($4000 GPU / 60
+	// streams ≈ $60).
+	FocusUSDPerStream float64
+}
+
+// DefaultIngestCosts returns the paper's §7 estimates.
+func DefaultIngestCosts() IngestCostComparison {
+	return IngestCostComparison{VStoreUSDPerStream: 25, FocusUSDPerStream: 4000.0 / 60}
+}
+
+// Row is one selectivity point of the comparison table.
+type Row struct {
+	Selectivity float64
+	Ratio       float64
+}
+
+// Sweep evaluates the delay ratio over the paper's selectivity points.
+func Sweep(alpha float64, selectivities []float64) []Row {
+	out := make([]Row, 0, len(selectivities))
+	for _, f := range selectivities {
+		out = append(out, Row{Selectivity: f, Ratio: QueryDelayRatio(alpha, f)})
+	}
+	return out
+}
+
+// Render prints the §7 comparison.
+func Render(alpha float64, rows []Row, costs IngestCostComparison) string {
+	s := fmt.Sprintf("§7 comparison vs Focus (α = %.4f)\n", alpha)
+	s += fmt.Sprintf("ingest hardware per stream: VStore ~$%.0f, Focus ~$%.0f (%.1fx)\n",
+		costs.VStoreUSDPerStream, costs.FocusUSDPerStream, costs.FocusUSDPerStream/costs.VStoreUSDPerStream)
+	s += "query delay ratio r = 1 + α/f:\n"
+	for _, r := range rows {
+		s += fmt.Sprintf("  f = %4.1f%%  ->  r = %.2f\n", r.Selectivity*100, r.Ratio)
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+package focusmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPaperNumbers pins the §7 figures: r = 3 at 1% selectivity, 1.2 at
+// 10%, 1.04 at 50% with α = 1/48.
+func TestPaperNumbers(t *testing.T) {
+	cases := []struct{ f, want float64 }{
+		{0.01, 3.08},
+		{0.10, 1.21},
+		{0.50, 1.04},
+	}
+	for _, c := range cases {
+		got := QueryDelayRatio(Alpha, c.f)
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("r(f=%.2f) = %.3f, want %.2f", c.f, got, c.want)
+		}
+	}
+}
+
+func TestRatioMonotoneInSelectivity(t *testing.T) {
+	prev := math.Inf(1)
+	for _, f := range []float64{0.001, 0.01, 0.1, 0.5, 1.0} {
+		r := QueryDelayRatio(Alpha, f)
+		if r >= prev {
+			t.Fatalf("ratio not decreasing with selectivity at f=%v", f)
+		}
+		if r < 1 {
+			t.Fatalf("ratio below 1 at f=%v: VStore cannot be faster than Focus at query time", f)
+		}
+		prev = r
+	}
+	if QueryDelayRatio(Alpha, 0) < 1e17 {
+		t.Fatal("zero selectivity must blow up")
+	}
+}
+
+func TestSweepAndRender(t *testing.T) {
+	rows := Sweep(Alpha, []float64{0.01, 0.5})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := Render(Alpha, rows, DefaultIngestCosts())
+	for _, want := range []string{"r = 3.08", "r = 1.04", "$25", "$67"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIngestCostGap(t *testing.T) {
+	c := DefaultIngestCosts()
+	gap := c.FocusUSDPerStream / c.VStoreUSDPerStream
+	if gap < 2 || gap > 3 {
+		t.Fatalf("ingest cost gap %.1fx outside the paper's 2-3x", gap)
+	}
+}

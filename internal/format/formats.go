@@ -1,0 +1,41 @@
+package format
+
+import "fmt"
+
+// ConsumptionFormat CF⟨f⟩ characterises the raw frame sequences supplied to
+// an operator: a fidelity option only, since consumers always receive
+// decoded frames.
+type ConsumptionFormat struct {
+	Fidelity Fidelity
+}
+
+func (cf ConsumptionFormat) String() string { return "CF<" + cf.Fidelity.String() + ">" }
+
+// StorageFormat SF⟨f,c⟩ characterises one stored version of an ingested
+// stream: a fidelity option plus a coding option.
+type StorageFormat struct {
+	Fidelity Fidelity
+	Coding   Coding
+}
+
+func (sf StorageFormat) String() string {
+	return fmt.Sprintf("SF<%s %s>", sf.Fidelity, sf.Coding)
+}
+
+// Key returns a unique, '/'-free identifier for the fidelity, suitable for
+// use as a path component in storage keys.
+func (f Fidelity) Key() string {
+	return fmt.Sprintf("%s-%dp-%d.%d-%d", f.Quality, int(f.Res), f.Sampling.Num, f.Sampling.Den, int(f.Crop))
+}
+
+// Key returns a unique, '/'-free identifier for the storage format.
+func (sf StorageFormat) Key() string {
+	return sf.Fidelity.Key() + "_" + sf.Coding.String()
+}
+
+// Satisfies reports whether the storage format can supply the consumption
+// format: requirement R1, the stored fidelity is richer than or equal to the
+// consumed one.
+func (sf StorageFormat) Satisfies(cf ConsumptionFormat) bool {
+	return sf.Fidelity.RicherEq(cf.Fidelity)
+}

@@ -1,0 +1,243 @@
+// Package frame provides the raw video frame representation used throughout
+// the store: planar YUV 4:2:0 buffers plus the geometric transforms the data
+// path needs (box-filter downscaling, centre cropping) and comparison
+// helpers (absolute difference, PSNR).
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frame is a planar YUV 4:2:0 picture. Y has W*H samples; Cb and Cr each
+// have (W/2)*(H/2) samples (W and H are kept even). PTS is the frame's index
+// in its stream at the stream's native rate.
+type Frame struct {
+	W, H      int
+	Y, Cb, Cr []byte
+	PTS       int
+}
+
+// New allocates a zeroed frame of the given luma dimensions. Dimensions are
+// rounded up to even so the chroma planes subsample cleanly.
+func New(w, h int) *Frame {
+	if w < 2 {
+		w = 2
+	}
+	if h < 2 {
+		h = 2
+	}
+	w += w & 1
+	h += h & 1
+	return &Frame{
+		W:  w,
+		H:  h,
+		Y:  make([]byte, w*h),
+		Cb: make([]byte, (w/2)*(h/2)),
+		Cr: make([]byte, (w/2)*(h/2)),
+	}
+}
+
+// Clone returns a deep copy of f.
+func (f *Frame) Clone() *Frame {
+	g := &Frame{W: f.W, H: f.H, PTS: f.PTS}
+	g.Y = append([]byte(nil), f.Y...)
+	g.Cb = append([]byte(nil), f.Cb...)
+	g.Cr = append([]byte(nil), f.Cr...)
+	return g
+}
+
+// NumPixels returns the luma sample count.
+func (f *Frame) NumPixels() int { return f.W * f.H }
+
+// Bytes returns the total sample count across all three planes, which is the
+// frame's raw storage footprint in bytes.
+func (f *Frame) Bytes() int { return len(f.Y) + len(f.Cb) + len(f.Cr) }
+
+// At returns the luma sample at (x, y) without bounds checking beyond the
+// slice's own.
+func (f *Frame) At(x, y int) byte { return f.Y[y*f.W+x] }
+
+// Set writes the luma sample at (x, y).
+func (f *Frame) Set(x, y int, v byte) { f.Y[y*f.W+x] = v }
+
+func (f *Frame) String() string {
+	return fmt.Sprintf("frame %dx%d pts=%d", f.W, f.H, f.PTS)
+}
+
+// Downscale returns a new frame scaled to the target luma dimensions with a
+// box filter. Upscaling is not supported: target dimensions are clamped to
+// the source's. Scaling to the same size returns a clone.
+func (f *Frame) Downscale(tw, th int) *Frame {
+	if tw > f.W {
+		tw = f.W
+	}
+	if th > f.H {
+		th = f.H
+	}
+	if tw == f.W && th == f.H {
+		return f.Clone()
+	}
+	g := New(tw, th)
+	g.PTS = f.PTS
+	boxScale(g.Y, g.W, g.H, f.Y, f.W, f.H)
+	boxScale(g.Cb, g.W/2, g.H/2, f.Cb, f.W/2, f.H/2)
+	boxScale(g.Cr, g.W/2, g.H/2, f.Cr, f.W/2, f.H/2)
+	return g
+}
+
+// boxScale fills dst (dw×dh) by averaging the source box mapped to each
+// destination sample.
+func boxScale(dst []byte, dw, dh int, src []byte, sw, sh int) {
+	if dw == 0 || dh == 0 {
+		return
+	}
+	for dy := 0; dy < dh; dy++ {
+		sy0 := dy * sh / dh
+		sy1 := (dy + 1) * sh / dh
+		if sy1 <= sy0 {
+			sy1 = sy0 + 1
+		}
+		for dx := 0; dx < dw; dx++ {
+			sx0 := dx * sw / dw
+			sx1 := (dx + 1) * sw / dw
+			if sx1 <= sx0 {
+				sx1 = sx0 + 1
+			}
+			var sum, n int
+			for y := sy0; y < sy1; y++ {
+				row := y * sw
+				for x := sx0; x < sx1; x++ {
+					sum += int(src[row+x])
+					n++
+				}
+			}
+			dst[dy*dw+dx] = byte(sum / n)
+		}
+	}
+}
+
+// CropCenter returns a new frame retaining the central fraction frac of each
+// dimension (frac in (0,1]; 1 returns a clone). The retained dimensions are
+// kept even.
+func (f *Frame) CropCenter(frac float64) *Frame {
+	if frac >= 1 {
+		return f.Clone()
+	}
+	if frac <= 0 {
+		frac = 0.01
+	}
+	cw := int(float64(f.W)*frac) &^ 1
+	ch := int(float64(f.H)*frac) &^ 1
+	if cw < 2 {
+		cw = 2
+	}
+	if ch < 2 {
+		ch = 2
+	}
+	x0 := (f.W - cw) / 2 &^ 1
+	y0 := (f.H - ch) / 2 &^ 1
+	g := New(cw, ch)
+	g.PTS = f.PTS
+	for y := 0; y < ch; y++ {
+		copy(g.Y[y*cw:(y+1)*cw], f.Y[(y0+y)*f.W+x0:(y0+y)*f.W+x0+cw])
+	}
+	hw, hh := cw/2, ch/2
+	sx0, sy0 := x0/2, y0/2
+	shw := f.W / 2
+	for y := 0; y < hh; y++ {
+		copy(g.Cb[y*hw:(y+1)*hw], f.Cb[(sy0+y)*shw+sx0:(sy0+y)*shw+sx0+hw])
+		copy(g.Cr[y*hw:(y+1)*hw], f.Cr[(sy0+y)*shw+sx0:(sy0+y)*shw+sx0+hw])
+	}
+	return g
+}
+
+// MeanAbsDiff returns the mean absolute luma difference between two frames
+// of identical dimensions. It panics if the dimensions differ, which always
+// indicates a caller bug.
+func MeanAbsDiff(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("frame: MeanAbsDiff dimension mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	var sum int64
+	for i := range a.Y {
+		d := int(a.Y[i]) - int(b.Y[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += int64(d)
+	}
+	return float64(sum) / float64(len(a.Y))
+}
+
+// PSNR returns the luma peak signal-to-noise ratio of b against reference a,
+// in dB. Identical frames return +Inf.
+func PSNR(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("frame: PSNR dimension mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	var se int64
+	for i := range a.Y {
+		d := int64(a.Y[i]) - int64(b.Y[i])
+		se += d * d
+	}
+	if se == 0 {
+		return math.Inf(1)
+	}
+	mse := float64(se) / float64(len(a.Y))
+	return 10 * math.Log10(255*255/mse)
+}
+
+// Equal reports whether two frames have identical dimensions and samples.
+func Equal(a, b *Frame) bool {
+	if a.W != b.W || a.H != b.H || len(a.Y) != len(b.Y) {
+		return false
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			return false
+		}
+	}
+	for i := range a.Cb {
+		if a.Cb[i] != b.Cb[i] {
+			return false
+		}
+	}
+	for i := range a.Cr {
+		if a.Cr[i] != b.Cr[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FillRect paints a solid luma+chroma rectangle clipped to the frame.
+func (f *Frame) FillRect(x0, y0, w, h int, y, cb, cr byte) {
+	x1, y1 := x0+w, y0+h
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > f.W {
+		x1 = f.W
+	}
+	if y1 > f.H {
+		y1 = f.H
+	}
+	for yy := y0; yy < y1; yy++ {
+		row := yy * f.W
+		for xx := x0; xx < x1; xx++ {
+			f.Y[row+xx] = y
+		}
+	}
+	hw := f.W / 2
+	for yy := y0 / 2; yy < y1/2; yy++ {
+		row := yy * hw
+		for xx := x0 / 2; xx < x1/2; xx++ {
+			f.Cb[row+xx] = cb
+			f.Cr[row+xx] = cr
+		}
+	}
+}

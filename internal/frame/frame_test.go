@@ -1,0 +1,179 @@
+package frame
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomFrame(r *rand.Rand, w, h int) *Frame {
+	f := New(w, h)
+	r.Read(f.Y)
+	r.Read(f.Cb)
+	r.Read(f.Cr)
+	return f
+}
+
+func TestNewDimensionsEven(t *testing.T) {
+	for _, d := range [][2]int{{0, 0}, {1, 1}, {3, 5}, {160, 90}, {15, 15}} {
+		f := New(d[0], d[1])
+		if f.W%2 != 0 || f.H%2 != 0 {
+			t.Fatalf("New(%d,%d) -> odd dims %dx%d", d[0], d[1], f.W, f.H)
+		}
+		if len(f.Y) != f.W*f.H || len(f.Cb) != (f.W/2)*(f.H/2) || len(f.Cr) != len(f.Cb) {
+			t.Fatalf("New(%d,%d): plane sizes wrong", d[0], d[1])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := randomFrame(r, 32, 18)
+	g := f.Clone()
+	if !Equal(f, g) {
+		t.Fatal("clone differs from original")
+	}
+	g.Y[0] ^= 0xFF
+	if Equal(f, g) {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func TestDownscalePreservesMean(t *testing.T) {
+	f := New(64, 64)
+	for i := range f.Y {
+		f.Y[i] = 100
+	}
+	g := f.Downscale(16, 16)
+	for i, v := range g.Y {
+		if v != 100 {
+			t.Fatalf("downscale of constant frame changed sample %d to %d", i, v)
+		}
+	}
+	if g.W != 16 || g.H != 16 {
+		t.Fatalf("downscale dims %dx%d", g.W, g.H)
+	}
+}
+
+func TestDownscaleClampsUpscale(t *testing.T) {
+	f := New(16, 16)
+	g := f.Downscale(64, 64)
+	if g.W != 16 || g.H != 16 {
+		t.Fatalf("upscale not clamped: %dx%d", g.W, g.H)
+	}
+}
+
+func TestDownscaleIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := randomFrame(r, 24, 12)
+	g := f.Downscale(24, 12)
+	if !Equal(f, g) {
+		t.Fatal("identity downscale altered frame")
+	}
+}
+
+// Property: downscaling never produces samples outside the source range.
+func TestDownscaleRangeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	check := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		f := randomFrame(rr, 8+rr.Intn(56), 8+rr.Intn(56))
+		var lo, hi byte = 255, 0
+		for _, v := range f.Y {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		g := f.Downscale(2+rr.Intn(f.W-1), 2+rr.Intn(f.H-1))
+		for _, v := range g.Y {
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: r}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCropCenterDims(t *testing.T) {
+	f := New(160, 90)
+	g := f.CropCenter(0.5)
+	if g.W != 80 || g.H != 44 { // 45 rounded down to even
+		t.Fatalf("crop 50%% dims = %dx%d", g.W, g.H)
+	}
+	id := f.CropCenter(1.0)
+	if !Equal(f, id) {
+		t.Fatal("crop 100% altered frame")
+	}
+}
+
+func TestCropCenterTakesCentre(t *testing.T) {
+	f := New(40, 40)
+	f.FillRect(0, 0, 40, 40, 10, 128, 128)
+	f.FillRect(16, 16, 8, 8, 200, 128, 128) // bright centre block
+	g := f.CropCenter(0.5)
+	var mean int
+	for _, v := range g.Y {
+		mean += int(v)
+	}
+	mean /= len(g.Y)
+	if mean < 40 {
+		t.Fatalf("cropped centre mean %d; crop did not keep the centre", mean)
+	}
+	// The corner content (value 10 only) must dominate a corner crop check:
+	// top-left sample of the crop should still be background since centre
+	// block spans 16..24 and crop starts at 10.
+	if g.Y[0] != 10 {
+		t.Fatalf("crop misaligned: corner sample %d", g.Y[0])
+	}
+}
+
+func TestMeanAbsDiffAndPSNR(t *testing.T) {
+	f := New(16, 16)
+	g := f.Clone()
+	if d := MeanAbsDiff(f, g); d != 0 {
+		t.Fatalf("MAD of identical frames = %v", d)
+	}
+	if p := PSNR(f, g); !math.IsInf(p, 1) {
+		t.Fatalf("PSNR of identical frames = %v", p)
+	}
+	for i := range g.Y {
+		g.Y[i] = 10
+	}
+	if d := MeanAbsDiff(f, g); d != 10 {
+		t.Fatalf("MAD = %v, want 10", d)
+	}
+	if p := PSNR(f, g); p <= 0 || math.IsInf(p, 1) {
+		t.Fatalf("PSNR = %v", p)
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MeanAbsDiff on mismatched dims did not panic")
+		}
+	}()
+	MeanAbsDiff(New(8, 8), New(16, 16))
+}
+
+func TestFillRectClips(t *testing.T) {
+	f := New(16, 16)
+	f.FillRect(-4, -4, 100, 100, 77, 10, 20)
+	for _, v := range f.Y {
+		if v != 77 {
+			t.Fatal("FillRect full cover failed")
+		}
+	}
+	f.FillRect(100, 100, 10, 10, 1, 1, 1) // fully out of bounds: no-op
+	if f.Y[0] != 77 {
+		t.Fatal("out-of-bounds FillRect wrote data")
+	}
+}

@@ -1,0 +1,118 @@
+package ingest
+
+import (
+	"testing"
+
+	"repro/internal/format"
+	"repro/internal/kvstore"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+func newStore(t *testing.T) *segment.Store {
+	t.Helper()
+	kv, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kv.Close() })
+	return segment.NewStore(kv)
+}
+
+func sfEncoded(res format.Resolution, s format.Sampling, speed format.SpeedStep) format.StorageFormat {
+	return format.StorageFormat{
+		Fidelity: format.Fidelity{Quality: format.QGood, Crop: format.Crop100, Res: res, Sampling: s},
+		Coding:   format.Coding{Speed: speed, KeyframeI: 50},
+	}
+}
+
+func TestStreamStoresEverySegmentAndFormat(t *testing.T) {
+	store := newStore(t)
+	sfs := []format.StorageFormat{
+		sfEncoded(360, format.Sampling{Num: 1, Den: 1}, format.SpeedFast),
+		{Fidelity: format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 144, Sampling: format.Sampling{Num: 1, Den: 6}},
+			Coding: format.RawCoding},
+	}
+	ing := Ingester{Store: store, SFs: sfs}
+	sc, _ := vidsim.DatasetByName("park")
+	st, err := ing.Stream(sc, "park", 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != 3 || st.VideoSeconds() != 24 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for _, sf := range sfs {
+		segs := store.Segments("park", sf)
+		if len(segs) != 3 || segs[0] != 2 || segs[2] != 4 {
+			t.Fatalf("%v segments = %v", sf, segs)
+		}
+	}
+	if st.BytesPerSec() <= 0 {
+		t.Fatal("no bytes accounted")
+	}
+	// The raw format costs no encoder CPU; the encoded one does.
+	if st.PerSF[1].CPUSeconds >= st.PerSF[0].CPUSeconds {
+		t.Fatalf("raw CPU %.4f not below encoded %.4f", st.PerSF[1].CPUSeconds, st.PerSF[0].CPUSeconds)
+	}
+}
+
+func TestSlowerCodingCostsMoreCPU(t *testing.T) {
+	sc, _ := vidsim.DatasetByName("park")
+	slow := Ingester{Store: newStore(t), SFs: []format.StorageFormat{sfEncoded(360, format.Sampling{Num: 1, Den: 1}, format.SpeedSlowest)}}
+	fast := Ingester{Store: newStore(t), SFs: []format.StorageFormat{sfEncoded(360, format.Sampling{Num: 1, Den: 1}, format.SpeedFastest)}}
+	s1, err := slow.Stream(sc, "a", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := fast.Stream(sc, "a", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.CPUSecPerVideoSec() <= s2.CPUSecPerVideoSec() {
+		t.Fatalf("slowest coding %.3f cores not above fastest %.3f", s1.CPUSecPerVideoSec(), s2.CPUSecPerVideoSec())
+	}
+	if s1.BytesPerSec() > s2.BytesPerSec() {
+		t.Fatalf("slowest coding stored more: %.0f vs %.0f B/s", s1.BytesPerSec(), s2.BytesPerSec())
+	}
+}
+
+func TestSampledFormatStoresFewerFrames(t *testing.T) {
+	store := newStore(t)
+	full := sfEncoded(200, format.Sampling{Num: 1, Den: 1}, format.SpeedFast)
+	sparse := sfEncoded(200, format.Sampling{Num: 1, Den: 30}, format.SpeedFast)
+	ing := Ingester{Store: store, SFs: []format.StorageFormat{full, sparse}}
+	sc, _ := vidsim.DatasetByName("park")
+	if _, err := ing.Stream(sc, "cam", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	fe, err := store.GetEncoded("cam", full, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := store.GetEncoded("cam", sparse, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe.N != segment.Frames || se.N != segment.Frames/30 {
+		t.Fatalf("frame counts: full %d, sparse %d", fe.N, se.N)
+	}
+	// Stored PTS values of the sparse format are original-timeline indices.
+	for i := 0; i < se.N; i++ {
+		if pts := se.PTSAt(i); pts%30 != 29 {
+			t.Fatalf("sparse stored PTS %d not on the 1/30 grid", pts)
+		}
+	}
+}
+
+func TestIngestEmptyRun(t *testing.T) {
+	ing := Ingester{Store: newStore(t), SFs: nil}
+	sc, _ := vidsim.DatasetByName("park")
+	st, err := ing.Stream(sc, "cam", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CPUSecPerVideoSec() != 0 || st.BytesPerSec() != 0 {
+		t.Fatalf("empty run stats: %+v", st)
+	}
+}

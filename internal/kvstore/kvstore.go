@@ -1,0 +1,438 @@
+// Package kvstore is an embedded key-value store, the reproduction's
+// substitute for LMDB as VStore's storage backend. It is log-structured:
+// records are appended to numbered log files with CRC-32 framing, an
+// in-memory index maps each live key to its latest record, deletions write
+// tombstones, and explicit compaction rewrites live data to reclaim space.
+// Values of several megabytes (one 8-second video segment) are the design
+// point, matching the paper's reason for choosing LMDB.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	recHeaderSize  = 4 + 4 + 4 // crc, keyLen, valLen
+	tombstoneVLen  = ^uint32(0)
+	logSuffix      = ".log"
+	defaultMaxFile = 64 << 20 // rotate active log at 64 MiB
+	maxKeyLen      = 1 << 16
+	maxValLen      = 1 << 30
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// Options configures a store.
+type Options struct {
+	// MaxFileBytes rotates the active log once it exceeds this size.
+	// Zero selects the default (64 MiB).
+	MaxFileBytes int64
+	// SyncWrites fsyncs the active log after every Put/Delete.
+	SyncWrites bool
+}
+
+type recordLoc struct {
+	file   uint32
+	valOff int64 // offset of the value bytes within the file
+	valLen uint32
+}
+
+// Store is a log-structured key-value store. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	dir     string
+	opts    Options
+	index   map[string]recordLoc
+	files   map[uint32]*os.File
+	active  uint32
+	actSize int64
+	garbage int64 // bytes of superseded records
+	live    int64 // bytes of live values
+	closed  bool
+}
+
+// Open opens (creating if necessary) a store in dir and replays its logs to
+// rebuild the index. A torn record at the tail of the newest log — the
+// signature of a crash mid-write — is truncated away; any corruption
+// elsewhere is reported as an error.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxFileBytes <= 0 {
+		opts.MaxFileBytes = defaultMaxFile
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		index: make(map[string]recordLoc),
+		files: make(map[uint32]*os.File),
+	}
+	ids, err := listLogs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, id := range ids {
+		f, err := os.OpenFile(s.logPath(id), os.O_RDWR, 0)
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: %w", err)
+		}
+		s.files[id] = f
+		lastFile := i == len(ids)-1
+		size, err := s.replay(id, f, lastFile)
+		if err != nil {
+			s.closeAll()
+			return nil, err
+		}
+		if lastFile {
+			s.active = id
+			s.actSize = size
+		}
+	}
+	if len(ids) == 0 {
+		if err := s.rotateLocked(1); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) logPath(id uint32) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%06d%s", id, logSuffix))
+}
+
+func listLogs(dir string) ([]uint32, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	var ids []uint32
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, logSuffix) {
+			continue
+		}
+		var id uint32
+		if _, err := fmt.Sscanf(name, "%06d", &id); err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// replay scans one log, updating the index. For the newest log a torn tail
+// is truncated; for older logs it is corruption.
+func (s *Store) replay(id uint32, f *os.File, tolerateTail bool) (int64, error) {
+	var off int64
+	var hdr [recHeaderSize]byte
+	for {
+		_, err := f.ReadAt(hdr[:], off)
+		if err == io.EOF {
+			return off, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return s.tornTail(id, f, off, tolerateTail)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("kvstore: replay %s: %w", s.logPath(id), err)
+		}
+		wantCRC := binary.BigEndian.Uint32(hdr[0:])
+		kl := binary.BigEndian.Uint32(hdr[4:])
+		vl := binary.BigEndian.Uint32(hdr[8:])
+		vlen := vl
+		if vl == tombstoneVLen {
+			vlen = 0
+		}
+		if kl > maxKeyLen || vlen > maxValLen {
+			return s.tornTail(id, f, off, tolerateTail)
+		}
+		body := make([]byte, int(kl)+int(vlen))
+		if _, err := f.ReadAt(body, off+recHeaderSize); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return s.tornTail(id, f, off, tolerateTail)
+			}
+			return 0, fmt.Errorf("kvstore: replay %s: %w", s.logPath(id), err)
+		}
+		if crc32.ChecksumIEEE(append(hdr[4:recHeaderSize:recHeaderSize], body...)) != wantCRC {
+			return s.tornTail(id, f, off, tolerateTail)
+		}
+		key := string(body[:kl])
+		if old, ok := s.index[key]; ok {
+			s.garbage += int64(recHeaderSize + len(key))
+			s.garbage += int64(old.valLen)
+			s.live -= int64(old.valLen)
+		}
+		if vl == tombstoneVLen {
+			delete(s.index, key)
+			s.garbage += recHeaderSize + int64(kl)
+		} else {
+			s.index[key] = recordLoc{file: id, valOff: off + recHeaderSize + int64(kl), valLen: vl}
+			s.live += int64(vl)
+		}
+		off += recHeaderSize + int64(kl) + int64(vlen)
+	}
+}
+
+func (s *Store) tornTail(id uint32, f *os.File, off int64, tolerate bool) (int64, error) {
+	if !tolerate {
+		return 0, fmt.Errorf("kvstore: %s corrupt at offset %d", s.logPath(id), off)
+	}
+	if err := f.Truncate(off); err != nil {
+		return 0, fmt.Errorf("kvstore: truncating torn tail of %s: %w", s.logPath(id), err)
+	}
+	return off, nil
+}
+
+// rotateLocked opens a fresh active log with the given id. Caller holds mu
+// (or is the constructor).
+func (s *Store) rotateLocked(id uint32) error {
+	f, err := os.OpenFile(s.logPath(id), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: %w", err)
+	}
+	s.files[id] = f
+	s.active = id
+	s.actSize = 0
+	return nil
+}
+
+// Put stores value under key, replacing any existing value.
+func (s *Store) Put(key string, value []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("kvstore: invalid key length %d", len(key))
+	}
+	if len(value) > maxValLen {
+		return fmt.Errorf("kvstore: value too large (%d bytes)", len(value))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(key, value, false)
+}
+
+// Delete removes key. Deleting a missing key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	return s.appendLocked(key, nil, true)
+}
+
+func (s *Store) appendLocked(key string, value []byte, tombstone bool) error {
+	if s.closed {
+		return errors.New("kvstore: store is closed")
+	}
+	if s.actSize >= s.opts.MaxFileBytes {
+		if err := s.rotateLocked(s.active + 1); err != nil {
+			return err
+		}
+	}
+	f := s.files[s.active]
+	buf := make([]byte, recHeaderSize+len(key)+len(value))
+	binary.BigEndian.PutUint32(buf[4:], uint32(len(key)))
+	if tombstone {
+		binary.BigEndian.PutUint32(buf[8:], tombstoneVLen)
+	} else {
+		binary.BigEndian.PutUint32(buf[8:], uint32(len(value)))
+	}
+	copy(buf[recHeaderSize:], key)
+	copy(buf[recHeaderSize+len(key):], value)
+	binary.BigEndian.PutUint32(buf[0:], crc32.ChecksumIEEE(buf[4:]))
+	off := s.actSize
+	if _, err := f.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("kvstore: append: %w", err)
+	}
+	if s.opts.SyncWrites {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("kvstore: sync: %w", err)
+		}
+	}
+	s.actSize += int64(len(buf))
+	if old, ok := s.index[key]; ok {
+		s.garbage += recHeaderSize + int64(len(key)) + int64(old.valLen)
+		s.live -= int64(old.valLen)
+	}
+	if tombstone {
+		delete(s.index, key)
+		s.garbage += int64(recHeaderSize + len(key))
+	} else {
+		s.index[key] = recordLoc{file: s.active, valOff: off + recHeaderSize + int64(len(key)), valLen: uint32(len(value))}
+		s.live += int64(len(value))
+	}
+	return nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, errors.New("kvstore: store is closed")
+	}
+	loc, ok := s.index[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, loc.valLen)
+	if _, err := s.files[loc.file].ReadAt(out, loc.valOff); err != nil {
+		return nil, fmt.Errorf("kvstore: read %q: %w", key, err)
+	}
+	return out, nil
+}
+
+// Has reports whether key is present.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Keys returns all live keys with the given prefix in sorted order.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Scan calls fn for every live key with the given prefix, in sorted key
+// order, with the stored value. Scanning stops early if fn returns false.
+func (s *Store) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	for _, k := range s.Keys(prefix) {
+		v, err := s.Get(k)
+		if err == ErrNotFound {
+			continue // deleted between listing and read
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(k, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Stats reports store occupancy.
+type Stats struct {
+	Keys         int
+	LiveBytes    int64 // bytes of live values
+	GarbageBytes int64 // bytes of superseded or deleted records
+	Files        int
+}
+
+// Stats returns current occupancy counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{Keys: len(s.index), LiveBytes: s.live, GarbageBytes: s.garbage, Files: len(s.files)}
+}
+
+// DiskBytes returns the total size of all log files on disk.
+func (s *Store) DiskBytes() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for id := range s.files {
+		fi, err := s.files[id].Stat()
+		if err != nil {
+			return 0, fmt.Errorf("kvstore: %w", err)
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// Compact rewrites all live records into fresh logs and removes the old
+// ones, reclaiming garbage space. The store is locked for the duration.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("kvstore: store is closed")
+	}
+	oldFiles := s.files
+	oldIndex := s.index
+	nextID := s.active + 1
+	s.files = make(map[uint32]*os.File)
+	s.index = make(map[string]recordLoc)
+	s.garbage, s.live = 0, 0
+	if err := s.rotateLocked(nextID); err != nil {
+		s.files = oldFiles
+		s.index = oldIndex
+		return err
+	}
+	keys := make([]string, 0, len(oldIndex))
+	for k := range oldIndex {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		loc := oldIndex[k]
+		val := make([]byte, loc.valLen)
+		if _, err := oldFiles[loc.file].ReadAt(val, loc.valOff); err != nil {
+			return fmt.Errorf("kvstore: compact read %q: %w", k, err)
+		}
+		if err := s.appendLocked(k, val, false); err != nil {
+			return err
+		}
+	}
+	for id, f := range oldFiles {
+		name := f.Name()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("kvstore: compact close: %w", err)
+		}
+		if err := os.Remove(name); err != nil {
+			return fmt.Errorf("kvstore: compact remove: %w", err)
+		}
+		_ = id
+	}
+	return nil
+}
+
+// Close releases all file handles. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.closeAll()
+	return nil
+}
+
+func (s *Store) closeAll() {
+	for _, f := range s.files {
+		f.Close()
+	}
+	s.files = nil
+}

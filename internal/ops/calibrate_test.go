@@ -1,0 +1,107 @@
+package ops
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/vidsim"
+)
+
+// renderAt produces a clip at the given fidelity, including the quality
+// knob's quantisation via an encode/decode round trip, exactly as the
+// profiler will.
+func renderAt(t testing.TB, scene string, start, n int, fid format.Fidelity) []*frame.Frame {
+	t.Helper()
+	sc, err := vidsim.DatasetByName(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := vidsim.NewSource(sc)
+	full := src.Clip(start, n)
+	tw, th := vidsim.Dims(fid.Res)
+	frames := codec.ApplyFidelity(full, fid, tw, th)
+	if len(frames) == 0 {
+		t.Fatalf("fidelity %v produced no frames from %d", fid, n)
+	}
+	if fid.Quality != format.QBest {
+		enc, _, err := codec.Encode(frames, codec.Params{Quality: fid.Quality, Speed: format.SpeedFastest, KeyframeI: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames, _, err = enc.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return frames
+}
+
+func fullFid() format.Fidelity { return format.MaxFidelity() }
+
+// TestCalibrationSweep prints the operator accuracy landscape. Run with
+// -v -run Calibration to inspect; it asserts only weak sanity so the suite
+// stays robust.
+func TestCalibrationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	type cfg struct {
+		scene string
+		n     int
+	}
+	scenes := map[string]cfg{
+		"Diff": {"jackson", 300}, "S-NN": {"jackson", 300}, "NN": {"jackson", 240},
+		"Motion": {"dashcam", 300}, "License": {"dashcam", 120}, "OCR": {"dashcam", 120},
+		"Opflow": {"jackson", 120}, "Color": {"jackson", 900}, "Contour": {"jackson", 120},
+	}
+	fids := []format.Fidelity{
+		{Quality: format.QBest, Crop: format.Crop100, Res: 720, Sampling: format.Sampling{Num: 1, Den: 1}},
+		{Quality: format.QBest, Crop: format.Crop100, Res: 540, Sampling: format.Sampling{Num: 1, Den: 1}},
+		{Quality: format.QBest, Crop: format.Crop100, Res: 400, Sampling: format.Sampling{Num: 1, Den: 1}},
+		{Quality: format.QBest, Crop: format.Crop100, Res: 200, Sampling: format.Sampling{Num: 1, Den: 1}},
+		{Quality: format.QBest, Crop: format.Crop100, Res: 100, Sampling: format.Sampling{Num: 1, Den: 1}},
+		{Quality: format.QGood, Crop: format.Crop100, Res: 720, Sampling: format.Sampling{Num: 1, Den: 1}},
+		{Quality: format.QBad, Crop: format.Crop100, Res: 720, Sampling: format.Sampling{Num: 1, Den: 1}},
+		{Quality: format.QWorst, Crop: format.Crop100, Res: 720, Sampling: format.Sampling{Num: 1, Den: 1}},
+		{Quality: format.QBest, Crop: format.Crop100, Res: 720, Sampling: format.Sampling{Num: 1, Den: 2}},
+		{Quality: format.QBest, Crop: format.Crop100, Res: 720, Sampling: format.Sampling{Num: 1, Den: 6}},
+		{Quality: format.QBest, Crop: format.Crop100, Res: 720, Sampling: format.Sampling{Num: 1, Den: 30}},
+		{Quality: format.QBest, Crop: format.Crop75, Res: 720, Sampling: format.Sampling{Num: 1, Den: 1}},
+		{Quality: format.QBest, Crop: format.Crop50, Res: 720, Sampling: format.Sampling{Num: 1, Den: 1}},
+	}
+	for _, op := range All() {
+		c := scenes[op.Name()]
+		refFrames := renderAt(t, c.scene, 0, c.n, fullFid())
+		ref, _ := RunAtFidelity(op, refFrames, fullFid())
+		t.Logf("%-8s ref detections=%d labels=%v", op.Name(), len(ref.Detections), truncLabels(ref.Labels()))
+		for _, fid := range fids {
+			frames := renderAt(t, c.scene, 0, c.n, fid)
+			out, st := RunAtFidelity(op, frames, fid)
+			f1 := F1(ref, out)
+			t.Logf("  %-24s F1=%.3f dets=%d work=%d", fid, f1, len(out.Detections), st.Work)
+		}
+	}
+}
+
+func truncLabels(l []string) []string {
+	if len(l) > 6 {
+		return append(l[:6:6], "...")
+	}
+	return l
+}
+
+func TestSelfAccuracyIsPerfect(t *testing.T) {
+	for _, op := range All() {
+		frames := renderAt(t, "jackson", 0, 60, fullFid())
+		a, _ := RunAtFidelity(op, frames, fullFid())
+		b, _ := RunAtFidelity(op, frames, fullFid())
+		if f1 := F1(a, b); f1 != 1.0 {
+			t.Errorf("%s: self-F1 = %.3f, want 1.0", op.Name(), f1)
+		}
+	}
+}
+
+func fmtF1(f float64) string { return fmt.Sprintf("%.3f", f) }

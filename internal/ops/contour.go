@@ -1,0 +1,107 @@
+package ops
+
+import "repro/internal/frame"
+
+// Contour detects object boundaries: gradient-magnitude edge extraction
+// followed by connected-component labelling, reporting one detection per
+// sufficiently large component (the OpenCV contours operator of Table 2).
+type Contour struct{}
+
+// Name implements Operator.
+func (Contour) Name() string { return "Contour" }
+
+const (
+	contourEdgeThresh = 34 // gradient magnitude for an edge pixel
+	contourMinPerim   = 12 // minimum component size in edge pixels
+)
+
+// Run implements Operator.
+func (Contour) Run(frames []*frame.Frame) (Output, Stats) {
+	var out Output
+	var st Stats
+	var edge []bool
+	var labels []int32
+	for _, f := range frames {
+		out.PTS = append(out.PTS, f.PTS)
+		st.Frames++
+		n := f.NumPixels()
+		st.Pixels += int64(n)
+		st.Work += int64(n) * 3
+		if cap(edge) < n {
+			edge = make([]bool, n)
+			labels = make([]int32, n)
+		}
+		edge = edge[:n]
+		labels = labels[:n]
+		for i := range edge {
+			edge[i] = false
+			labels[i] = 0
+		}
+		for y := 1; y < f.H-1; y++ {
+			row := y * f.W
+			for x := 1; x < f.W-1; x++ {
+				i := row + x
+				gx := int(f.Y[i+1]) - int(f.Y[i-1])
+				gy := int(f.Y[i+f.W]) - int(f.Y[i-f.W])
+				if gx < 0 {
+					gx = -gx
+				}
+				if gy < 0 {
+					gy = -gy
+				}
+				if gx+gy > contourEdgeThresh {
+					edge[i] = true
+				}
+			}
+		}
+		// Connected components over edge pixels (8-connectivity) via an
+		// explicit stack flood fill.
+		var next int32 = 1
+		var stack []int
+		for i0 := range edge {
+			if !edge[i0] || labels[i0] != 0 {
+				continue
+			}
+			next++
+			var count, sx, sy int
+			stack = append(stack[:0], i0)
+			labels[i0] = next
+			for len(stack) > 0 {
+				i := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				x, y := i%f.W, i/f.W
+				count++
+				sx += x
+				sy += y
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						nx, ny := x+dx, y+dy
+						if nx < 0 || ny < 0 || nx >= f.W || ny >= f.H {
+							continue
+						}
+						j := ny*f.W + nx
+						if edge[j] && labels[j] == 0 {
+							labels[j] = next
+							stack = append(stack, j)
+						}
+					}
+				}
+			}
+			// Scale the perimeter requirement with resolution so the same
+			// physical object qualifies across fidelities.
+			minPerim := contourMinPerim * f.H / 90
+			if minPerim < 6 {
+				minPerim = 6
+			}
+			if count >= minPerim {
+				out.Detections = append(out.Detections, Detection{
+					PTS:   f.PTS,
+					Label: "contour",
+					X:     float64(sx) / float64(count) / float64(f.W),
+					Y:     float64(sy) / float64(count) / float64(f.H),
+				})
+			}
+		}
+	}
+	return out, st
+}

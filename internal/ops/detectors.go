@@ -1,0 +1,160 @@
+package ops
+
+import "repro/internal/frame"
+
+// Diff is the frame-difference detector used as the first, cheapest stage of
+// NoScope-style cascades: it flags consumed frames whose mean absolute luma
+// difference against the previous consumed frame exceeds a threshold.
+type Diff struct{}
+
+// Name implements Operator.
+func (Diff) Name() string { return "Diff" }
+
+const (
+	// diffPixelDelta is the per-pixel luma change that counts as "changed".
+	// Sensor noise deltas are bounded by twice the noise amplitude (±8 for
+	// the noisiest scene), so the signal is object edges, not noise.
+	diffPixelDelta = 14
+	// diffMinFrac is the changed-pixel fraction above which the frame is
+	// flagged. The fraction is scale-free, which is what lets Diff run on
+	// very low resolutions (Table 3 assigns it 60p–200p inputs).
+	diffMinFrac = 0.002
+)
+
+// Run implements Operator.
+func (Diff) Run(frames []*frame.Frame) (Output, Stats) {
+	var out Output
+	var st Stats
+	var prev *frame.Frame
+	for _, f := range frames {
+		out.PTS = append(out.PTS, f.PTS)
+		st.Frames++
+		st.Pixels += int64(f.NumPixels())
+		st.Work += int64(f.NumPixels())
+		if prev != nil && f.W == prev.W && f.H == prev.H {
+			changed := 0
+			for i := range f.Y {
+				d := int(f.Y[i]) - int(prev.Y[i])
+				if d < 0 {
+					d = -d
+				}
+				if d > diffPixelDelta {
+					changed++
+				}
+			}
+			if float64(changed) > diffMinFrac*float64(f.NumPixels()) {
+				out.Detections = append(out.Detections, Detection{PTS: f.PTS, Label: "change", X: 0.5, Y: 0.5})
+			}
+		}
+		prev = f
+	}
+	return out, st
+}
+
+// Motion is the background-subtraction motion detector (the OpenALPR
+// pipeline's first stage). It maintains a running-average background and
+// reports the centroid of foreground regions.
+type Motion struct{}
+
+// Name implements Operator.
+func (Motion) Name() string { return "Motion" }
+
+const (
+	motionAlpha     = 0.12  // background update rate
+	motionFgThresh  = 22.0  // luma delta for a foreground pixel
+	motionMinFgFrac = 0.004 // minimum foreground fraction to report motion
+)
+
+// Run implements Operator.
+func (Motion) Run(frames []*frame.Frame) (Output, Stats) {
+	var out Output
+	var st Stats
+	var bg []float64
+	var bw, bh int
+	for fi, f := range frames {
+		out.PTS = append(out.PTS, f.PTS)
+		st.Frames++
+		st.Pixels += int64(f.NumPixels())
+		st.Work += int64(f.NumPixels()) * 2
+		if bg == nil || bw != f.W || bh != f.H {
+			bg = make([]float64, len(f.Y))
+			for i, v := range f.Y {
+				bg[i] = float64(v)
+			}
+			bw, bh = f.W, f.H
+			continue
+		}
+		var fg, sx, sy int
+		for y := 0; y < f.H; y++ {
+			row := y * f.W
+			for x := 0; x < f.W; x++ {
+				i := row + x
+				d := float64(f.Y[i]) - bg[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > motionFgThresh {
+					fg++
+					sx += x
+					sy += y
+				}
+				bg[i] += motionAlpha * (float64(f.Y[i]) - bg[i])
+			}
+		}
+		if fi > 0 && float64(fg) > motionMinFgFrac*float64(f.NumPixels()) {
+			out.Detections = append(out.Detections, Detection{
+				PTS:   f.PTS,
+				Label: "motion",
+				X:     float64(sx) / float64(fg) / float64(f.W),
+				Y:     float64(sy) / float64(fg) / float64(f.H),
+			})
+		}
+	}
+	return out, st
+}
+
+// Color detects objects of a specific colour (red, as in the BlazeIt "blue
+// cars" style of predicate) by thresholding the chroma planes.
+type Color struct{}
+
+// Name implements Operator.
+func (Color) Name() string { return "Color" }
+
+const (
+	colorCrMin   = 170 // red has high Cr
+	colorCbMax   = 110 // and low Cb
+	colorMinFrac = 0.002
+)
+
+// Run implements Operator.
+func (Color) Run(frames []*frame.Frame) (Output, Stats) {
+	var out Output
+	var st Stats
+	for _, f := range frames {
+		out.PTS = append(out.PTS, f.PTS)
+		st.Frames++
+		hw, hh := f.W/2, f.H/2
+		st.Pixels += int64(hw * hh)
+		st.Work += int64(hw * hh)
+		var hits, sx, sy int
+		for y := 0; y < hh; y++ {
+			row := y * hw
+			for x := 0; x < hw; x++ {
+				if f.Cr[row+x] >= colorCrMin && f.Cb[row+x] <= colorCbMax {
+					hits++
+					sx += x
+					sy += y
+				}
+			}
+		}
+		if float64(hits) > colorMinFrac*float64(hw*hh) {
+			out.Detections = append(out.Detections, Detection{
+				PTS:   f.PTS,
+				Label: "red",
+				X:     float64(sx) / float64(hits) / float64(hw),
+				Y:     float64(sy) / float64(hits) / float64(hh),
+			})
+		}
+	}
+	return out, st
+}

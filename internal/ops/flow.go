@@ -1,0 +1,100 @@
+package ops
+
+import "repro/internal/frame"
+
+// Opflow estimates optical flow between consecutive consumed frames by block
+// matching and reports the dominant horizontal motion direction, the
+// tracking primitive of the paper's operator library.
+type Opflow struct{}
+
+// Name implements Operator.
+func (Opflow) Name() string { return "Opflow" }
+
+const (
+	flowBlockDiv  = 8 // block size: frame height / 8
+	flowSearch    = 4 // ± pixels searched horizontally
+	flowMinEnergy = 6 // minimum mean per-pixel residual improvement
+	// flowWorkDepth models dense optical flow's arithmetic intensity
+	// (multi-scale search over every block); real CPU implementations run
+	// near video realtime, far below the decoder.
+	flowWorkDepth = 100
+)
+
+// Run implements Operator.
+func (Opflow) Run(frames []*frame.Frame) (Output, Stats) {
+	var out Output
+	var st Stats
+	var prev *frame.Frame
+	for _, f := range frames {
+		out.PTS = append(out.PTS, f.PTS)
+		st.Frames++
+		st.Pixels += int64(f.NumPixels())
+		st.Work += int64(f.NumPixels()) * flowWorkDepth
+		if prev != nil && prev.W == f.W && prev.H == f.H {
+			if dir, x, y, ok := dominantFlow(prev, f); ok {
+				out.Detections = append(out.Detections, Detection{PTS: f.PTS, Label: dir, X: x, Y: y})
+			}
+		}
+		prev = f
+	}
+	return out, st
+}
+
+// dominantFlow block-matches f against prev and returns the dominant
+// direction ("flow-left" or "flow-right") with the centroid of moving
+// blocks.
+func dominantFlow(prev, f *frame.Frame) (string, float64, float64, bool) {
+	bs := max(f.H/flowBlockDiv, 4)
+	var left, right int
+	var sx, sy, n float64
+	for by := 0; by+bs <= f.H; by += bs {
+		for bx := flowSearch; bx+bs <= f.W-flowSearch; bx += bs {
+			static := blockSAD(prev, f, bx, by, bs, 0)
+			bestDx, bestSAD := 0, static
+			for dx := -flowSearch; dx <= flowSearch; dx++ {
+				if dx == 0 {
+					continue
+				}
+				if s := blockSAD(prev, f, bx, by, bs, dx); s < bestSAD {
+					bestSAD, bestDx = s, dx
+				}
+			}
+			if bestDx != 0 && static-bestSAD > flowMinEnergy*bs*bs {
+				if bestDx > 0 {
+					right++
+				} else {
+					left++
+				}
+				sx += float64(bx) + float64(bs)/2
+				sy += float64(by) + float64(bs)/2
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return "", 0, 0, false
+	}
+	dir := "flow-right"
+	if left > right {
+		dir = "flow-left"
+	}
+	return dir, sx / n / float64(f.W), sy / n / float64(f.H), true
+}
+
+// blockSAD returns the sum of absolute differences between the block at
+// (bx,by) in f and the block displaced by dx in prev.
+func blockSAD(prev, f *frame.Frame, bx, by, bs, dx int) int {
+	var sad int
+	for y := by; y < by+bs; y++ {
+		rowF := y * f.W
+		rowP := y * prev.W
+		for x := bx; x < bx+bs; x++ {
+			d := int(f.Y[rowF+x]) - int(prev.Y[rowP+x+dx])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}

@@ -1,0 +1,186 @@
+package ops
+
+import "repro/internal/frame"
+
+// sigGrad is the horizontal gradient magnitude considered "significant":
+// above background texture, noise and quantisation steps, below the
+// plate-column alternation amplitude.
+const sigGrad = 30
+
+// cellStats holds per-cell first and second moments of the luma plane plus
+// horizontal gradient energy, the shared feature grid behind the classifier
+// operators.
+type cellStats struct {
+	cw, ch   int // cells across and down
+	px       int // cell pixel size
+	mean     []float64
+	variance []float64
+	hGrad    []float64 // mean |horizontal gradient|
+	flips    []float64 // horizontal gradient sign-flip density (plate signature)
+}
+
+// gridStats computes cell statistics over f with the given cell pixel size.
+// The work is one pass over the luma plane.
+func gridStats(f *frame.Frame, px int) *cellStats {
+	if px < 2 {
+		px = 2
+	}
+	cw := (f.W + px - 1) / px
+	ch := (f.H + px - 1) / px
+	g := &cellStats{
+		cw: cw, ch: ch, px: px,
+		mean:     make([]float64, cw*ch),
+		variance: make([]float64, cw*ch),
+		hGrad:    make([]float64, cw*ch),
+		flips:    make([]float64, cw*ch),
+	}
+	sum := make([]float64, cw*ch)
+	sum2 := make([]float64, cw*ch)
+	grad := make([]float64, cw*ch)
+	flip := make([]float64, cw*ch)
+	count := make([]float64, cw*ch)
+	for y := 0; y < f.H; y++ {
+		cy := y / px
+		row := y * f.W
+		lastSig := 0 // sign of the last significant gradient in this row
+		for x := 0; x < f.W; x++ {
+			c := cy*cw + x/px
+			v := float64(f.Y[row+x])
+			sum[c] += v
+			sum2[c] += v * v
+			count[c]++
+			if x > 0 {
+				gv := int(f.Y[row+x]) - int(f.Y[row+x-1])
+				ag := gv
+				if ag < 0 {
+					ag = -ag
+				}
+				grad[c] += float64(ag)
+				// A flip is a significant gradient whose sign opposes the
+				// previous significant one: the pixel-pitch alternation of a
+				// plate, which texture and object edges do not produce.
+				if ag >= sigGrad {
+					sig := 1
+					if gv < 0 {
+						sig = -1
+					}
+					if lastSig == -sig {
+						flip[c]++
+					}
+					lastSig = sig
+				}
+			}
+		}
+	}
+	for c := range sum {
+		if count[c] == 0 {
+			continue
+		}
+		m := sum[c] / count[c]
+		g.mean[c] = m
+		g.variance[c] = sum2[c]/count[c] - m*m
+		g.hGrad[c] = grad[c] / count[c]
+		g.flips[c] = flip[c] / count[c]
+	}
+	return g
+}
+
+// globalMean returns the mean of all cell means.
+func (g *cellStats) globalMean() float64 {
+	var s float64
+	for _, m := range g.mean {
+		s += m
+	}
+	return s / float64(len(g.mean))
+}
+
+// medianVariance returns the median cell variance: a robust estimate of the
+// background texture level.
+func (g *cellStats) medianVariance() float64 { return median(g.variance) }
+
+// medianMean returns the median cell mean: a robust estimate of the
+// background brightness that, unlike the global mean, is not dragged by
+// bright or dark objects.
+func (g *cellStats) medianMean() float64 { return median(g.mean) }
+
+// rowMedianMean returns, per cell row, the median of that row's cell means.
+// Scenes have a vertical luminance gradient, so a per-row background
+// estimate is what keeps the top and bottom of the frame from reading as
+// objects.
+func (g *cellStats) rowMedianMean() []float64 {
+	out := make([]float64, g.ch)
+	for cy := 0; cy < g.ch; cy++ {
+		out[cy] = median(g.mean[cy*g.cw : (cy+1)*g.cw])
+	}
+	return out
+}
+
+func median(src []float64) float64 {
+	vs := append([]float64(nil), src...)
+	// Insertion sort is fine at these sizes (tens of cells).
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+	return vs[len(vs)/2]
+}
+
+// centre returns the normalised centre of cell c.
+func (g *cellStats) centre(c int) (x, y float64) {
+	cx, cy := c%g.cw, c/g.cw
+	return (float64(cx) + 0.5) / float64(g.cw), (float64(cy) + 0.5) / float64(g.ch)
+}
+
+// mergePoints clusters normalised points closer than radius (Chebyshev) and
+// returns the cluster centroids. Greedy single pass: fine for handfuls of
+// detections per frame.
+func mergePoints(xs, ys []float64, radius float64) (cx, cy []float64) {
+	type cluster struct {
+		sx, sy float64
+		n      int
+	}
+	var clusters []cluster
+outer:
+	for i := range xs {
+		for j := range clusters {
+			mx := clusters[j].sx / float64(clusters[j].n)
+			my := clusters[j].sy / float64(clusters[j].n)
+			dx, dy := xs[i]-mx, ys[i]-my
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			if dx <= radius && dy <= radius {
+				clusters[j].sx += xs[i]
+				clusters[j].sy += ys[i]
+				clusters[j].n++
+				continue outer
+			}
+		}
+		clusters = append(clusters, cluster{xs[i], ys[i], 1})
+	}
+	for _, c := range clusters {
+		cx = append(cx, c.sx/float64(c.n))
+		cy = append(cy, c.sy/float64(c.n))
+	}
+	return
+}
+
+// boxBlur3 performs one 3×3 box blur pass over the luma plane in place,
+// using a scratch buffer. Used by NN to model convolutional feature passes;
+// the work is real.
+func boxBlur3(y []byte, w, h int, scratch []byte) {
+	copy(scratch, y)
+	for yy := 1; yy < h-1; yy++ {
+		for xx := 1; xx < w-1; xx++ {
+			i := yy*w + xx
+			s := int(scratch[i-w-1]) + int(scratch[i-w]) + int(scratch[i-w+1]) +
+				int(scratch[i-1]) + int(scratch[i]) + int(scratch[i+1]) +
+				int(scratch[i+w-1]) + int(scratch[i+w]) + int(scratch[i+w+1])
+			y[i] = byte(s / 9)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/format"
+	"repro/internal/ops"
+	"repro/internal/vidsim"
+)
+
+func newTestProfiler(t *testing.T, scene string) *Profiler {
+	t.Helper()
+	sc, err := vidsim.DatasetByName(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(sc)
+	p.ClipFrames = 120 // 4-second clip keeps unit tests quick
+	return p
+}
+
+var (
+	s11  = format.Sampling{Num: 1, Den: 1}
+	s12  = format.Sampling{Num: 1, Den: 2}
+	s130 = format.Sampling{Num: 1, Den: 30}
+)
+
+func TestProfileConsumptionFullFidelityIsGroundTruth(t *testing.T) {
+	p := newTestProfiler(t, "jackson")
+	prof := p.ProfileConsumption(ops.Motion{}, format.MaxFidelity())
+	if prof.Accuracy != 1.0 {
+		t.Fatalf("full-fidelity accuracy = %v, want 1.0 (it is the ground truth)", prof.Accuracy)
+	}
+	if prof.Speed <= 0 {
+		t.Fatalf("speed = %v", prof.Speed)
+	}
+}
+
+func TestProfileConsumptionMemoised(t *testing.T) {
+	p := newTestProfiler(t, "jackson")
+	fid := format.Fidelity{Quality: format.QGood, Crop: format.Crop100, Res: 200, Sampling: s12}
+	a := p.ProfileConsumption(ops.SNN{}, fid)
+	runs := p.Counters().ConsumptionRuns
+	b := p.ProfileConsumption(ops.SNN{}, fid)
+	if a != b {
+		t.Fatal("memoised result differs")
+	}
+	if p.Counters().ConsumptionRuns != runs {
+		t.Fatal("memoised call counted as a new run")
+	}
+}
+
+func TestConsumptionSpeedScalesWithFidelity(t *testing.T) {
+	p := newTestProfiler(t, "jackson")
+	rich := p.ProfileConsumption(ops.NN{}, format.MaxFidelity())
+	poor := p.ProfileConsumption(ops.NN{}, format.Fidelity{
+		Quality: format.QBest, Crop: format.Crop100, Res: 100, Sampling: s130})
+	if poor.Speed <= rich.Speed {
+		t.Fatalf("poor fidelity speed %.0fx not above rich %.0fx", poor.Speed, rich.Speed)
+	}
+	if ratio := poor.Speed / rich.Speed; ratio < 100 {
+		t.Fatalf("speed spread %.0fx, want orders of magnitude (paper: 10x-30000x)", ratio)
+	}
+}
+
+func TestQualityDoesNotChangeConsumptionSpeed(t *testing.T) {
+	p := newTestProfiler(t, "jackson")
+	base := format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 400, Sampling: s12}
+	worst := base
+	worst.Quality = format.QWorst
+	a := p.ProfileConsumption(ops.SNN{}, base)
+	b := p.ProfileConsumption(ops.SNN{}, worst)
+	if a.Speed != b.Speed {
+		t.Fatalf("image quality changed virtual consumption speed: %v vs %v (violates O2)", a.Speed, b.Speed)
+	}
+}
+
+func TestProfileStorageShapes(t *testing.T) {
+	p := newTestProfiler(t, "tucson")
+	fid := format.Fidelity{Quality: format.QGood, Crop: format.Crop100, Res: 360, Sampling: s11}
+	slow := p.ProfileStorage(format.StorageFormat{Fidelity: fid, Coding: format.Coding{Speed: format.SpeedSlowest, KeyframeI: 50}})
+	fast := p.ProfileStorage(format.StorageFormat{Fidelity: fid, Coding: format.Coding{Speed: format.SpeedFastest, KeyframeI: 50}})
+	if slow.BytesPerSec > fast.BytesPerSec {
+		t.Fatalf("slowest coding stored more bytes/sec (%.0f) than fastest (%.0f)", slow.BytesPerSec, fast.BytesPerSec)
+	}
+	if slow.IngestSec <= fast.IngestSec {
+		t.Fatalf("slowest coding ingest cost %.4f not above fastest %.4f", slow.IngestSec, fast.IngestSec)
+	}
+	raw := p.ProfileStorage(format.StorageFormat{Fidelity: fid, Coding: format.RawCoding})
+	if raw.BytesPerSec <= fast.BytesPerSec {
+		t.Fatal("raw not larger than encoded")
+	}
+	if raw.IngestSec >= fast.IngestSec {
+		t.Fatal("raw ingest (no encoder) not cheaper than encoding")
+	}
+}
+
+func TestRetrievalSpeedShapes(t *testing.T) {
+	p := newTestProfiler(t, "tucson")
+	fid := format.Fidelity{Quality: format.QGood, Crop: format.Crop100, Res: 360, Sampling: s11}
+	smallGOP := format.StorageFormat{Fidelity: fid, Coding: format.Coding{Speed: format.SpeedMedium, KeyframeI: 5}}
+	largeGOP := format.StorageFormat{Fidelity: fid, Coding: format.Coding{Speed: format.SpeedMedium, KeyframeI: 100}}
+	// Figure 3(b): with sparse consumers, small keyframe intervals decode
+	// faster because whole GOPs are skipped.
+	sSmall := p.RetrievalSpeed(smallGOP, s130)
+	sLarge := p.RetrievalSpeed(largeGOP, s130)
+	if sSmall <= sLarge {
+		t.Fatalf("sparse retrieval: kf=5 speed %.0fx not above kf=100 %.0fx", sSmall, sLarge)
+	}
+	// At full-rate consumption the small GOP advantage disappears.
+	fSmall := p.RetrievalSpeed(smallGOP, s11)
+	fLarge := p.RetrievalSpeed(largeGOP, s11)
+	if fSmall > 2*fLarge {
+		t.Fatalf("full-rate retrieval should not hugely favour small GOPs: %.0fx vs %.0fx", fSmall, fLarge)
+	}
+	// Raw sampled retrieval reads only sampled frames from disk: it beats
+	// decoding for sparse consumers (requirement R2's second case).
+	raw := format.StorageFormat{Fidelity: fid, Coding: format.RawCoding}
+	rSparse := p.RetrievalSpeed(raw, s130)
+	if rSparse <= sLarge {
+		t.Fatalf("raw sparse retrieval %.0fx not above encoded large-GOP %.0fx", rSparse, sLarge)
+	}
+	// Raw full-rate retrieval is bounded by disk bandwidth but still works.
+	if r := p.RetrievalSpeed(raw, s11); r <= 0 {
+		t.Fatalf("raw full retrieval speed %v", r)
+	}
+}
+
+func TestRetrievalMemoised(t *testing.T) {
+	p := newTestProfiler(t, "park")
+	fid := format.Fidelity{Quality: format.QBad, Crop: format.Crop100, Res: 180, Sampling: s11}
+	sf := format.StorageFormat{Fidelity: fid, Coding: format.Coding{Speed: format.SpeedFast, KeyframeI: 10}}
+	a := p.RetrievalSpeed(sf, s12)
+	storageRuns := p.Counters().StorageRuns
+	b := p.RetrievalSpeed(sf, s12)
+	if a != b {
+		t.Fatal("retrieval speed not memoised")
+	}
+	if p.Counters().StorageRuns != storageRuns {
+		t.Fatal("extra storage profiling run on memoised retrieval")
+	}
+}
+
+func TestAccuracyRoughlyMonotoneInSampling(t *testing.T) {
+	p := newTestProfiler(t, "dashcam")
+	base := format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 720, Sampling: s11}
+	sparse := base
+	sparse.Sampling = s130
+	full := p.ProfileConsumption(ops.Motion{}, base)
+	sp := p.ProfileConsumption(ops.Motion{}, sparse)
+	if sp.Accuracy > full.Accuracy {
+		t.Fatalf("sparser sampling increased accuracy: %.3f > %.3f", sp.Accuracy, full.Accuracy)
+	}
+	if sp.Speed <= full.Speed {
+		t.Fatalf("sparser sampling not faster: %.0fx vs %.0fx", sp.Speed, full.Speed)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	p := newTestProfiler(t, "airport")
+	p.ProfileConsumption(ops.Diff{}, format.MaxFidelity())
+	p.ProfileConsumption(ops.Diff{}, format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 100, Sampling: s12})
+	fid := format.Fidelity{Quality: format.QGood, Crop: format.Crop100, Res: 200, Sampling: s11}
+	p.ProfileStorage(format.StorageFormat{Fidelity: fid, Coding: format.Coding{Speed: format.SpeedFast, KeyframeI: 10}})
+	c := p.Counters()
+	if c.ConsumptionRuns != 2 || c.StorageRuns != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.WallSeconds <= 0 {
+		t.Fatal("no wall time accumulated")
+	}
+}

@@ -1,0 +1,221 @@
+// Package query executes video queries as operator cascades (§2.1, Figure
+// 2): early, cheap operators scan the whole queried span and activate late,
+// expensive operators on the fraction of video that passed. Each stage
+// consumes its own consumption format, retrieved from the storage format its
+// consumer subscribes to.
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/format"
+	"repro/internal/ops"
+	"repro/internal/profile"
+	"repro/internal/retrieve"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+// Stage is one operator of a cascade.
+type Stage struct {
+	Op ops.Operator
+}
+
+// Cascade is an ordered operator pipeline.
+type Cascade struct {
+	Name   string
+	Stages []Stage
+}
+
+// QueryA is the car-detection cascade of Figure 2(a): Diff filters similar
+// frames, S-NN rapidly detects obvious cars, NN analyses the remainder.
+func QueryA() Cascade {
+	return Cascade{Name: "A (Diff+S-NN+NN)", Stages: []Stage{{ops.Diff{}}, {ops.SNN{}}, {ops.NN{}}}}
+}
+
+// QueryB is the license-plate recognition cascade of Figure 2(b): Motion
+// filters still frames, License spots plate regions, OCR reads characters.
+func QueryB() Cascade {
+	return Cascade{Name: "B (Motion+License+OCR)", Stages: []Stage{{ops.Motion{}}, {ops.License{}}, {ops.OCR{}}}}
+}
+
+// StageBinding tells a stage which consumption format to consume and which
+// storage format to retrieve it from. Bindings are produced from a derived
+// configuration, or from the 1→1 / 1→N baselines of §6.2.
+type StageBinding struct {
+	CF format.ConsumptionFormat
+	SF format.StorageFormat
+}
+
+// Binding is the per-stage format assignment of one query execution.
+type Binding []StageBinding
+
+// Result is the outcome of a query execution.
+type Result struct {
+	Detections   []ops.Detection // final-stage detections
+	FinalPTS     []int           // frames the final stage consumed
+	VideoSeconds float64
+	// VirtualSeconds is the pipelined execution time on the virtual clock:
+	// per stage, retrieval and consumption overlap.
+	VirtualSeconds float64
+	WallSeconds    float64
+	StageStats     []StageStats
+}
+
+// StageStats reports one stage's work.
+type StageStats struct {
+	Op             string
+	FramesConsumed int64
+	RetrievalSec   float64
+	ConsumptionSec float64
+	ActivatedSpans int
+}
+
+// Speed returns the query speed as a multiple of video realtime on the
+// virtual clock.
+func (r Result) Speed() float64 {
+	if r.VirtualSeconds <= 0 {
+		return 0
+	}
+	return r.VideoSeconds / r.VirtualSeconds
+}
+
+// Engine runs cascades against a segment store.
+type Engine struct {
+	Store *segment.Store
+}
+
+// Run executes the cascade over segments [seg0, seg1) of the stream using
+// the given binding (one entry per stage).
+func (e *Engine) Run(stream string, c Cascade, b Binding, seg0, seg1 int) (Result, error) {
+	if len(b) != len(c.Stages) {
+		return Result{}, fmt.Errorf("query: binding has %d stages, cascade %d", len(b), len(c.Stages))
+	}
+	r := retrieve.Retriever{Store: e.Store}
+	res := Result{VideoSeconds: float64(seg1-seg0) * segment.Seconds}
+	t0 := time.Now()
+
+	// Activation filter: nil for the first stage (scan everything); later
+	// stages consume only spans around the previous stage's detections.
+	var within func(pts int) bool
+	for si, stage := range c.Stages {
+		frames, rst, err := r.Range(stream, b[si].SF, b[si].CF, seg0, seg1, within)
+		if err != nil {
+			return res, fmt.Errorf("query: stage %s: %w", stage.Op.Name(), err)
+		}
+		out, ost := ops.RunAtFidelity(stage.Op, frames, b[si].CF.Fidelity)
+		stageStat := StageStats{
+			Op:             stage.Op.Name(),
+			FramesConsumed: int64(len(frames)),
+			RetrievalSec:   rst.VirtualSeconds,
+			ConsumptionSec: profile.OpSeconds(ost),
+		}
+		// Pipelined stage time: decoder and operator overlap, so the stage
+		// runs at the slower of the two (§2.2: "the operator runs at the
+		// speed of retrieval or consumption, whichever is lower").
+		res.VirtualSeconds += maxf(rst.VirtualSeconds, stageStat.ConsumptionSec)
+		if si == len(c.Stages)-1 {
+			res.Detections = out.Detections
+			res.FinalPTS = out.PTS
+			res.StageStats = append(res.StageStats, stageStat)
+			break
+		}
+		// Build the next stage's activation window set.
+		spans := activationSpans(out, b[si].CF.Fidelity.Sampling)
+		stageStat.ActivatedSpans = len(spans)
+		res.StageStats = append(res.StageStats, stageStat)
+		if len(spans) == 0 {
+			// Nothing passed the filter: the cascade short-circuits.
+			for _, later := range c.Stages[si+1:] {
+				res.StageStats = append(res.StageStats, StageStats{Op: later.Op.Name()})
+			}
+			break
+		}
+		within = spanPredicate(spans)
+	}
+	res.WallSeconds = time.Since(t0).Seconds()
+	return res, nil
+}
+
+type span struct{ lo, hi int }
+
+// activationSpans converts a stage's detections into original-timeline
+// windows: each detection covers its consumed frame's sampling interval.
+func activationSpans(out ops.Output, s format.Sampling) []span {
+	interval := int(s.Interval())
+	if interval < 1 {
+		interval = 1
+	}
+	var spans []span
+	for _, d := range out.Detections {
+		lo := d.PTS - interval/2
+		hi := d.PTS + interval + interval/2
+		if n := len(spans); n > 0 && lo <= spans[n-1].hi {
+			if hi > spans[n-1].hi {
+				spans[n-1].hi = hi
+			}
+			continue
+		}
+		spans = append(spans, span{lo, hi})
+	}
+	return spans
+}
+
+func spanPredicate(spans []span) func(int) bool {
+	return func(pts int) bool {
+		// Binary search over sorted spans.
+		lo, hi := 0, len(spans)-1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			switch {
+			case pts < spans[mid].lo:
+				hi = mid - 1
+			case pts > spans[mid].hi:
+				lo = mid + 1
+			default:
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// GroundTruth runs the cascade entirely at the ingestion fidelity directly
+// from the scene source (no store), producing the reference output used to
+// score query accuracy in examples and experiments.
+func GroundTruth(scene vidsim.Scene, c Cascade, seg0, seg1 int) ops.Output {
+	src := vidsim.NewSource(scene)
+	frames := src.Clip(seg0*segment.Frames, (seg1-seg0)*segment.Frames)
+	var within func(int) bool
+	var out ops.Output
+	full := format.MaxFidelity()
+	for si, stage := range c.Stages {
+		in := frames
+		if within != nil {
+			in = in[:0:0]
+			for _, f := range frames {
+				if within(f.PTS) {
+					in = append(in, f)
+				}
+			}
+		}
+		res, _ := ops.RunAtFidelity(stage.Op, in, full)
+		out = res
+		if si < len(c.Stages)-1 {
+			spans := activationSpans(res, full.Sampling)
+			if len(spans) == 0 {
+				return ops.Output{PTS: res.PTS}
+			}
+			within = spanPredicate(spans)
+		}
+	}
+	return out
+}

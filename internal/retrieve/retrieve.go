@@ -1,0 +1,133 @@
+// Package retrieve implements VStore's retrieval stage: segments stream
+// from the store through the decoder (skipping GOPs the consumer does not
+// sample) and through fidelity conversion to the consumption format (§2.2).
+// Raw segments are read frame-by-frame, touching only sampled frames.
+package retrieve
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/profile"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+// Stats accounts one retrieval.
+type Stats struct {
+	BytesRead       int64
+	FramesDecoded   int64
+	FramesDelivered int64
+	VirtualSeconds  float64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.BytesRead += other.BytesRead
+	s.FramesDecoded += other.FramesDecoded
+	s.FramesDelivered += other.FramesDelivered
+	s.VirtualSeconds += other.VirtualSeconds
+}
+
+// Retriever streams stored segments to consumers.
+type Retriever struct {
+	Store *segment.Store
+}
+
+// Segment retrieves segment idx of the stream stored in sf and converts it
+// to cf. sf must satisfy cf (R1). The within predicate, if non-nil, further
+// restricts the delivered original-timeline frame indices — the mechanism
+// cascades use to fetch only activated spans.
+func (r *Retriever) Segment(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, idx int, within func(pts int) bool) ([]*frame.Frame, Stats, error) {
+	if !sf.Satisfies(cf) {
+		return nil, Stats{}, fmt.Errorf("retrieve: %v cannot supply %v (R1)", sf, cf)
+	}
+	var frames []*frame.Frame
+	var st Stats
+	if sf.Coding.Raw {
+		got, bytes, err := r.Store.GetRaw(stream, sf, idx, rawKeep(cf.Fidelity.Sampling, within))
+		if err != nil {
+			return nil, st, err
+		}
+		frames = got
+		st.BytesRead = bytes
+		st.VirtualSeconds += profile.RawReadSeconds(bytes, len(got))
+	} else {
+		enc, err := r.Store.GetEncoded(stream, sf, idx)
+		if err != nil {
+			return nil, st, err
+		}
+		keep := encodedKeep(enc, cf.Fidelity.Sampling, within)
+		got, cst, err := enc.DecodeSampled(func(i int) bool { return keep[i] })
+		if err != nil {
+			return nil, st, err
+		}
+		frames = got
+		st.BytesRead = cst.BytesFlate
+		st.FramesDecoded = cst.Frames
+		st.VirtualSeconds += profile.DecodeSeconds(cst, cst.BytesFlate)
+	}
+	// Fidelity conversion to the consumption format.
+	var pixels int64
+	tw, th := vidsim.Dims(cf.Fidelity.Res)
+	out := make([]*frame.Frame, 0, len(frames))
+	for _, f := range frames {
+		pixels += int64(f.NumPixels())
+		g := f.Downscale(tw, th)
+		if cf.Fidelity.Crop != format.Crop100 {
+			g = g.CropCenter(cf.Fidelity.Crop.Fraction())
+		}
+		out = append(out, g)
+	}
+	if cf.Fidelity.Quality < sf.Fidelity.Quality {
+		codec.ApplyQuality(out, cf.Fidelity.Quality)
+	}
+	st.VirtualSeconds += profile.TransformSeconds(pixels)
+	st.FramesDelivered = int64(len(out))
+	return out, st, nil
+}
+
+// rawKeep composes the consumption sampling pattern with the cascade filter
+// for per-frame raw reads.
+func rawKeep(s format.Sampling, within func(int) bool) func(int) bool {
+	return func(pts int) bool {
+		if !s.Keep(pts) {
+			return false
+		}
+		return within == nil || within(pts)
+	}
+}
+
+// encodedKeep marks the stored positions to deliver: the nearest stored
+// frames realising the consumption sampling, filtered by within.
+func encodedKeep(enc *codec.Encoded, s format.Sampling, within func(int) bool) []bool {
+	pts := enc.PTSList()
+	keep := make([]bool, enc.N)
+	for _, pos := range codec.SelectPositions(pts, s) {
+		if within == nil || within(pts[pos]) {
+			keep[pos] = true
+		}
+	}
+	return keep
+}
+
+// Range retrieves segments [seg0, seg1) and concatenates the frames.
+func (r *Retriever) Range(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, seg0, seg1 int, within func(pts int) bool) ([]*frame.Frame, Stats, error) {
+	var all []*frame.Frame
+	var total Stats
+	for idx := seg0; idx < seg1; idx++ {
+		frames, st, err := r.Segment(stream, sf, cf, idx, within)
+		total.Add(st)
+		if errors.Is(err, segment.ErrNotFound) {
+			continue // eroded segment: caller handles fallback
+		}
+		if err != nil {
+			return nil, total, err
+		}
+		all = append(all, frames...)
+	}
+	return all, total, nil
+}

@@ -1,0 +1,162 @@
+package retrieve
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/format"
+	"repro/internal/kvstore"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+var (
+	s11  = format.Sampling{Num: 1, Den: 1}
+	s16  = format.Sampling{Num: 1, Den: 6}
+	s130 = format.Sampling{Num: 1, Den: 30}
+)
+
+func setup(t *testing.T) (*Retriever, format.StorageFormat, format.StorageFormat) {
+	t.Helper()
+	kv, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kv.Close() })
+	store := segment.NewStore(kv)
+	src := vidsim.NewSource(vidsim.Datasets[0])
+
+	encSF := format.StorageFormat{
+		Fidelity: format.Fidelity{Quality: format.QGood, Crop: format.Crop100, Res: 540, Sampling: s11},
+		Coding:   format.Coding{Speed: format.SpeedFast, KeyframeI: 10},
+	}
+	rawSF := format.StorageFormat{
+		Fidelity: format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 200, Sampling: s11},
+		Coding:   format.RawCoding,
+	}
+	for idx := 0; idx < 2; idx++ {
+		full := src.Clip(idx*segment.Frames, segment.Frames)
+		tw, th := vidsim.Dims(540)
+		frames := codec.ApplyFidelity(full, encSF.Fidelity, tw, th)
+		enc, _, err := codec.Encode(frames, codec.ParamsFor(encSF))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.PutEncoded("cam", encSF, idx, enc); err != nil {
+			t.Fatal(err)
+		}
+		tw, th = vidsim.Dims(200)
+		raw := codec.ApplyFidelity(full, rawSF.Fidelity, tw, th)
+		if err := store.PutRaw("cam", rawSF, idx, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &Retriever{Store: store}, encSF, rawSF
+}
+
+func TestRetrieveEncodedSampled(t *testing.T) {
+	r, encSF, _ := setup(t)
+	cf := format.ConsumptionFormat{Fidelity: format.Fidelity{
+		Quality: format.QGood, Crop: format.Crop100, Res: 200, Sampling: s16}}
+	frames, st, err := r.Segment("cam", encSF, cf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := segment.Frames / 6
+	if len(frames) != want {
+		t.Fatalf("got %d frames, want %d", len(frames), want)
+	}
+	tw, th := vidsim.Dims(200)
+	for _, f := range frames {
+		if f.W != tw || f.H != th {
+			t.Fatalf("frame %dx%d, want %dx%d", f.W, f.H, tw, th)
+		}
+	}
+	if st.VirtualSeconds <= 0 || st.BytesRead <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetrieveR1Enforced(t *testing.T) {
+	r, encSF, _ := setup(t)
+	cf := format.ConsumptionFormat{Fidelity: format.MaxFidelity()} // richer than stored
+	if _, _, err := r.Segment("cam", encSF, cf, 0, nil); err == nil {
+		t.Fatal("R1 violation accepted")
+	}
+}
+
+func TestRawSparseCheaperThanFull(t *testing.T) {
+	r, _, rawSF := setup(t)
+	mk := func(s format.Sampling) format.ConsumptionFormat {
+		return format.ConsumptionFormat{Fidelity: format.Fidelity{
+			Quality: format.QBest, Crop: format.Crop100, Res: 200, Sampling: s}}
+	}
+	_, full, err := r.Segment("cam", rawSF, mk(s11), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sparse, err := r.Segment("cam", rawSF, mk(s130), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.BytesRead*10 > full.BytesRead {
+		t.Fatalf("sparse raw read %d bytes, full %d: individual-frame sampling broken", sparse.BytesRead, full.BytesRead)
+	}
+	if sparse.VirtualSeconds >= full.VirtualSeconds {
+		t.Fatal("sparse raw retrieval not faster than full")
+	}
+}
+
+func TestWithinFilter(t *testing.T) {
+	r, encSF, _ := setup(t)
+	cf := format.ConsumptionFormat{Fidelity: format.Fidelity{
+		Quality: format.QGood, Crop: format.Crop100, Res: 200, Sampling: s11}}
+	within := func(pts int) bool { return pts >= 60 && pts < 90 }
+	frames, _, err := r.Segment("cam", encSF, cf, 0, within)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 30 {
+		t.Fatalf("filtered retrieval returned %d frames, want 30", len(frames))
+	}
+	for _, f := range frames {
+		if !within(f.PTS) {
+			t.Fatalf("frame PTS %d outside filter", f.PTS)
+		}
+	}
+}
+
+func TestQualityDowngradeOnConversion(t *testing.T) {
+	r, _, rawSF := setup(t)
+	cf := format.ConsumptionFormat{Fidelity: format.Fidelity{
+		Quality: format.QWorst, Crop: format.Crop100, Res: 200, Sampling: s130}}
+	frames, _, err := r.Segment("cam", rawSF, cf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no frames")
+	}
+	// Worst quality quantises to a step of 48: few distinct values remain.
+	distinct := map[byte]bool{}
+	for _, v := range frames[0].Y {
+		distinct[v] = true
+	}
+	if len(distinct) > 8 {
+		t.Fatalf("quality downgrade not applied: %d distinct luma values", len(distinct))
+	}
+}
+
+func TestRangeSkipsMissingSegments(t *testing.T) {
+	r, encSF, _ := setup(t)
+	cf := format.ConsumptionFormat{Fidelity: format.Fidelity{
+		Quality: format.QGood, Crop: format.Crop100, Res: 200, Sampling: s16}}
+	// Segments 0..1 exist; 2..3 do not: Range must deliver what exists.
+	frames, _, err := r.Range("cam", encSF, cf, 0, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * segment.Frames / 6; len(frames) != want {
+		t.Fatalf("range returned %d frames, want %d", len(frames), want)
+	}
+}

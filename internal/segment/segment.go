@@ -1,0 +1,259 @@
+// Package segment layers VStore's on-disk video organisation over the
+// key-value store: footage is split into fixed-length segments (8-second
+// clips, §4.1) that are stored, retrieved and deleted independently — the
+// independence that age-based data erosion relies on.
+//
+// Encoded segments are one KV record each (the codec container). Raw
+// (coding-bypass) segments are stored one record per frame, so a sparse
+// consumer can read exactly the sampled frames from disk — the property the
+// paper notes for SF3 in Table 3 ("RAW frames can be sampled individually
+// from disk").
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/kvstore"
+	"repro/internal/vidsim"
+)
+
+// Seconds is the duration of one segment.
+const Seconds = 8
+
+// Frames is the number of native-rate frames per segment.
+const Frames = Seconds * vidsim.FPS
+
+// ErrNotFound is returned when a requested segment does not exist.
+var ErrNotFound = errors.New("segment: not found")
+
+// Store organises segments inside a key-value store.
+type Store struct {
+	kv *kvstore.Store
+}
+
+// NewStore wraps a key-value store.
+func NewStore(kv *kvstore.Store) *Store { return &Store{kv: kv} }
+
+// KV exposes the underlying key-value store (for stats and compaction).
+func (s *Store) KV() *kvstore.Store { return s.kv }
+
+func encKey(stream string, sf format.StorageFormat, idx int) string {
+	return fmt.Sprintf("seg/%s/%s/%08d", stream, sf.Key(), idx)
+}
+
+func rawFrameKey(stream string, sf format.StorageFormat, idx, pts int) string {
+	return fmt.Sprintf("raw/%s/%s/%08d/%08d", stream, sf.Key(), idx, pts)
+}
+
+func rawMetaKey(stream string, sf format.StorageFormat, idx int) string {
+	return fmt.Sprintf("rawmeta/%s/%s/%08d", stream, sf.Key(), idx)
+}
+
+// PutEncoded stores an encoded segment.
+func (s *Store) PutEncoded(stream string, sf format.StorageFormat, idx int, enc *codec.Encoded) error {
+	if sf.Coding.Raw {
+		return errors.New("segment: PutEncoded with raw coding; use PutRaw")
+	}
+	return s.kv.Put(encKey(stream, sf, idx), enc.Marshal())
+}
+
+// GetEncoded loads an encoded segment.
+func (s *Store) GetEncoded(stream string, sf format.StorageFormat, idx int) (*codec.Encoded, error) {
+	b, err := s.kv.Get(encKey(stream, sf, idx))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return codec.Unmarshal(b)
+}
+
+// rawMeta is the fixed-size per-segment header for raw segments.
+type rawMeta struct {
+	w, h, n, firstPTS int
+}
+
+func (m rawMeta) marshal() []byte {
+	var b [16]byte
+	binary.BigEndian.PutUint32(b[0:], uint32(m.w))
+	binary.BigEndian.PutUint32(b[4:], uint32(m.h))
+	binary.BigEndian.PutUint32(b[8:], uint32(m.n))
+	binary.BigEndian.PutUint32(b[12:], uint32(m.firstPTS))
+	return b[:]
+}
+
+func unmarshalRawMeta(b []byte) (rawMeta, error) {
+	if len(b) != 16 {
+		return rawMeta{}, errors.New("segment: bad raw metadata")
+	}
+	return rawMeta{
+		w:        int(binary.BigEndian.Uint32(b[0:])),
+		h:        int(binary.BigEndian.Uint32(b[4:])),
+		n:        int(binary.BigEndian.Uint32(b[8:])),
+		firstPTS: int(binary.BigEndian.Uint32(b[12:])),
+	}, nil
+}
+
+func marshalFrame(f *frame.Frame) []byte {
+	out := make([]byte, 0, 8+f.Bytes())
+	var hdr [8]byte
+	binary.BigEndian.PutUint16(hdr[0:], uint16(f.W))
+	binary.BigEndian.PutUint16(hdr[2:], uint16(f.H))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(f.PTS))
+	out = append(out, hdr[:]...)
+	out = append(out, f.Y...)
+	out = append(out, f.Cb...)
+	out = append(out, f.Cr...)
+	return out
+}
+
+func unmarshalFrame(b []byte) (*frame.Frame, error) {
+	if len(b) < 8 {
+		return nil, errors.New("segment: truncated raw frame")
+	}
+	w := int(binary.BigEndian.Uint16(b[0:]))
+	h := int(binary.BigEndian.Uint16(b[2:]))
+	pts := int(binary.BigEndian.Uint32(b[4:]))
+	f := frame.New(w, h)
+	f.PTS = pts
+	want := 8 + f.Bytes()
+	if len(b) != want {
+		return nil, fmt.Errorf("segment: raw frame %d bytes, want %d", len(b), want)
+	}
+	p := b[8:]
+	n := copy(f.Y, p)
+	n += copy(f.Cb, p[n:])
+	copy(f.Cr, p[n:])
+	return f, nil
+}
+
+// PutRaw stores a raw segment, one record per frame plus a metadata record.
+func (s *Store) PutRaw(stream string, sf format.StorageFormat, idx int, frames []*frame.Frame) error {
+	if !sf.Coding.Raw {
+		return errors.New("segment: PutRaw with encoded coding; use PutEncoded")
+	}
+	if len(frames) == 0 {
+		return errors.New("segment: empty raw segment")
+	}
+	meta := rawMeta{w: frames[0].W, h: frames[0].H, n: len(frames), firstPTS: frames[0].PTS}
+	if err := s.kv.Put(rawMetaKey(stream, sf, idx), meta.marshal()); err != nil {
+		return err
+	}
+	for _, f := range frames {
+		if err := s.kv.Put(rawFrameKey(stream, sf, idx, f.PTS), marshalFrame(f)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetRaw loads the raw frames of a segment for which keep(pts) is true;
+// keep == nil loads all. Only the kept frames are read from disk. The
+// returned read-bytes count reflects the disk traffic incurred.
+func (s *Store) GetRaw(stream string, sf format.StorageFormat, idx int, keep func(pts int) bool) ([]*frame.Frame, int64, error) {
+	mb, err := s.kv.Get(rawMetaKey(stream, sf, idx))
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return nil, 0, ErrNotFound
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	meta, err := unmarshalRawMeta(mb)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []*frame.Frame
+	var read int64
+	for pts := meta.firstPTS; pts < meta.firstPTS+meta.n; pts++ {
+		if keep != nil && !keep(pts) {
+			continue
+		}
+		b, err := s.kv.Get(rawFrameKey(stream, sf, idx, pts))
+		if errors.Is(err, kvstore.ErrNotFound) {
+			continue // frame may have been individually eroded
+		}
+		if err != nil {
+			return nil, read, err
+		}
+		read += int64(len(b))
+		f, err := unmarshalFrame(b)
+		if err != nil {
+			return nil, read, err
+		}
+		out = append(out, f)
+	}
+	return out, read, nil
+}
+
+// Has reports whether the segment exists (encoded or raw).
+func (s *Store) Has(stream string, sf format.StorageFormat, idx int) bool {
+	if sf.Coding.Raw {
+		return s.kv.Has(rawMetaKey(stream, sf, idx))
+	}
+	return s.kv.Has(encKey(stream, sf, idx))
+}
+
+// Delete removes the segment (all its records, for raw segments).
+func (s *Store) Delete(stream string, sf format.StorageFormat, idx int) error {
+	if !sf.Coding.Raw {
+		return s.kv.Delete(encKey(stream, sf, idx))
+	}
+	if err := s.kv.Delete(rawMetaKey(stream, sf, idx)); err != nil {
+		return err
+	}
+	prefix := fmt.Sprintf("raw/%s/%s/%08d/", stream, sf.Key(), idx)
+	for _, k := range s.kv.Keys(prefix) {
+		if err := s.kv.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Segments returns the sorted indices of stored segments for the stream and
+// format.
+func (s *Store) Segments(stream string, sf format.StorageFormat) []int {
+	var prefix string
+	if sf.Coding.Raw {
+		prefix = fmt.Sprintf("rawmeta/%s/%s/", stream, sf.Key())
+	} else {
+		prefix = fmt.Sprintf("seg/%s/%s/", stream, sf.Key())
+	}
+	keys := s.kv.Keys(prefix)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		idxStr := k[strings.LastIndexByte(k, '/')+1:]
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil {
+			continue
+		}
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BytesFor returns the stored bytes of all segments of the stream/format.
+func (s *Store) BytesFor(stream string, sf format.StorageFormat) int64 {
+	var total int64
+	add := func(k string, v []byte) bool {
+		total += int64(len(v))
+		return true
+	}
+	if sf.Coding.Raw {
+		_ = s.kv.Scan(fmt.Sprintf("raw/%s/%s/", stream, sf.Key()), add)
+		_ = s.kv.Scan(fmt.Sprintf("rawmeta/%s/%s/", stream, sf.Key()), add)
+	} else {
+		_ = s.kv.Scan(fmt.Sprintf("seg/%s/%s/", stream, sf.Key()), add)
+	}
+	return total
+}

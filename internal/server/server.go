@@ -1,0 +1,466 @@
+// Package server is the operational façade over the whole store: it owns
+// the database directory, tracks configuration epochs, ingests streams
+// concurrently, runs queries, and applies erosion.
+//
+// Epochs implement §7's "adapting to changes in operators and hardware":
+// reconfiguring (after adding operators or accuracy levels) opens a new
+// epoch whose storage formats apply only to forthcoming video — transcoding
+// existing on-disk video would be expensive — while queries over older
+// epochs subscribe each consumer to the cheapest existing storage format
+// with satisfiable fidelity. Operators on aged video therefore run at their
+// designated accuracies, albeit possibly slower than optimal, exactly as
+// the paper prescribes.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/erode"
+	"repro/internal/format"
+	"repro/internal/ingest"
+	"repro/internal/kvstore"
+	"repro/internal/query"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+// Epoch is one configuration generation: it governs segments ingested while
+// it was current.
+type Epoch struct {
+	ID    int
+	Since map[string]int // per stream: first segment index under this epoch
+	Cfg   *core.Config
+}
+
+// Server owns one store directory. All methods are safe for concurrent use.
+type Server struct {
+	mu     sync.Mutex
+	kv     *kvstore.Store
+	segs   *segment.Store
+	epochs []*Epoch
+	next   map[string]int // per stream: next segment index to ingest
+	// Parallelism bounds concurrent per-format transcodes during ingest;
+	// zero selects GOMAXPROCS.
+	Parallelism int
+}
+
+const (
+	epochKeyPrefix  = "meta/epoch/"
+	streamKeyPrefix = "meta/stream/"
+)
+
+// Open opens (creating if needed) a server over the given directory,
+// restoring epochs and stream positions from the store's metadata.
+func Open(dir string) (*Server, error) {
+	kv, err := kvstore.Open(filepath.Join(dir, "segments"), kvstore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{kv: kv, segs: segment.NewStore(kv), next: map[string]int{}}
+	for _, k := range kv.Keys(epochKeyPrefix) {
+		b, err := kv.Get(k)
+		if err != nil {
+			kv.Close()
+			return nil, err
+		}
+		ep, err := decodeEpoch(b)
+		if err != nil {
+			kv.Close()
+			return nil, fmt.Errorf("server: epoch %s: %w", k, err)
+		}
+		s.epochs = append(s.epochs, ep)
+	}
+	sort.Slice(s.epochs, func(i, j int) bool { return s.epochs[i].ID < s.epochs[j].ID })
+	for _, k := range kv.Keys(streamKeyPrefix) {
+		b, err := kv.Get(k)
+		if err != nil || len(b) != 8 {
+			kv.Close()
+			return nil, fmt.Errorf("server: stream position %s corrupt", k)
+		}
+		s.next[k[len(streamKeyPrefix):]] = int(binary.BigEndian.Uint64(b))
+	}
+	return s, nil
+}
+
+// Close releases the store.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kv.Close()
+}
+
+func encodeEpoch(ep *Epoch) ([]byte, error) {
+	cfg, err := ep.Cfg.MarshalBytes()
+	if err != nil {
+		return nil, err
+	}
+	// Header: id, #streams, then (len,name,since) entries, then the config.
+	out := binary.BigEndian.AppendUint32(nil, uint32(ep.ID))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(ep.Since)))
+	names := make([]string, 0, len(ep.Since))
+	for n := range ep.Since {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = binary.BigEndian.AppendUint32(out, uint32(len(n)))
+		out = append(out, n...)
+		out = binary.BigEndian.AppendUint64(out, uint64(ep.Since[n]))
+	}
+	return append(out, cfg...), nil
+}
+
+func decodeEpoch(b []byte) (*Epoch, error) {
+	if len(b) < 8 {
+		return nil, errors.New("short epoch record")
+	}
+	ep := &Epoch{ID: int(binary.BigEndian.Uint32(b)), Since: map[string]int{}}
+	n := int(binary.BigEndian.Uint32(b[4:]))
+	off := 8
+	for i := 0; i < n; i++ {
+		if off+4 > len(b) {
+			return nil, errors.New("truncated epoch record")
+		}
+		l := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		if off+l+8 > len(b) {
+			return nil, errors.New("truncated epoch record")
+		}
+		name := string(b[off : off+l])
+		off += l
+		ep.Since[name] = int(binary.BigEndian.Uint64(b[off:]))
+		off += 8
+	}
+	cfg, err := core.FromBytes(b[off:])
+	if err != nil {
+		return nil, err
+	}
+	ep.Cfg = cfg
+	return ep, nil
+}
+
+// Reconfigure installs a new configuration epoch. Forthcoming segments of
+// every stream are ingested under it; already-stored segments remain under
+// their original epochs (§7).
+func (s *Server) Reconfigure(cfg *core.Config) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep := &Epoch{ID: len(s.epochs), Since: map[string]int{}, Cfg: cfg}
+	for stream, n := range s.next {
+		ep.Since[stream] = n
+	}
+	b, err := encodeEpoch(ep)
+	if err != nil {
+		return err
+	}
+	if err := s.kv.Put(fmt.Sprintf("%s%08d", epochKeyPrefix, ep.ID), b); err != nil {
+		return err
+	}
+	s.epochs = append(s.epochs, ep)
+	return nil
+}
+
+// Current returns the active configuration, or nil before the first
+// Reconfigure.
+func (s *Server) Current() *core.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.epochs) == 0 {
+		return nil
+	}
+	return s.epochs[len(s.epochs)-1].Cfg
+}
+
+// Epochs returns the installed epochs, oldest first.
+func (s *Server) Epochs() []*Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Epoch(nil), s.epochs...)
+}
+
+// epochOf returns the epoch governing the given segment of the stream.
+func (s *Server) epochOf(stream string, seg int) *Epoch {
+	var out *Epoch
+	for _, ep := range s.epochs {
+		since, ok := ep.Since[stream]
+		if !ok {
+			since = 0 // stream unknown when the epoch opened: epoch governs from 0
+		}
+		if seg >= since {
+			out = ep
+		}
+	}
+	return out
+}
+
+// Ingest appends n segments of the scene to the named stream under the
+// current epoch, transcoding storage formats concurrently.
+func (s *Server) Ingest(scene vidsim.Scene, stream string, n int) (ingest.Stats, error) {
+	s.mu.Lock()
+	if len(s.epochs) == 0 {
+		s.mu.Unlock()
+		return ingest.Stats{}, errors.New("server: no configuration installed; call Reconfigure first")
+	}
+	cfg := s.epochs[len(s.epochs)-1].Cfg
+	start := s.next[stream]
+	s.mu.Unlock()
+
+	par := s.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	ing := parallelIngester{store: s.segs, sfs: cfg.StorageFormats(), parallel: par}
+	st, err := ing.stream(scene, stream, start, n)
+	if err != nil {
+		return st, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next[stream] = start + n
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(s.next[stream]))
+	if err := s.kv.Put(streamKeyPrefix+stream, buf[:]); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// SegmentsOf returns how many segments the stream holds.
+func (s *Server) SegmentsOf(stream string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next[stream]
+}
+
+// bindingFor resolves one cascade stage for an epoch: the CF comes from the
+// CURRENT configuration (operators always run at the latest derived
+// consumption formats); the SF is the epoch's cheapest format with
+// satisfiable fidelity, preferring the consumer's own subscription when the
+// epoch is current (§7).
+func (s *Server) bindingFor(ep *Epoch, current *core.Config, opName string, acc float64) (query.StageBinding, error) {
+	cf, ownSF, err := current.BindingFor(opName, acc)
+	if err != nil {
+		return query.StageBinding{}, err
+	}
+	if ep.Cfg == current {
+		return query.StageBinding{CF: cf, SF: ownSF}, nil
+	}
+	best := -1
+	bestBytes := math.Inf(1)
+	for i, sf := range ep.Cfg.Derivation.SFs {
+		if !sf.SF.Satisfies(cf) {
+			continue
+		}
+		if sf.Prof.BytesPerSec < bestBytes {
+			best, bestBytes = i, sf.Prof.BytesPerSec
+		}
+	}
+	if best < 0 {
+		// The old epoch cannot satisfy this CF (it predates the operator):
+		// fall back to its golden format and cap the CF at what it stores.
+		g := ep.Cfg.Derivation.SFs[ep.Cfg.Derivation.Golden].SF
+		capped := cf
+		if !g.Satisfies(capped) {
+			capped.Fidelity = intersectFidelity(capped.Fidelity, g.Fidelity)
+		}
+		return query.StageBinding{CF: capped, SF: g}, nil
+	}
+	return query.StageBinding{CF: cf, SF: ep.Cfg.Derivation.SFs[best].SF}, nil
+}
+
+// intersectFidelity returns the knob-wise minimum: the richest fidelity
+// both arguments can supply.
+func intersectFidelity(a, b format.Fidelity) format.Fidelity {
+	out := a
+	if b.Quality < out.Quality {
+		out.Quality = b.Quality
+	}
+	if b.Crop < out.Crop {
+		out.Crop = b.Crop
+	}
+	if b.Res < out.Res {
+		out.Res = b.Res
+	}
+	if b.Sampling.Fraction() < out.Sampling.Fraction() {
+		out.Sampling = b.Sampling
+	}
+	return out
+}
+
+// QueryResult is a server query's outcome: per-epoch results merged.
+type QueryResult struct {
+	Results []query.Result
+}
+
+// Speed returns the overall query speed across epochs.
+func (q QueryResult) Speed() float64 {
+	var vid, sec float64
+	for _, r := range q.Results {
+		vid += r.VideoSeconds
+		sec += r.VirtualSeconds
+	}
+	if sec <= 0 {
+		return 0
+	}
+	return vid / sec
+}
+
+// Detections returns all final-stage detections across epochs.
+func (q QueryResult) Detections() []query.Result {
+	return q.Results
+}
+
+// Query runs the cascade at the target accuracy over segments [seg0, seg1)
+// of the stream, splitting the range by configuration epoch and resolving
+// each stage's formats per epoch.
+func (s *Server) Query(stream string, cascade query.Cascade, opNames []string, acc float64, seg0, seg1 int) (QueryResult, error) {
+	s.mu.Lock()
+	if len(s.epochs) == 0 {
+		s.mu.Unlock()
+		return QueryResult{}, errors.New("server: no configuration installed")
+	}
+	current := s.epochs[len(s.epochs)-1].Cfg
+	// Split [seg0, seg1) into epoch-homogeneous ranges.
+	type span struct {
+		ep     *Epoch
+		lo, hi int
+	}
+	var spans []span
+	for seg := seg0; seg < seg1; {
+		ep := s.epochOf(stream, seg)
+		hi := seg1
+		for nxt := seg + 1; nxt < seg1; nxt++ {
+			if s.epochOf(stream, nxt) != ep {
+				hi = nxt
+				break
+			}
+		}
+		spans = append(spans, span{ep, seg, hi})
+		seg = hi
+	}
+	s.mu.Unlock()
+
+	eng := query.Engine{Store: s.segs}
+	var out QueryResult
+	for _, sp := range spans {
+		var binding query.Binding
+		for _, name := range opNames {
+			sb, err := s.bindingFor(sp.ep, current, name, acc)
+			if err != nil {
+				return out, err
+			}
+			binding = append(binding, sb)
+		}
+		res, err := eng.Run(stream, cascade, binding, sp.lo, sp.hi)
+		if err != nil {
+			return out, err
+		}
+		out.Results = append(out.Results, res)
+	}
+	return out, nil
+}
+
+// Erode applies every epoch's erosion plan to the segments it governs.
+// ageOfSegment maps a stream's segment index to its age in days.
+func (s *Server) Erode(stream string, ageOfSegment func(idx int) int) (int, error) {
+	s.mu.Lock()
+	epochs := append([]*Epoch(nil), s.epochs...)
+	s.mu.Unlock()
+	e := erode.Eroder{Store: s.segs}
+	total := 0
+	for _, ep := range epochs {
+		if ep.Cfg.Erosion == nil {
+			continue
+		}
+		d := ep.Cfg.Derivation
+		sfs := ep.Cfg.StorageFormats()
+		// Only this epoch's segments: wrap the age function to exclude
+		// foreign segments by reporting age 0 (never eroded, never expired).
+		since := ep.Since[stream]
+		until := math.MaxInt
+		for _, later := range epochs {
+			if later.ID > ep.ID {
+				if v, ok := later.Since[stream]; ok && v < until {
+					until = v
+				}
+			}
+		}
+		age := func(idx int) int {
+			if idx < since || idx >= until {
+				return 0
+			}
+			return ageOfSegment(idx)
+		}
+		n, err := e.Apply(stream, sfs, d.Golden, ep.Cfg.Erosion, age)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Stats reports the underlying store occupancy.
+func (s *Server) Stats() kvstore.Stats {
+	return s.kv.Stats()
+}
+
+// Compact reclaims garbage space in the underlying store (e.g., after
+// erosion deleted many segments).
+func (s *Server) Compact() error { return s.kv.Compact() }
+
+// parallelIngester transcodes each segment's storage formats concurrently.
+type parallelIngester struct {
+	store    *segment.Store
+	sfs      []format.StorageFormat
+	parallel int
+}
+
+func (pi parallelIngester) stream(scene vidsim.Scene, stream string, seg0, n int) (ingest.Stats, error) {
+	src := vidsim.NewSource(scene)
+	stats := ingest.Stats{PerSF: make([]ingest.SFStats, len(pi.sfs))}
+	for i := range pi.sfs {
+		stats.PerSF[i].SF = pi.sfs[i]
+	}
+	sem := make(chan struct{}, pi.parallel)
+	for si := 0; si < n; si++ {
+		idx := seg0 + si
+		full := src.Clip(idx*segment.Frames, segment.Frames)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for fi := range pi.sfs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(fi int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				one := ingest.Ingester{Store: pi.store, SFs: pi.sfs[fi : fi+1]}
+				bytes, cpu, err := one.TranscodeSegment(full, stream, pi.sfs[fi], idx)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+					return
+				}
+				stats.PerSF[fi].Bytes += bytes
+				stats.PerSF[fi].CPUSeconds += cpu
+				stats.CPUSeconds += cpu
+			}(fi)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return stats, firstErr
+		}
+		stats.Segments++
+	}
+	return stats, nil
+}
