@@ -1,0 +1,35 @@
+# Local dev and CI invoke the same targets (.github/workflows/ci.yml).
+
+GO ?= go
+
+# Packages with concurrent paths, exercised under the race detector.
+RACE_PKGS := ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/retrieve/...
+
+.PHONY: build test race bench lint fmt vet all
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# -short skips wall-clock timing assertions: the race detector's overhead
+# distorts them, and its job is catching data races, not measuring speed.
+race:
+	$(GO) test -race -short $(RACE_PKGS)
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchmem ./internal/server/
+
+lint: vet fmt
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi

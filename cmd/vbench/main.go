@@ -7,7 +7,7 @@
 //	vbench [-clip frames] [-segments n] [-dir path] <artifact>
 //
 // Artifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13
-// fig14 sfconfig focus all
+// fig14 sfconfig speedup focus all
 package main
 
 import (
@@ -25,11 +25,13 @@ var (
 	segments   = flag.Int("segments", 3, "segments ingested per dataset for fig11 (8s each)")
 	dir        = flag.String("dir", "", "working directory for stores (default: temp)")
 	seconds    = flag.Int("seconds", 60, "clip seconds for fig3 coding sweeps")
+	parallel   = flag.Int("parallel", 8, "query worker-pool width for the speedup artifact (0 = GOMAXPROCS)")
+	cacheBytes = flag.Int64("cache-bytes", 1<<30, "retrieval cache budget in bytes for the speedup artifact (0 = disabled)")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vbench [flags] <artifact>\nartifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13 fig14 sfconfig focus all\n")
+		fmt.Fprintf(os.Stderr, "usage: vbench [flags] <artifact>\nartifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13 fig14 sfconfig speedup focus all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -41,6 +43,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vbench:", err)
 		os.Exit(1)
 	}
+}
+
+// flagPassed reports whether the named flag was set on the command line.
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
 }
 
 func run(artifact string) error {
@@ -144,6 +157,30 @@ func run(artifact string) error {
 				return err
 			}
 			fmt.Print(experiments.RenderFig14(rows))
+			return nil
+		}},
+		{"speedup", func() error {
+			wd := *dir
+			if wd == "" {
+				var err error
+				wd, err = os.MkdirTemp("", "vbench-speedup-*")
+				if err != nil {
+					return err
+				}
+				defer os.RemoveAll(wd)
+			}
+			// A multi-segment query is the point of the artifact, so the
+			// 3-segment fig11 default is raised — but an explicit
+			// -segments value is honoured whatever it is.
+			n := *segments
+			if !flagPassed("segments") {
+				n = 8
+			}
+			res, err := experiments.Speedup(env, wd, "jackson", n, *parallel, *cacheBytes)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderSpeedup(res))
 			return nil
 		}},
 		{"sfconfig", func() error {

@@ -24,10 +24,12 @@ type Options struct {
 	Strategy Strategy
 }
 
-// Config is a complete derived configuration: the paper's Figure 7 output.
+// Config is a complete derived configuration: the paper's Figure 7 output,
+// plus the runtime execution knobs that govern how queries over it run.
 type Config struct {
 	Derivation *StorageDerivation
 	Erosion    *ErosionPlan
+	Runtime    Runtime
 }
 
 // Configure runs the full backward derivation (Figure 7): consumption

@@ -18,6 +18,12 @@ type configDTO struct {
 	Subs      []int         `json:"subscriptions"`
 	Golden    int           `json:"golden"`
 	Erosion   *erosionDTO   `json:"erosion,omitempty"`
+	Runtime   *runtimeDTO   `json:"runtime,omitempty"`
+}
+
+type runtimeDTO struct {
+	QueryWorkers int   `json:"query_workers,omitempty"`
+	CacheBytes   int64 `json:"cache_bytes,omitempty"`
 }
 
 type consumerDTO struct {
@@ -99,6 +105,9 @@ func (c *Config) MarshalBytes() ([]byte, error) {
 			TotalBytes: c.Erosion.TotalBytes,
 		}
 	}
+	if c.Runtime != (Runtime{}) {
+		dto.Runtime = &runtimeDTO{QueryWorkers: c.Runtime.QueryWorkers, CacheBytes: c.Runtime.CacheBytes}
+	}
 	b, err := json.MarshalIndent(dto, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -170,6 +179,9 @@ func FromBytes(b []byte) (*Config, error) {
 			DeletedFrac: dto.Erosion.DeletedFrac, OverallSpeed: dto.Erosion.OverallSpeed,
 			TotalBytes: dto.Erosion.TotalBytes,
 		}
+	}
+	if dto.Runtime != nil {
+		cfg.Runtime = Runtime{QueryWorkers: dto.Runtime.QueryWorkers, CacheBytes: dto.Runtime.CacheBytes}
 	}
 	return cfg, nil
 }

@@ -1,0 +1,20 @@
+package core
+
+// Runtime holds execution knobs that travel with a configuration but do
+// not affect format derivation: how wide the query engine's worker pool
+// runs and how much memory the retrieval cache may hold. They persist with
+// the configuration (and therefore with each epoch) so a reopened store
+// serves queries exactly as configured.
+type Runtime struct {
+	// QueryWorkers bounds the query engine's worker pool: epoch spans and
+	// per-stage segment retrievals execute concurrently up to this width.
+	// Zero selects runtime.GOMAXPROCS at execution time; one forces fully
+	// sequential execution.
+	QueryWorkers int
+	// CacheBytes is the retrieval cache budget in bytes: retrieved
+	// segments are kept in their consumption format and evicted least
+	// recently used once the budget is exceeded. Zero means "unspecified":
+	// no cache on open, and an operator-enabled cache survives a
+	// reconfiguration. Negative explicitly disables on Reconfigure.
+	CacheBytes int64
+}

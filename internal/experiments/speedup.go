@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/query"
+	"repro/internal/retrieve"
+	"repro/internal/server"
+	"repro/internal/vidsim"
+)
+
+// SpeedupResult reports sequential vs parallel vs cached-parallel wall
+// time for one multi-segment query, plus the invariant that matters: the
+// detections are identical on every path.
+type SpeedupResult struct {
+	Scene      string
+	Segments   int
+	Workers    int
+	CacheBytes int64
+	CPUs       int
+
+	SeqSec    float64 // sequential, cache disabled
+	ParSec    float64 // parallel, cache disabled
+	CachedSec float64 // parallel, cache warm
+
+	CacheStats retrieve.CacheStats
+	Identical  bool // detections and final PTS equal across all paths
+}
+
+// Speedup ingests nSegments of the scene into a fresh store under dir and
+// times query A end to end: sequentially, on the worker pool, and on the
+// worker pool with a warm retrieval cache. Each variant runs `rounds`
+// times and keeps the best wall time, damping scheduler noise.
+func Speedup(e *Env, dir, scene string, nSegments, workers int, cacheBytes int64) (SpeedupResult, error) {
+	res := SpeedupResult{
+		Scene: scene, Segments: nSegments, Workers: workers,
+		CacheBytes: cacheBytes, CPUs: runtime.NumCPU(),
+	}
+	sc, err := vidsim.DatasetByName(scene)
+	if err != nil {
+		return res, err
+	}
+	s, err := server.Open(dir)
+	if err != nil {
+		return res, err
+	}
+	defer s.Close()
+	p := e.Profiler(scene)
+	var consumers []core.Consumer
+	for _, op := range []ops.Operator{ops.Diff{}, ops.SNN{}, ops.NN{}} {
+		consumers = append(consumers, core.Consumer{Op: op, Target: 0.9, Prof: p})
+	}
+	cfg, err := core.Configure(consumers, core.Options{StorageProfiler: p})
+	if err != nil {
+		return res, err
+	}
+	if err := s.Reconfigure(cfg); err != nil {
+		return res, err
+	}
+	if _, err := s.Ingest(sc, scene, nSegments); err != nil {
+		return res, err
+	}
+
+	opNames := []string{"Diff", "S-NN", "NN"}
+	const rounds = 3
+	run := func(workers int, warm bool) (float64, server.QueryResult, error) {
+		s.QueryWorkers = workers
+		best := -1.0
+		var out server.QueryResult
+		n := rounds
+		if warm {
+			n++ // first pass populates the cache and is discarded
+		}
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			r, err := s.Query(scene, query.QueryA(), opNames, 0.9, 0, nSegments)
+			if err != nil {
+				return 0, out, err
+			}
+			d := time.Since(t0).Seconds()
+			if warm && i == 0 {
+				continue
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+			out = r
+		}
+		return best, out, nil
+	}
+
+	s.SetCacheBudget(0)
+	seqSec, seqOut, err := run(-1, false)
+	if err != nil {
+		return res, err
+	}
+	res.SeqSec = seqSec
+	parSec, parOut, err := run(workers, false)
+	if err != nil {
+		return res, err
+	}
+	res.ParSec = parSec
+	s.SetCacheBudget(cacheBytes)
+	cachedSec, cachedOut, err := run(workers, true)
+	if err != nil {
+		return res, err
+	}
+	res.CachedSec = cachedSec
+	res.CacheStats = s.CacheStats()
+
+	res.Identical = true
+	for _, other := range []server.QueryResult{parOut, cachedOut} {
+		if len(other.Results) != len(seqOut.Results) {
+			res.Identical = false
+			break
+		}
+		for i := range seqOut.Results {
+			if !reflect.DeepEqual(other.Results[i].Detections, seqOut.Results[i].Detections) ||
+				!reflect.DeepEqual(other.Results[i].FinalPTS, seqOut.Results[i].FinalPTS) {
+				res.Identical = false
+			}
+		}
+	}
+	return res, nil
+}
+
+// RenderSpeedup renders the comparison.
+func RenderSpeedup(r SpeedupResult) string {
+	speed := func(sec float64) string {
+		if sec <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fx", r.SeqSec/sec)
+	}
+	rows := [][]string{
+		{"sequential", fmt.Sprintf("%.3fs", r.SeqSec), "1.00x"},
+		{fmt.Sprintf("parallel (%d workers)", r.Workers), fmt.Sprintf("%.3fs", r.ParSec), speed(r.ParSec)},
+		{"parallel + warm cache", fmt.Sprintf("%.3fs", r.CachedSec), speed(r.CachedSec)},
+	}
+	s := fmt.Sprintf("Query speedup: %s, %d segments, query A @ 0.9, %d CPUs\n",
+		r.Scene, r.Segments, r.CPUs)
+	s += Table([]string{"execution", "wall time", "speedup"}, rows)
+	cs := r.CacheStats
+	s += fmt.Sprintf("cache: budget %d B, %d hits / %d misses (%.0f%% hit rate), %d evictions, %d B resident\n",
+		r.CacheBytes, cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions, cs.Bytes)
+	if r.Identical {
+		s += "detections: identical on all paths\n"
+	} else {
+		s += "detections: MISMATCH between paths (BUG)\n"
+	}
+	if r.CPUs == 1 {
+		s += "note: single-CPU host; wall-time parallel speedup needs >1 core\n"
+	}
+	return s
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpeedupSmoke(t *testing.T) {
+	e := NewEnv(120)
+	res, err := Speedup(e, t.TempDir(), "jackson", 4, 2, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("parallel or cached query output differs from sequential")
+	}
+	if res.SeqSec <= 0 || res.ParSec <= 0 || res.CachedSec <= 0 {
+		t.Fatalf("non-positive wall times: %+v", res)
+	}
+	if res.CacheStats.Hits == 0 {
+		t.Fatalf("warm cached runs produced no hits: %+v", res.CacheStats)
+	}
+	out := RenderSpeedup(res)
+	for _, want := range []string{"sequential", "parallel", "warm cache", "hit rate", "identical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -341,12 +341,21 @@ func (s *Store) Scan(prefix string, fn func(key string, value []byte) bool) erro
 	return nil
 }
 
-// Stats reports store occupancy.
+// Stats reports store occupancy, plus the activity of any retrieval cache
+// layered in front of the store. The cache counters are populated by the
+// owning layer (the server wires its retrieval cache through here so one
+// Stats call describes the whole storage path); they stay zero when no
+// cache is attached.
 type Stats struct {
 	Keys         int
 	LiveBytes    int64 // bytes of live values
 	GarbageBytes int64 // bytes of superseded or deleted records
 	Files        int
+
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	CacheBytes     int64 // bytes of cached frames resident
 }
 
 // Stats returns current occupancy counters.

@@ -1,0 +1,35 @@
+package ops
+
+// FrameIndependent marks operators whose Run computes every frame's result
+// from that frame alone: no differencing against previous frames, no
+// running background model, no carried state of any kind (per-frame
+// scratch buffers reused across iterations purely for allocation economy
+// do not count as state). For such operators, running disjoint contiguous
+// chunks of the input and concatenating the outputs in chunk order yields
+// exactly the single-call result — the contract the parallel query engine
+// relies on to fan consumption across a worker pool without changing
+// detections.
+//
+// Operators that compare frames (Diff, Opflow) or accumulate models
+// (Motion) must NOT implement this interface.
+type FrameIndependent interface {
+	Operator
+	// FrameIndependent is a marker; implementations are empty.
+	FrameIndependent()
+}
+
+// The stateless classifiers and scanners of the library. Each processes
+// frames strictly one at a time with no memory of earlier ones.
+func (SNN) FrameIndependent()     {}
+func (NN) FrameIndependent()      {}
+func (Color) FrameIndependent()   {}
+func (Contour) FrameIndependent() {}
+func (License) FrameIndependent() {}
+func (OCR) FrameIndependent()     {}
+
+// IsFrameIndependent reports whether op declares the per-frame
+// independence contract above.
+func IsFrameIndependent(op Operator) bool {
+	_, ok := op.(FrameIndependent)
+	return ok
+}

@@ -1,0 +1,98 @@
+package query
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/format"
+	"repro/internal/retrieve"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	pool := NewPool(workers)
+	if pool.Workers() != workers {
+		t.Fatalf("Workers() = %d", pool.Workers())
+	}
+	var running, peak, total int32
+	var mu sync.Mutex
+	for i := 0; i < 20; i++ {
+		pool.Go(func() {
+			n := atomic.AddInt32(&running, 1)
+			mu.Lock()
+			if n > peak {
+				peak = n
+			}
+			mu.Unlock()
+			atomic.AddInt32(&total, 1)
+			atomic.AddInt32(&running, -1)
+		})
+	}
+	pool.Wait()
+	if total != 20 {
+		t.Fatalf("ran %d tasks, want 20", total)
+	}
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds pool width %d", peak, workers)
+	}
+}
+
+func TestPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	if NewPool(0).Workers() <= 0 {
+		t.Fatal("zero-worker pool")
+	}
+	if NewPool(-3).Workers() <= 0 {
+		t.Fatal("negative-worker pool")
+	}
+}
+
+// TestParallelRetrievalMatchesSequential runs the same cascade with the
+// sequential and parallel engines over the same store and asserts
+// byte-identical results, including the order-sensitive virtual-clock
+// accumulation — with and without a retrieval cache.
+func TestParallelRetrievalMatchesSequential(t *testing.T) {
+	store := newStore(t)
+	ingestSegments(t, store, "jackson", 3)
+	sfs := testSFs()
+	cfLow := format.ConsumptionFormat{Fidelity: format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 200, Sampling: s12}}
+	cfHigh := format.ConsumptionFormat{Fidelity: format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 400, Sampling: s16}}
+	binding := Binding{
+		{CF: cfLow, SF: sfs[1]},
+		{CF: cfLow, SF: sfs[1]},
+		{CF: cfHigh, SF: sfs[0]},
+	}
+
+	seq := Engine{Store: store, Workers: 1}
+	ref, err := seq.Run("jackson", QueryA(), binding, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		for _, cache := range []*retrieve.Cache{nil, retrieve.NewCache(1 << 30)} {
+			par := Engine{Store: store, Workers: workers, Cache: cache}
+			// Two passes: the second exercises cache hits when enabled.
+			for pass := 0; pass < 2; pass++ {
+				got, err := par.Run("jackson", QueryA(), binding, 0, 3)
+				if err != nil {
+					t.Fatalf("workers=%d cache=%v pass=%d: %v", workers, cache != nil, pass, err)
+				}
+				if !reflect.DeepEqual(got.Detections, ref.Detections) {
+					t.Fatalf("workers=%d cache=%v pass=%d: detections differ", workers, cache != nil, pass)
+				}
+				if !reflect.DeepEqual(got.FinalPTS, ref.FinalPTS) {
+					t.Fatalf("workers=%d cache=%v pass=%d: final PTS differ", workers, cache != nil, pass)
+				}
+				if cache == nil && got.VirtualSeconds != ref.VirtualSeconds {
+					t.Fatalf("workers=%d pass=%d: virtual seconds %v != %v", workers, pass, got.VirtualSeconds, ref.VirtualSeconds)
+				}
+			}
+			if cache != nil {
+				if st := cache.Stats(); st.Hits == 0 {
+					t.Fatalf("workers=%d: no cache hits on repeated run: %+v", workers, st)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool: at most its configured number of tasks run
+// concurrently, and Go blocks once the pool is saturated, so a producer
+// enqueueing thousands of segments never builds an unbounded goroutine
+// backlog. It is the execution substrate of the parallel query engine and
+// is intended for reuse by later subsystems (sharded serving, async
+// ingest).
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewPool returns a pool running at most workers tasks concurrently;
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Go schedules fn on the pool, blocking until a worker slot frees up.
+// Tasks must not themselves schedule onto the same pool: a task waiting on
+// a slot it transitively holds would deadlock.
+func (p *Pool) Go(fn func()) {
+	p.wg.Add(1)
+	p.sem <- struct{}{}
+	go func() {
+		defer p.wg.Done()
+		defer func() { <-p.sem }()
+		fn()
+	}()
+}
+
+// Wait blocks until every scheduled task has finished.
+func (p *Pool) Wait() { p.wg.Wait() }

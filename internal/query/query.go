@@ -6,10 +6,16 @@
 package query
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/format"
+	"repro/internal/frame"
 	"repro/internal/ops"
 	"repro/internal/profile"
 	"repro/internal/retrieve"
@@ -84,6 +90,19 @@ func (r Result) Speed() float64 {
 // Engine runs cascades against a segment store.
 type Engine struct {
 	Store *segment.Store
+	// Cache, when non-nil, memoises full-segment retrievals (see
+	// retrieve.Cache).
+	Cache *retrieve.Cache
+	// Workers bounds the engine's worker pool. Each stage fans its segment
+	// retrievals across the pool and merges frames in segment order, and
+	// operators declaring per-frame independence (ops.FrameIndependent)
+	// additionally fan consumption across frame chunks reassembled in
+	// order — so the cascade's output is identical to the sequential path
+	// in both cases. Stateful operators (frame differencing, background
+	// models) consume sequentially, since splitting their input would
+	// change detections. Zero selects runtime.GOMAXPROCS; one forces fully
+	// sequential execution.
+	Workers int
 }
 
 // Run executes the cascade over segments [seg0, seg1) of the stream using
@@ -92,19 +111,23 @@ func (e *Engine) Run(stream string, c Cascade, b Binding, seg0, seg1 int) (Resul
 	if len(b) != len(c.Stages) {
 		return Result{}, fmt.Errorf("query: binding has %d stages, cascade %d", len(b), len(c.Stages))
 	}
-	r := retrieve.Retriever{Store: e.Store}
+	r := retrieve.Retriever{Store: e.Store, Cache: e.Cache}
 	res := Result{VideoSeconds: float64(seg1-seg0) * segment.Seconds}
 	t0 := time.Now()
 
 	// Activation filter: nil for the first stage (scan everything); later
-	// stages consume only spans around the previous stage's detections.
+	// stages consume only spans around the previous stage's detections. The
+	// tag digests the activation spans so filtered retrievals stay
+	// cacheable (spans are a deterministic function of the earlier stages'
+	// output, so equal tags imply equal delivered frame sets).
 	var within func(pts int) bool
+	var tag string
 	for si, stage := range c.Stages {
-		frames, rst, err := r.Range(stream, b[si].SF, b[si].CF, seg0, seg1, within)
+		frames, rst, err := e.retrieveRange(&r, stream, b[si].SF, b[si].CF, seg0, seg1, within, tag)
 		if err != nil {
 			return res, fmt.Errorf("query: stage %s: %w", stage.Op.Name(), err)
 		}
-		out, ost := ops.RunAtFidelity(stage.Op, frames, b[si].CF.Fidelity)
+		out, ost := runStage(stage.Op, frames, b[si].CF.Fidelity, e.Workers)
 		stageStat := StageStats{
 			Op:             stage.Op.Name(),
 			FramesConsumed: int64(len(frames)),
@@ -133,9 +156,109 @@ func (e *Engine) Run(stream string, c Cascade, b Binding, seg0, seg1 int) (Resul
 			break
 		}
 		within = spanPredicate(spans)
+		tag = spanTag(spans)
 	}
 	res.WallSeconds = time.Since(t0).Seconds()
 	return res, nil
+}
+
+// retrieveRange fetches segments [seg0, seg1), fanning them across the
+// engine's worker pool and merging frames and stats in segment order — the
+// same fold the sequential retrieve.Range performs, so results (including
+// the order-sensitive float accumulation of virtual seconds) are identical.
+// Missing (eroded) segments are skipped exactly as in the sequential path.
+func (e *Engine) retrieveRange(r *retrieve.Retriever, stream string, sf format.StorageFormat, cf format.ConsumptionFormat, seg0, seg1 int, within func(pts int) bool, tag string) ([]*frame.Frame, retrieve.Stats, error) {
+	n := seg1 - seg0
+	if e.Workers == 1 || n <= 1 {
+		return r.RangeTagged(stream, sf, cf, seg0, seg1, within, tag)
+	}
+	type segResult struct {
+		frames []*frame.Frame
+		st     retrieve.Stats
+		err    error
+	}
+	results := make([]segResult, n)
+	pool := NewPool(e.Workers)
+	for i := 0; i < n; i++ {
+		idx := seg0 + i
+		slot := &results[i]
+		pool.Go(func() {
+			slot.frames, slot.st, slot.err = r.SegmentTagged(stream, sf, cf, idx, within, tag)
+		})
+	}
+	pool.Wait()
+	var all []*frame.Frame
+	var total retrieve.Stats
+	for i := range results {
+		total.Add(results[i].st)
+		if errors.Is(results[i].err, segment.ErrNotFound) {
+			continue // eroded segment: caller handles fallback
+		}
+		if results[i].err != nil {
+			return nil, total, results[i].err
+		}
+		all = append(all, results[i].frames...)
+	}
+	return all, total, nil
+}
+
+// spanTag digests activation spans into a cache tag: equal span sets — and
+// only equal span sets, short of a SHA-256 collision — produce equal tags.
+func spanTag(spans []span) string {
+	h := sha256.New()
+	var buf [16]byte
+	for _, s := range spans {
+		binary.BigEndian.PutUint64(buf[:8], uint64(int64(s.lo)))
+		binary.BigEndian.PutUint64(buf[8:], uint64(int64(s.hi)))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// minChunkFrames keeps consumption fan-out worthwhile: chunks smaller than
+// this run sequentially, as goroutine overhead would swamp the work.
+const minChunkFrames = 4
+
+// runStage executes one cascade stage's consumption. Operators declaring
+// per-frame independence (ops.FrameIndependent) run on contiguous frame
+// chunks fanned across a worker pool, with outputs concatenated in chunk
+// order and stats summed — which the contract guarantees is identical to a
+// single sequential call. Stateful operators (frame differencing,
+// background models) always run sequentially.
+func runStage(op ops.Operator, frames []*frame.Frame, fid format.Fidelity, workers int) (ops.Output, ops.Stats) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunks := workers
+	if max := len(frames) / minChunkFrames; chunks > max {
+		chunks = max
+	}
+	if workers == 1 || chunks < 2 || !ops.IsFrameIndependent(op) {
+		return ops.RunAtFidelity(op, frames, fid)
+	}
+	type chunkResult struct {
+		out ops.Output
+		st  ops.Stats
+	}
+	results := make([]chunkResult, chunks)
+	pool := NewPool(workers)
+	for i := 0; i < chunks; i++ {
+		lo := len(frames) * i / chunks
+		hi := len(frames) * (i + 1) / chunks
+		slot := &results[i]
+		pool.Go(func() {
+			slot.out, slot.st = ops.RunAtFidelity(op, frames[lo:hi], fid)
+		})
+	}
+	pool.Wait()
+	var out ops.Output
+	var st ops.Stats
+	for i := range results {
+		out.PTS = append(out.PTS, results[i].out.PTS...)
+		out.Detections = append(out.Detections, results[i].out.Detections...)
+		st.Add(results[i].st)
+	}
+	return out, st
 }
 
 type span struct{ lo, hi int }

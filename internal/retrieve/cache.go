@@ -1,0 +1,194 @@
+package retrieve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/format"
+	"repro/internal/frame"
+)
+
+// CacheStats reports a retrieval cache's activity and occupancy.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Bytes     int64 // bytes of cached frames
+	Entries   int
+	Budget    int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type cacheEntry struct {
+	key    string
+	frames []*frame.Frame
+	bytes  int64
+}
+
+// Cache is an LRU cache of retrieved segments in their consumption format,
+// keyed by (stream, segment, storage format, consumption format), bounded by
+// a byte budget. It sits in front of the store so repeated queries skip
+// decode and fidelity conversion entirely — the consumption-format caching
+// that VSS (Haynes et al., 2021) showed cuts retrieval latency.
+//
+// Cached frames are shared between callers and must be treated as
+// immutable. Operators only read the frames they consume, preserving the
+// invariant. All methods are safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	budget    int64
+	ll        *list.List // front = most recently used; values are *cacheEntry
+	entries   map[string]*list.Element
+	bytes     int64
+	hits      int64
+	misses    int64
+	evictions int64
+	// gen is bumped by Invalidate. put drops inserts whose retrieval began
+	// before the bump, so an in-flight retrieval racing an erosion cannot
+	// repopulate the cache with pre-erosion frames.
+	gen int64
+}
+
+// NewCache returns a cache bounded by budgetBytes of frame data. A budget
+// of zero or less returns nil: the no-cache sentinel every lookup path
+// accepts.
+func NewCache(budgetBytes int64) *Cache {
+	if budgetBytes <= 0 {
+		return nil
+	}
+	return &Cache{
+		budget:  budgetBytes,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func cacheKey(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, idx int) string {
+	return fmt.Sprintf("%s/%s/%s/%d", stream, sf.Key(), cf.Fidelity.Key(), idx)
+}
+
+// get returns the cached frames for key, marking the entry most recently
+// used. Misses are counted here, so only cacheable lookups count. The
+// returned generation must accompany the put that fills the miss.
+func (c *Cache) get(key string) ([]*frame.Frame, int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, c.gen, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).frames, c.gen, true
+}
+
+// put inserts (or refreshes) the frames under key and evicts least recently
+// used entries until the byte budget holds. An entry larger than the whole
+// budget is not cached. gen is the generation get returned when the miss
+// was observed: if Invalidate ran in between, the retrieval may predate a
+// deletion and is silently dropped.
+func (c *Cache) put(key string, frames []*frame.Frame, gen int64) {
+	var bytes int64
+	for _, f := range frames {
+		bytes += int64(f.Bytes())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += bytes - ent.bytes
+		ent.frames, ent.bytes = frames, bytes
+		c.ll.MoveToFront(el)
+	} else {
+		if bytes > c.budget {
+			return
+		}
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, frames: frames, bytes: bytes})
+		c.bytes += bytes
+	}
+	for c.bytes > c.budget && c.ll.Len() > 1 {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the least recently used entry. Caller holds mu.
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.entries, ent.key)
+	c.bytes -= ent.bytes
+	c.evictions++
+}
+
+// Resize changes the byte budget, evicting as needed to honour a smaller
+// one.
+func (c *Cache) Resize(budgetBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = budgetBytes
+	for c.bytes > c.budget && c.ll.Len() > 0 {
+		c.evictOldest()
+	}
+}
+
+// Invalidate drops every cached segment of the stream, in any format. Used
+// after erosion or deletion changes what the store would return.
+func (c *Cache) Invalidate(stream string) {
+	prefix := stream + "/"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if len(ent.key) > len(prefix) && ent.key[:len(prefix)] == prefix {
+			c.ll.Remove(el)
+			delete(c.entries, ent.key)
+			c.bytes -= ent.bytes
+		}
+		el = next
+	}
+}
+
+// generation returns the current invalidation generation: the token a
+// direct put must carry, observed before the retrieval it caches began.
+func (c *Cache) generation() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Stats returns a snapshot of the cache counters. A nil cache reports
+// zeroes, so callers need not special-case the disabled state.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   c.ll.Len(),
+		Budget:    c.budget,
+	}
+}

@@ -1,0 +1,192 @@
+package retrieve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/ingest"
+	"repro/internal/kvstore"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+func testFrames(n, w, h int) []*frame.Frame {
+	out := make([]*frame.Frame, n)
+	for i := range out {
+		out[i] = frame.New(w, h)
+		out[i].PTS = i
+	}
+	return out
+}
+
+func framesBytes(fs []*frame.Frame) int64 {
+	var b int64
+	for _, f := range fs {
+		b += int64(f.Bytes())
+	}
+	return b
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	seg := testFrames(2, 32, 32)
+	per := framesBytes(seg)
+	c := NewCache(3 * per) // room for exactly three segments
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("s/%d", i), testFrames(2, 32, 32), c.generation())
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Evictions != 0 || st.Bytes != 3*per {
+		t.Fatalf("after 3 puts: %+v", st)
+	}
+	// Touch entry 0 so entry 1 is the LRU victim.
+	if _, _, ok := c.get("s/0"); !ok {
+		t.Fatal("entry 0 missing")
+	}
+	c.put("s/3", testFrames(2, 32, 32), c.generation())
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 1 || st.Bytes > st.Budget {
+		t.Fatalf("after eviction: %+v", st)
+	}
+	if _, _, ok := c.get("s/1"); ok {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	if _, _, ok := c.get("s/0"); !ok {
+		t.Fatal("recently used entry 0 was evicted")
+	}
+}
+
+func TestCacheByteBudgetHeld(t *testing.T) {
+	per := framesBytes(testFrames(1, 64, 64))
+	c := NewCache(5*per + per/2)
+	for i := 0; i < 20; i++ {
+		c.put(fmt.Sprintf("s/%d", i), testFrames(1, 64, 64), c.generation())
+		if st := c.Stats(); st.Bytes > st.Budget {
+			t.Fatalf("budget exceeded at put %d: %+v", i, st)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 5 || st.Evictions != 15 {
+		t.Fatalf("final state: %+v", st)
+	}
+}
+
+func TestCacheOversizedEntryNotCached(t *testing.T) {
+	small := testFrames(1, 16, 16)
+	c := NewCache(framesBytes(small))
+	c.put("big", testFrames(8, 64, 64), c.generation())
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("oversized entry cached: %+v", st)
+	}
+	c.put("small", small, c.generation())
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("small entry rejected: %+v", st)
+	}
+}
+
+func TestCacheResizeAndInvalidate(t *testing.T) {
+	per := framesBytes(testFrames(1, 32, 32))
+	c := NewCache(4 * per)
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("cam/%d", i), testFrames(1, 32, 32), c.generation())
+	}
+	c.put("other/0", testFrames(1, 32, 32), c.generation()) // evicts one cam entry
+	c.Resize(2 * per)
+	if st := c.Stats(); st.Bytes > 2*per {
+		t.Fatalf("resize did not evict: %+v", st)
+	}
+	c.Invalidate("cam")
+	for i := 0; i < 4; i++ {
+		if _, _, ok := c.get(fmt.Sprintf("cam/%d", i)); ok {
+			t.Fatalf("cam/%d survived invalidation", i)
+		}
+	}
+}
+
+// TestCacheStalePutDropped covers the erosion race: a retrieval that
+// observed its miss before an Invalidate must not repopulate the cache
+// with pre-invalidation frames.
+func TestCacheStalePutDropped(t *testing.T) {
+	c := NewCache(1 << 20)
+	gen := c.generation() // miss observed here...
+	c.Invalidate("cam")   // ...erosion invalidates while retrieval is in flight
+	c.put("cam/0", testFrames(1, 16, 16), gen)
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("stale put survived invalidation: %+v", st)
+	}
+	c.put("cam/0", testFrames(1, 16, 16), c.generation())
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("fresh put rejected: %+v", st)
+	}
+}
+
+func TestNewCacheZeroBudgetDisabled(t *testing.T) {
+	c := NewCache(0)
+	if c != nil {
+		t.Fatal("zero budget should return the nil no-cache sentinel")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats: %+v", st)
+	}
+}
+
+// TestRetrieverCacheHit exercises the cache through the real retrieval
+// path: the second identical retrieval must hit, deliver identical frames,
+// and report no disk bytes read.
+func TestRetrieverCacheHit(t *testing.T) {
+	kv, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	store := segment.NewStore(kv)
+	sc, err := vidsim.DatasetByName("jackson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := format.StorageFormat{Fidelity: format.MaxFidelity(), Coding: format.Coding{Speed: format.SpeedSlowest, KeyframeI: 30}}
+	ing := ingest.Ingester{Store: store, SFs: []format.StorageFormat{sf}}
+	if _, err := ing.Stream(sc, "cam", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	cf := format.ConsumptionFormat{Fidelity: format.MaxFidelity()}
+	r := Retriever{Store: store, Cache: NewCache(1 << 30)}
+
+	miss, mst, err := r.Segment("cam", sf, cf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Cache.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("after miss: %+v", st)
+	}
+	hit, hst, err := r.Segment("cam", sf, cf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Cache.Stats(); st.Hits != 1 {
+		t.Fatalf("after hit: %+v", st)
+	}
+	if hst.BytesRead != 0 || hst.VirtualSeconds != 0 {
+		t.Fatalf("hit reported retrieval cost: %+v", hst)
+	}
+	if mst.BytesRead == 0 {
+		t.Fatalf("miss reported no disk traffic: %+v", mst)
+	}
+	if len(hit) != len(miss) {
+		t.Fatalf("hit delivered %d frames, miss %d", len(hit), len(miss))
+	}
+	for i := range hit {
+		if hit[i] != miss[i] {
+			t.Fatalf("frame %d: cache returned a different frame", i)
+		}
+	}
+	// Filtered retrievals bypass the cache: no new hits or misses.
+	before := r.Cache.Stats()
+	if _, _, err := r.Segment("cam", sf, cf, 0, func(pts int) bool { return pts%2 == 0 }); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Cache.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("filtered retrieval touched the cache: %+v -> %+v", before, after)
+	}
+}

@@ -35,6 +35,11 @@ func (s *Stats) Add(other Stats) {
 // Retriever streams stored segments to consumers.
 type Retriever struct {
 	Store *segment.Store
+	// Cache, when non-nil, memoises full-segment retrievals in their
+	// consumption format. Filtered retrievals (a non-nil within predicate)
+	// bypass it: the delivered frame set depends on the predicate, which
+	// cannot be keyed.
+	Cache *Cache
 }
 
 // Segment retrieves segment idx of the stream stored in sf and converts it
@@ -42,8 +47,31 @@ type Retriever struct {
 // restricts the delivered original-timeline frame indices — the mechanism
 // cascades use to fetch only activated spans.
 func (r *Retriever) Segment(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, idx int, within func(pts int) bool) ([]*frame.Frame, Stats, error) {
+	return r.SegmentTagged(stream, sf, cf, idx, within, "")
+}
+
+// SegmentTagged is Segment with a caller-supplied cache tag. A non-empty
+// tag must uniquely identify the frame set the within predicate admits
+// (the query engine digests its activation spans); equal tags make
+// filtered retrievals cacheable, so repeated queries hit on every cascade
+// stage, not just the unfiltered first scan. An empty tag with a non-nil
+// predicate bypasses the cache.
+func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, idx int, within func(pts int) bool, tag string) ([]*frame.Frame, Stats, error) {
 	if !sf.Satisfies(cf) {
 		return nil, Stats{}, fmt.Errorf("retrieve: %v cannot supply %v (R1)", sf, cf)
+	}
+	cacheable := r.Cache != nil && (within == nil || tag != "")
+	var key string
+	var gen int64
+	if cacheable {
+		key = cacheKey(stream, sf, cf, idx) + "#" + tag
+		cached, g, ok := r.Cache.get(key)
+		if ok {
+			// A hit skips the disk read, decode and conversion entirely;
+			// only the delivery count is accounted.
+			return cached, Stats{FramesDelivered: int64(len(cached))}, nil
+		}
+		gen = g
 	}
 	var frames []*frame.Frame
 	var st Stats
@@ -87,6 +115,9 @@ func (r *Retriever) Segment(stream string, sf format.StorageFormat, cf format.Co
 	}
 	st.VirtualSeconds += profile.TransformSeconds(pixels)
 	st.FramesDelivered = int64(len(out))
+	if cacheable {
+		r.Cache.put(key, out, gen)
+	}
 	return out, st, nil
 }
 
@@ -116,10 +147,17 @@ func encodedKeep(enc *codec.Encoded, s format.Sampling, within func(int) bool) [
 
 // Range retrieves segments [seg0, seg1) and concatenates the frames.
 func (r *Retriever) Range(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, seg0, seg1 int, within func(pts int) bool) ([]*frame.Frame, Stats, error) {
+	return r.RangeTagged(stream, sf, cf, seg0, seg1, within, "")
+}
+
+// RangeTagged is Range with a cache tag for the within predicate (see
+// SegmentTagged). It owns the sequential fold — skip eroded segments,
+// accumulate stats in segment order — that parallel retrievers replicate.
+func (r *Retriever) RangeTagged(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, seg0, seg1 int, within func(pts int) bool, tag string) ([]*frame.Frame, Stats, error) {
 	var all []*frame.Frame
 	var total Stats
 	for idx := seg0; idx < seg1; idx++ {
-		frames, st, err := r.Segment(stream, sf, cf, idx, within)
+		frames, st, err := r.SegmentTagged(stream, sf, cf, idx, within, tag)
 		total.Add(st)
 		if errors.Is(err, segment.ErrNotFound) {
 			continue // eroded segment: caller handles fallback

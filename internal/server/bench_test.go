@@ -1,0 +1,87 @@
+package server
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/ops"
+	"repro/internal/query"
+	"repro/internal/vidsim"
+)
+
+// The benchmark server is built once per test process: configuration
+// derivation and an 8-segment ingest are far more expensive than the
+// queries being measured, and the framework re-invokes each benchmark
+// function as b.N scales.
+var (
+	benchOnce sync.Once
+	benchSrv  *Server
+	benchErr  error
+)
+
+const benchSegments = 8
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	benchOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "server-bench-*")
+		if err != nil {
+			benchErr = err
+			return
+		}
+		s, err := Open(dir)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		cfg := testConfig(b, "jackson", []ops.Operator{ops.Diff{}, ops.SNN{}, ops.NN{}}, []float64{0.9})
+		if err := s.Reconfigure(cfg); err != nil {
+			benchErr = err
+			return
+		}
+		sc, err := vidsim.DatasetByName("jackson")
+		if err != nil {
+			benchErr = err
+			return
+		}
+		if _, err := s.Ingest(sc, "cam", benchSegments); err != nil {
+			benchErr = err
+			return
+		}
+		benchSrv = s
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSrv
+}
+
+func benchQuery(b *testing.B, workers int, cacheBytes int64) {
+	s := benchServer(b)
+	s.QueryWorkers = workers
+	s.SetCacheBudget(cacheBytes)
+	opNames := []string{"Diff", "S-NN", "NN"}
+	if cacheBytes > 0 {
+		// Warm pass so the steady state being measured is the cached one.
+		if _, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuerySequential is the baseline: one worker, no cache.
+func BenchmarkQuerySequential(b *testing.B) { benchQuery(b, -1, 0) }
+
+// BenchmarkQueryParallel8 fans segment retrieval across 8 workers.
+func BenchmarkQueryParallel8(b *testing.B) { benchQuery(b, 8, 0) }
+
+// BenchmarkQueryParallelCached adds a 1 GiB retrieval cache on top of the
+// 8-worker pool; the steady state serves every stage-0 scan from memory.
+func BenchmarkQueryParallelCached(b *testing.B) { benchQuery(b, 8, 1<<30) }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/kvstore"
 	"repro/internal/query"
+	"repro/internal/retrieve"
 	"repro/internal/segment"
 	"repro/internal/vidsim"
 )
@@ -47,9 +48,15 @@ type Server struct {
 	segs   *segment.Store
 	epochs []*Epoch
 	next   map[string]int // per stream: next segment index to ingest
+	cache  *retrieve.Cache
 	// Parallelism bounds concurrent per-format transcodes during ingest;
 	// zero selects GOMAXPROCS.
 	Parallelism int
+	// QueryWorkers overrides the configuration's Runtime.QueryWorkers when
+	// non-zero: it bounds a query's TOTAL concurrency, divided between
+	// concurrent epoch spans and each span's per-stage fan-out. Negative
+	// values force sequential execution.
+	QueryWorkers int
 }
 
 const (
@@ -86,6 +93,16 @@ func Open(dir string) (*Server, error) {
 			return nil, fmt.Errorf("server: stream position %s corrupt", k)
 		}
 		s.next[k[len(streamKeyPrefix):]] = int(binary.BigEndian.Uint64(b))
+	}
+	// The retrieval cache budget travels with the configuration, so a
+	// reopened store serves queries exactly as configured. Zero means the
+	// configuration is silent (see Reconfigure), so fold newest-to-oldest
+	// for the last explicit setting; negative explicitly disables.
+	for i := len(s.epochs) - 1; i >= 0; i-- {
+		if b := s.epochs[i].Cfg.Runtime.CacheBytes; b != 0 {
+			s.cache = retrieve.NewCache(b)
+			break
+		}
 	}
 	return s, nil
 }
@@ -165,7 +182,44 @@ func (s *Server) Reconfigure(cfg *core.Config) error {
 		return err
 	}
 	s.epochs = append(s.epochs, ep)
+	// A zero budget means the configuration is silent on caching — most
+	// configurations never populate Runtime — so an operator-set cache
+	// (SetCacheBudget) survives. A negative budget explicitly disables.
+	if cfg.Runtime.CacheBytes != 0 {
+		s.applyCacheBudgetLocked(cfg.Runtime.CacheBytes)
+	}
 	return nil
+}
+
+// applyCacheBudgetLocked resizes, creates or drops the retrieval cache to
+// match the budget. Caller holds mu.
+func (s *Server) applyCacheBudgetLocked(budget int64) {
+	switch {
+	case budget <= 0:
+		s.cache = nil
+	case s.cache == nil:
+		s.cache = retrieve.NewCache(budget)
+	default:
+		s.cache.Resize(budget)
+	}
+}
+
+// SetCacheBudget resizes the retrieval cache at runtime without a
+// reconfiguration: a positive budget enables (or resizes) the cache, zero
+// or negative disables it.
+func (s *Server) SetCacheBudget(budget int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyCacheBudgetLocked(budget)
+}
+
+// CacheStats reports the retrieval cache's activity (zeroes when the cache
+// is disabled).
+func (s *Server) CacheStats() retrieve.CacheStats {
+	s.mu.Lock()
+	c := s.cache
+	s.mu.Unlock()
+	return c.Stats()
 }
 
 // Current returns the active configuration, or nil before the first
@@ -320,7 +374,11 @@ func (q QueryResult) Detections() []query.Result {
 
 // Query runs the cascade at the target accuracy over segments [seg0, seg1)
 // of the stream, splitting the range by configuration epoch and resolving
-// each stage's formats per epoch.
+// each stage's formats per epoch. Epoch spans execute concurrently on a
+// worker pool (one span's operators consume while another span still
+// retrieves), and within each span every stage fans its segment retrievals
+// across the same pool width; results merge in segment order, so the
+// output is identical to fully sequential execution.
 func (s *Server) Query(stream string, cascade query.Cascade, opNames []string, acc float64, seg0, seg1 int) (QueryResult, error) {
 	s.mu.Lock()
 	if len(s.epochs) == 0 {
@@ -328,6 +386,7 @@ func (s *Server) Query(stream string, cascade query.Cascade, opNames []string, a
 		return QueryResult{}, errors.New("server: no configuration installed")
 	}
 	current := s.epochs[len(s.epochs)-1].Cfg
+	cache := s.cache
 	// Split [seg0, seg1) into epoch-homogeneous ranges.
 	type span struct {
 		ep     *Epoch
@@ -348,24 +407,73 @@ func (s *Server) Query(stream string, cascade query.Cascade, opNames []string, a
 	}
 	s.mu.Unlock()
 
-	eng := query.Engine{Store: s.segs}
-	var out QueryResult
-	for _, sp := range spans {
-		var binding query.Binding
+	// Resolve every span's binding up front: bindings are cheap, and a
+	// resolution error surfaces before any retrieval work is scheduled.
+	bindings := make([]query.Binding, len(spans))
+	for i, sp := range spans {
 		for _, name := range opNames {
 			sb, err := s.bindingFor(sp.ep, current, name, acc)
 			if err != nil {
-				return out, err
+				return QueryResult{}, err
 			}
-			binding = append(binding, sb)
+			bindings[i] = append(bindings[i], sb)
 		}
-		res, err := eng.Run(stream, cascade, binding, sp.lo, sp.hi)
-		if err != nil {
-			return out, err
+	}
+
+	// The worker budget bounds TOTAL concurrency, so it is split between
+	// the two fan-out levels: spanPar spans run at once, each with
+	// workers/spanPar workers for its per-stage retrieval and consumption
+	// fan-out (spanPar * engine workers <= workers).
+	workers := s.queryWorkers(current)
+	spanPar := 1
+	if workers > 1 && len(spans) > 1 {
+		spanPar = min(workers, len(spans))
+	}
+	eng := query.Engine{Store: s.segs, Cache: cache, Workers: max(workers/spanPar, 1)}
+	results := make([]query.Result, len(spans))
+	errs := make([]error, len(spans))
+	if spanPar > 1 {
+		pool := query.NewPool(spanPar)
+		for i := range spans {
+			i := i
+			pool.Go(func() {
+				results[i], errs[i] = eng.Run(stream, cascade, bindings[i], spans[i].lo, spans[i].hi)
+			})
 		}
-		out.Results = append(out.Results, res)
+		pool.Wait()
+	} else {
+		for i := range spans {
+			results[i], errs[i] = eng.Run(stream, cascade, bindings[i], spans[i].lo, spans[i].hi)
+			if errs[i] != nil {
+				break
+			}
+		}
+	}
+	var out QueryResult
+	for i := range spans {
+		if errs[i] != nil {
+			return out, errs[i]
+		}
+		out.Results = append(out.Results, results[i])
 	}
 	return out, nil
+}
+
+// queryWorkers resolves the effective worker-pool width: the server-level
+// override wins, then the configuration's Runtime.QueryWorkers, then
+// GOMAXPROCS. Negative values force sequential execution.
+func (s *Server) queryWorkers(cfg *core.Config) int {
+	w := s.QueryWorkers
+	if w == 0 && cfg != nil {
+		w = cfg.Runtime.QueryWorkers
+	}
+	if w < 0 {
+		return 1
+	}
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
 }
 
 // Erode applies every epoch's erosion plan to the segments it governs.
@@ -376,6 +484,18 @@ func (s *Server) Erode(stream string, ageOfSegment func(idx int) int) (int, erro
 	s.mu.Unlock()
 	e := erode.Eroder{Store: s.segs}
 	total := 0
+	// Eroded segments must not be served from cache — including the ones a
+	// partially-failed Apply already deleted, so the invalidation is
+	// deferred rather than tied to the success path.
+	defer func() {
+		if total > 0 {
+			s.mu.Lock()
+			if s.cache != nil {
+				s.cache.Invalidate(stream)
+			}
+			s.mu.Unlock()
+		}
+	}()
 	for _, ep := range epochs {
 		if ep.Cfg.Erosion == nil {
 			continue
@@ -400,17 +520,24 @@ func (s *Server) Erode(stream string, ageOfSegment func(idx int) int) (int, erro
 			return ageOfSegment(idx)
 		}
 		n, err := e.Apply(stream, sfs, d.Golden, ep.Cfg.Erosion, age)
+		total += n
 		if err != nil {
 			return total, err
 		}
-		total += n
 	}
 	return total, nil
 }
 
-// Stats reports the underlying store occupancy.
+// Stats reports the underlying store occupancy plus the retrieval cache's
+// hit/miss/evict counters (zero when the cache is disabled).
 func (s *Server) Stats() kvstore.Stats {
-	return s.kv.Stats()
+	st := s.kv.Stats()
+	cs := s.CacheStats()
+	st.CacheHits = cs.Hits
+	st.CacheMisses = cs.Misses
+	st.CacheEvictions = cs.Evictions
+	st.CacheBytes = cs.Bytes
+	return st
 }
 
 // Compact reclaims garbage space in the underlying store (e.g., after

@@ -12,7 +12,7 @@ import (
 	"repro/internal/vidsim"
 )
 
-func testConfig(t *testing.T, scene string, operators []ops.Operator, targets []float64) *core.Config {
+func testConfig(t testing.TB, scene string, operators []ops.Operator, targets []float64) *core.Config {
 	t.Helper()
 	sc, err := vidsim.DatasetByName(scene)
 	if err != nil {
