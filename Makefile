@@ -3,9 +3,15 @@
 GO ?= go
 
 # Packages with concurrent paths, exercised under the race detector.
-RACE_PKGS := ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/retrieve/...
+RACE_PKGS := ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/...
 
-.PHONY: build test race bench lint fmt vet all
+# The live-serving core: covered with a minimum gate so the concurrency
+# machinery (manifest commits, snapshot release, daemon lifecycle) cannot
+# silently lose its tests.
+COVER_PKGS := ./internal/server ./internal/ingest ./internal/erode
+COVER_MIN := 80
+
+.PHONY: build test race bench lint fmt vet cover fuzz all
 
 all: build lint test
 
@@ -17,11 +23,24 @@ test:
 
 # -short skips wall-clock timing assertions: the race detector's overhead
 # distorts them, and its job is catching data races, not measuring speed.
+# The generous -timeout absorbs the ~10x race slowdown on small hosts.
 race:
-	$(GO) test -race -short $(RACE_PKGS)
+	$(GO) test -race -short -timeout 25m $(RACE_PKGS)
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchmem ./internal/server/
+
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) '/^total:/ { \
+		sub(/%/, "", $$3); \
+		printf "coverage (server+ingest+erode): %s%% (minimum %s%%)\n", $$3, min; \
+		if ($$3 + 0 < min) { print "FAIL: coverage below minimum"; exit 1 } }'
+
+# A short deterministic-input fuzz pass over configuration persistence:
+# FromBytes must never panic, and accepted inputs must round-trip.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzConfigRoundTrip -fuzztime 10s ./internal/core/
 
 lint: vet fmt
 

@@ -1,6 +1,6 @@
 // Command vstore is the store's operational CLI: derive a configuration,
-// ingest streams under it, run queries, apply age-based erosion, and report
-// store statistics.
+// ingest streams under it, run queries, apply age-based erosion, serve
+// live traffic, and report store statistics.
 //
 // Usage:
 //
@@ -8,6 +8,7 @@
 //	vstore ingest    -db DIR -scene NAME [-segments N] [-start I]
 //	vstore query     -db DIR -scene NAME -query A|B [-accuracy F] [-from I] [-to I]
 //	vstore erode     -db DIR -scene NAME [-today D]
+//	vstore serve     -db DIR [-streams A,B] [-segments N] [-queries N] [-query A|B] [-erode-interval D]
 //	vstore stats     -db DIR
 package main
 
@@ -16,6 +17,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/erode"
@@ -24,6 +28,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/query"
 	"repro/internal/segment"
+	"repro/internal/server"
 	"repro/internal/vidsim"
 )
 
@@ -42,6 +47,8 @@ func main() {
 		err = cmdQuery(args)
 	case "erode":
 		err = cmdErode(args)
+	case "serve":
+		err = cmdServe(args)
 	case "stats":
 		err = cmdStats(args)
 	default:
@@ -54,7 +61,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: vstore <configure|ingest|query|erode|stats> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: vstore <configure|ingest|query|erode|serve|stats> [flags]`)
 	os.Exit(2)
 }
 
@@ -217,6 +224,144 @@ func cmdErode(args []string) error {
 		return err
 	}
 	fmt.Printf("eroded %d segments of %s (day %d, k=%.2f)\n", deleted, *scene, *today, cfg.Erosion.K)
+	return nil
+}
+
+// cmdServe runs the store as a live engine: every named scene ingests
+// through a streaming pipeline while concurrent queries answer over
+// snapshot-isolated views and (optionally) the background erosion daemon
+// ages footage out — all at once, the always-on operation of §4.1.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	db := fs.String("db", "vstore-db", "store directory")
+	streamsFlag := fs.String("streams", "jackson,park", "comma-separated scenes to ingest live")
+	n := fs.Int("segments", 4, "segments to ingest per stream")
+	nq := fs.Int("queries", 8, "queries to run while ingesting")
+	q := fs.String("query", "A", "cascade: A (Diff+S-NN+NN) or B (Motion+License+OCR)")
+	acc := fs.Float64("accuracy", 0.9, "target operator accuracy")
+	erodeEvery := fs.Duration("erode-interval", 0, "erosion daemon pass interval (0 = no daemon)")
+	today := fs.Int("today", 1, "current day index for the erosion daemon's age function")
+	fs.Parse(args)
+
+	srv, err := server.Open(*db)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if srv.Current() == nil {
+		cfg, err := core.Load(configPath(*db))
+		if err != nil {
+			return fmt.Errorf("load configuration first (vstore configure): %w", err)
+		}
+		if err := srv.Reconfigure(cfg); err != nil {
+			return err
+		}
+	}
+	cascade := query.QueryA()
+	names := []string{"Diff", "S-NN", "NN"}
+	if *q == "B" {
+		cascade = query.QueryB()
+		names = []string{"Motion", "License", "OCR"}
+	}
+
+	if *erodeEvery > 0 {
+		if _, err := srv.StartErosionDaemon(*erodeEvery, nil, server.AgeByToday(func() int { return *today })); err != nil {
+			return err
+		}
+		defer srv.StopErosionDaemon()
+	}
+
+	streams := strings.Split(*streamsFlag, ",")
+	var feeders sync.WaitGroup
+	feedErr := make(chan error, len(streams))
+	for _, name := range streams {
+		name := name
+		sc, err := vidsim.DatasetByName(name)
+		if err != nil {
+			return err
+		}
+		live, err := srv.StartStream(name)
+		if err != nil {
+			return err
+		}
+		base := srv.SegmentsOf(name)
+		feeders.Add(1)
+		go func() {
+			defer feeders.Done()
+			src := vidsim.NewSource(sc)
+			for i := 0; i < *n; i++ {
+				seg := base + i
+				if err := live.Submit(src.Clip(seg*segment.Frames, segment.Frames)); err != nil {
+					feedErr <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// Queriers: answer while ingest is in flight, each over its own
+	// snapshot of whatever is committed at entry.
+	ingestDone := make(chan struct{})
+	var queriers sync.WaitGroup
+	var qmu sync.Mutex
+	ran := 0
+	for w := 0; w < 4; w++ {
+		w := w
+		queriers.Add(1)
+		go func() {
+			defer queriers.Done()
+			for iter := 0; ; iter++ {
+				stream := streams[(w+iter)%len(streams)]
+				hi := srv.SegmentsOf(stream)
+				if hi == 0 {
+					// Nothing committed yet: wait for ingest, without
+					// consuming the query quota — unless ingest already
+					// finished and this stream stayed empty.
+					select {
+					case <-ingestDone:
+						return
+					case <-time.After(50 * time.Millisecond):
+					}
+					continue
+				}
+				qmu.Lock()
+				if ran >= *nq {
+					qmu.Unlock()
+					return
+				}
+				ran++
+				seq := ran
+				qmu.Unlock()
+				res, err := srv.Query(stream, cascade, names, *acc, 0, hi)
+				if err != nil {
+					fmt.Printf("  query %d on %s: %v\n", seq, stream, err)
+					continue
+				}
+				fmt.Printf("  query %d: %s[0,%d) -> %d detections at %.0fx realtime\n",
+					seq, stream, hi, len(res.Detections()), res.Speed())
+			}
+		}()
+	}
+
+	feeders.Wait()
+	srv.DrainStreams()
+	close(ingestDone)
+	queriers.Wait()
+	close(feedErr)
+	for err := range feedErr {
+		return err
+	}
+	for name, ls := range srv.LiveStreams() {
+		fmt.Printf("stream %s: ingested %d/%d segments (%d failed)\n", name, ls.Ingested, ls.Submitted, ls.Failed)
+	}
+	for _, name := range streams {
+		if err := srv.StopStream(name); err != nil {
+			return err
+		}
+	}
+	st := srv.Stats()
+	fmt.Printf("served: %d queries over %d snapshots (%d erosion passes); store %d keys, cache %d/%d hit/miss\n",
+		ran, st.SnapshotsTaken, st.ErosionPasses, st.Keys, st.CacheHits, st.CacheMisses)
 	return nil
 }
 

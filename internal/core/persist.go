@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/format"
 	"repro/internal/ops"
@@ -22,8 +23,10 @@ type configDTO struct {
 }
 
 type runtimeDTO struct {
-	QueryWorkers int   `json:"query_workers,omitempty"`
-	CacheBytes   int64 `json:"cache_bytes,omitempty"`
+	QueryWorkers     int   `json:"query_workers,omitempty"`
+	CacheBytes       int64 `json:"cache_bytes,omitempty"`
+	IngestQueueDepth int   `json:"ingest_queue_depth,omitempty"`
+	ErodeIntervalNS  int64 `json:"erode_interval_ns,omitempty"`
 }
 
 type consumerDTO struct {
@@ -106,7 +109,12 @@ func (c *Config) MarshalBytes() ([]byte, error) {
 		}
 	}
 	if c.Runtime != (Runtime{}) {
-		dto.Runtime = &runtimeDTO{QueryWorkers: c.Runtime.QueryWorkers, CacheBytes: c.Runtime.CacheBytes}
+		dto.Runtime = &runtimeDTO{
+			QueryWorkers:     c.Runtime.QueryWorkers,
+			CacheBytes:       c.Runtime.CacheBytes,
+			IngestQueueDepth: c.Runtime.IngestQueueDepth,
+			ErodeIntervalNS:  int64(c.Runtime.ErodeInterval),
+		}
 	}
 	b, err := json.MarshalIndent(dto, "", "  ")
 	if err != nil {
@@ -181,7 +189,12 @@ func FromBytes(b []byte) (*Config, error) {
 		}
 	}
 	if dto.Runtime != nil {
-		cfg.Runtime = Runtime{QueryWorkers: dto.Runtime.QueryWorkers, CacheBytes: dto.Runtime.CacheBytes}
+		cfg.Runtime = Runtime{
+			QueryWorkers:     dto.Runtime.QueryWorkers,
+			CacheBytes:       dto.Runtime.CacheBytes,
+			IngestQueueDepth: dto.Runtime.IngestQueueDepth,
+			ErodeInterval:    time.Duration(dto.Runtime.ErodeIntervalNS),
+		}
 	}
 	return cfg, nil
 }

@@ -1,10 +1,13 @@
 package core
 
+import "time"
+
 // Runtime holds execution knobs that travel with a configuration but do
 // not affect format derivation: how wide the query engine's worker pool
-// runs and how much memory the retrieval cache may hold. They persist with
-// the configuration (and therefore with each epoch) so a reopened store
-// serves queries exactly as configured.
+// runs, how much memory the retrieval cache may hold, and how the live
+// serving lifecycle (streaming ingest, background erosion) paces itself.
+// They persist with the configuration (and therefore with each epoch) so a
+// reopened store serves queries exactly as configured.
 type Runtime struct {
 	// QueryWorkers bounds the query engine's worker pool: epoch spans and
 	// per-stage segment retrievals execute concurrently up to this width.
@@ -17,4 +20,12 @@ type Runtime struct {
 	// no cache on open, and an operator-enabled cache survives a
 	// reconfiguration. Negative explicitly disables on Reconfigure.
 	CacheBytes int64
+	// IngestQueueDepth bounds each live stream's pending-segment queue:
+	// Submit blocks (backpressure toward the camera) once this many
+	// segments await transcoding. Zero selects ingest.DefaultQueueDepth.
+	IngestQueueDepth int
+	// ErodeInterval is the background erosion daemon's pass interval. Zero
+	// means the daemon is not started automatically; the server's
+	// StartErosionDaemon uses it as the default when no interval is given.
+	ErodeInterval time.Duration
 }

@@ -1,0 +1,164 @@
+package erode
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the daemon's notion of periodic time so tests drive
+// erosion passes deterministically instead of sleeping.
+type Clock interface {
+	// Tick returns a channel delivering ticks roughly every d, plus a stop
+	// function releasing the ticker's resources.
+	Tick(d time.Duration) (<-chan time.Time, func())
+}
+
+type wallClock struct{}
+
+func (wallClock) Tick(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTicker(d)
+	return t.C, t.Stop
+}
+
+// WallClock ticks in real time; it is the default when a Daemon's Clock is
+// nil.
+var WallClock Clock = wallClock{}
+
+// ManualClock is a test clock: ticks fire only when the test says so.
+type ManualClock struct {
+	ch chan time.Time
+}
+
+// NewManualClock returns an unbuffered manual clock.
+func NewManualClock() *ManualClock { return &ManualClock{ch: make(chan time.Time)} }
+
+// Tick ignores the interval and returns the manually driven channel.
+func (c *ManualClock) Tick(time.Duration) (<-chan time.Time, func()) {
+	return c.ch, func() {}
+}
+
+// Fire delivers one tick, blocking until the daemon's loop receives it.
+// Because the loop only returns to its receive once the previous pass
+// finished, a second Fire returning guarantees the first pass completed.
+func (c *ManualClock) Fire() { c.ch <- time.Time{} }
+
+// TryFire delivers one tick if the daemon is ready for it, reporting
+// whether it was delivered. Safe to call in a loop racing the daemon's
+// shutdown.
+func (c *ManualClock) TryFire() bool {
+	select {
+	case c.ch <- time.Time{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// DaemonStats reports the background eroder's activity.
+type DaemonStats struct {
+	Passes  int64 // erosion passes completed (successful or not)
+	Errors  int64 // passes that returned an error
+	Running bool
+}
+
+// Daemon periodically runs an erosion pass in the background — the
+// always-on counterpart of a manual Erode call, applying every epoch's
+// erosion plan and retention expiry as video ages (§4.4). Configure the
+// fields before Start; they must not change while running.
+type Daemon struct {
+	// Interval is the time between passes.
+	Interval time.Duration
+	// Clock drives the ticks; nil selects WallClock.
+	Clock Clock
+	// Pass runs one erosion pass over every stream. The owner (the server)
+	// supplies it, including cache invalidation for eroded segments.
+	Pass func() error
+
+	mu      sync.Mutex
+	passes  int64
+	errs    int64
+	lastErr error
+	quit    chan struct{}
+	done    chan struct{}
+}
+
+// Start launches the background loop. It fails if the daemon is already
+// running or misconfigured.
+func (d *Daemon) Start() error {
+	if d.Pass == nil {
+		return errors.New("erode: daemon has no Pass function")
+	}
+	if d.Interval <= 0 {
+		return errors.New("erode: daemon interval must be positive")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.quit != nil {
+		return errors.New("erode: daemon already running")
+	}
+	d.quit = make(chan struct{})
+	d.done = make(chan struct{})
+	clock := d.Clock
+	if clock == nil {
+		clock = WallClock
+	}
+	go d.loop(clock, d.quit, d.done)
+	return nil
+}
+
+func (d *Daemon) loop(clock Clock, quit, done chan struct{}) {
+	defer close(done)
+	tick, stop := clock.Tick(d.Interval)
+	defer stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-tick:
+			d.RunPass()
+		}
+	}
+}
+
+// RunPass runs one erosion pass synchronously, updating the counters. The
+// ticking loop calls it; tests may call it directly for deterministic
+// "after a daemon pass" scenarios.
+func (d *Daemon) RunPass() error {
+	err := d.Pass()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.passes++
+	if err != nil {
+		d.errs++
+		d.lastErr = err
+	}
+	return err
+}
+
+// Stop halts the loop and waits for any in-flight pass to finish. It
+// returns the last pass error observed, and is a no-op when not running.
+func (d *Daemon) Stop() error {
+	d.mu.Lock()
+	quit, done := d.quit, d.done
+	d.quit, d.done = nil, nil
+	d.mu.Unlock()
+	if quit != nil {
+		close(quit)
+		<-done
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastErr
+}
+
+// Stats returns the daemon's pass counters. A nil daemon reports zeroes so
+// callers need not special-case the not-started state.
+func (d *Daemon) Stats() DaemonStats {
+	if d == nil {
+		return DaemonStats{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DaemonStats{Passes: d.passes, Errors: d.errs, Running: d.quit != nil}
+}

@@ -1,0 +1,114 @@
+package erode
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDaemonManualClock(t *testing.T) {
+	var runs atomic.Int64
+	clock := NewManualClock()
+	d := &Daemon{Interval: time.Hour, Clock: clock, Pass: func() error {
+		runs.Add(1)
+		return nil
+	}}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Stats().Running {
+		t.Fatal("not running after Start")
+	}
+	// The second Fire only lands once the loop is back in its receive, so
+	// the first pass has completed by then.
+	clock.Fire()
+	clock.Fire()
+	if got := runs.Load(); got < 1 {
+		t.Fatalf("passes run = %d", got)
+	}
+	if err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Running || st.Passes < 1 {
+		t.Fatalf("stats after stop = %+v", st)
+	}
+	// Stop is a no-op when not running.
+	if err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonRunPassCounters(t *testing.T) {
+	fail := errors.New("pass failed")
+	var nextErr error
+	d := &Daemon{Interval: time.Hour, Pass: func() error { return nextErr }}
+	if err := d.RunPass(); err != nil {
+		t.Fatal(err)
+	}
+	nextErr = fail
+	if err := d.RunPass(); !errors.Is(err, fail) {
+		t.Fatalf("RunPass = %v", err)
+	}
+	if st := d.Stats(); st.Passes != 2 || st.Errors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDaemonStartValidation(t *testing.T) {
+	if err := (&Daemon{Interval: time.Second}).Start(); err == nil {
+		t.Fatal("Start without Pass accepted")
+	}
+	if err := (&Daemon{Pass: func() error { return nil }}).Start(); err == nil {
+		t.Fatal("Start without interval accepted")
+	}
+	d := &Daemon{Interval: time.Hour, Clock: NewManualClock(), Pass: func() error { return nil }}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if err := d.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+}
+
+func TestDaemonWallClockTicks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	var runs atomic.Int64
+	d := &Daemon{Interval: 5 * time.Millisecond, Pass: func() error {
+		runs.Add(1)
+		return nil
+	}}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runs.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() < 2 {
+		t.Fatalf("wall clock drove only %d passes", runs.Load())
+	}
+	if d.Stats().Running {
+		t.Fatal("still running after Stop")
+	}
+}
+
+func TestManualClockTryFire(t *testing.T) {
+	c := NewManualClock()
+	if c.TryFire() {
+		t.Fatal("TryFire succeeded with no receiver")
+	}
+	got := make(chan struct{})
+	tick, _ := c.Tick(time.Hour)
+	go func() { <-tick; close(got) }()
+	for !c.TryFire() {
+		time.Sleep(time.Millisecond)
+	}
+	<-got
+}

@@ -17,9 +17,20 @@ import (
 // SegmentsPerDay is how many 8-second segments one day of video holds.
 const SegmentsPerDay = 86400 / segment.Seconds
 
-// Eroder applies erosion plans to a store.
+// SegmentSet is the surface erosion operates on: enumerate a stream's
+// segments in one format and delete one. A bare *segment.Store satisfies
+// it with physical presence and immediate deletion; the server passes a
+// manifest-backed adapter so enumeration sees only committed segments and
+// deletion is logical-first (physical records outlive any query snapshot
+// that can still read them).
+type SegmentSet interface {
+	Segments(stream string, sf format.StorageFormat) []int
+	Delete(stream string, sf format.StorageFormat, idx int) error
+}
+
+// Eroder applies erosion plans to a segment set.
 type Eroder struct {
-	Store *segment.Store
+	Store SegmentSet
 }
 
 // Apply erodes the stream's segments according to the plan, given the

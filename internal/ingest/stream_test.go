@@ -1,0 +1,172 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/frame"
+)
+
+func oneFrame(pts int) []*frame.Frame {
+	f := frame.New(8, 8)
+	f.PTS = pts
+	return []*frame.Frame{f}
+}
+
+// TestStreamOrderAndDrain: segments of one stream are ingested strictly in
+// submission order, and Drain waits for all of them.
+func TestStreamOrderAndDrain(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	st := NewStream("cam", 2, func(frames []*frame.Frame) error {
+		mu.Lock()
+		order = append(order, frames[0].PTS)
+		mu.Unlock()
+		return nil
+	})
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := st.Submit(oneFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != n {
+		t.Fatalf("ingested %d of %d", len(order), n)
+	}
+	for i, pts := range order {
+		if pts != i {
+			t.Fatalf("out of order at %d: %v", i, order)
+		}
+	}
+	s := st.Stats()
+	if s.Submitted != n || s.Ingested != n || s.Queued != 0 || s.Failed != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamBackpressure: with queue depth 1 and a blocked sink, a second
+// Submit must block until the sink makes progress.
+func TestStreamBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	st := NewStream("cam", 1, func([]*frame.Frame) error {
+		started <- struct{}{}
+		<-release
+		return nil
+	})
+	if err := st.Submit(oneFrame(0)); err != nil { // picked up by the worker
+		t.Fatal(err)
+	}
+	<-started
+	if err := st.Submit(oneFrame(1)); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- st.Submit(oneFrame(2)) }()
+	select {
+	case <-blocked:
+		t.Fatal("third Submit did not block on a full queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release) // sink proceeds; queue drains; blocked Submit lands
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	st.Drain()
+	if s := st.Stats(); s.Ingested != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamStop: Stop drains queued segments, rejects later submissions,
+// and reports the first sink error; it is idempotent.
+func TestStreamStop(t *testing.T) {
+	var mu sync.Mutex
+	var seen int
+	sinkErr := errors.New("transcode failed")
+	st := NewStream("cam", 8, func(frames []*frame.Frame) error {
+		mu.Lock()
+		seen++
+		mu.Unlock()
+		if frames[0].PTS == 1 {
+			return fmt.Errorf("segment 1: %w", sinkErr)
+		}
+		return nil
+	})
+	for i := 0; i < 5; i++ {
+		if err := st.Submit(oneFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := st.Stop()
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("Stop error = %v", err)
+	}
+	mu.Lock()
+	if seen != 5 {
+		t.Fatalf("Stop dropped queued segments: processed %d of 5", seen)
+	}
+	mu.Unlock()
+	if err := st.Submit(oneFrame(9)); err == nil {
+		t.Fatal("Submit accepted after Stop")
+	}
+	if err := st.Stop(); !errors.Is(err, sinkErr) { // idempotent, same error
+		t.Fatalf("second Stop = %v", err)
+	}
+	s := st.Stats()
+	if !s.Stopped || s.Ingested != 4 || s.Failed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestStreamConcurrentSubmitters: many goroutines feeding one stream never
+// lose or duplicate a segment (run under -race in CI).
+func TestStreamConcurrentSubmitters(t *testing.T) {
+	var mu sync.Mutex
+	got := map[int]int{}
+	st := NewStream("cam", 3, func(frames []*frame.Frame) error {
+		mu.Lock()
+		got[frames[0].PTS]++
+		mu.Unlock()
+		return nil
+	})
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := st.Submit(oneFrame(w*per + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != workers*per {
+		t.Fatalf("ingested %d unique segments, want %d", len(got), workers*per)
+	}
+	for pts, n := range got {
+		if n != 1 {
+			t.Fatalf("segment %d ingested %d times", pts, n)
+		}
+	}
+}

@@ -356,6 +356,14 @@ type Stats struct {
 	CacheMisses    int64
 	CacheEvictions int64
 	CacheBytes     int64 // bytes of cached frames resident
+
+	// Live-serving counters, populated by the server (zero otherwise):
+	// streaming-ingest queue occupancy, background erosion passes, and
+	// snapshot activity of the segment manifest.
+	IngestQueued    int   // segments waiting in live-stream ingest queues
+	ErosionPasses   int64 // background erosion daemon passes completed
+	ActiveSnapshots int   // query snapshots currently held
+	SnapshotsTaken  int64 // query snapshots ever taken
 }
 
 // Stats returns current occupancy counters.

@@ -43,3 +43,32 @@ func (p *Pool) Go(fn func()) {
 
 // Wait blocks until every scheduled task has finished.
 func (p *Pool) Wait() { p.wg.Wait() }
+
+// Batch groups tasks scheduled on a shared pool so one caller can wait for
+// just its own tasks while slot accounting stays pool-wide. This is how
+// concurrent ingest streams share a single transcode pool: each segment's
+// per-format fan-out is a batch, bounded by the pool, awaited
+// independently.
+type Batch struct {
+	p  *Pool
+	wg sync.WaitGroup
+}
+
+// Batch returns a new empty batch on the pool.
+func (p *Pool) Batch() *Batch { return &Batch{p: p} }
+
+// Go schedules fn on the underlying pool, blocking until a slot frees up.
+// The same transitive-scheduling caveat as Pool.Go applies.
+func (b *Batch) Go(fn func()) {
+	b.wg.Add(1)
+	b.p.sem <- struct{}{}
+	go func() {
+		defer b.wg.Done()
+		defer func() { <-b.p.sem }()
+		fn()
+	}()
+}
+
+// Wait blocks until every task scheduled through this batch has finished;
+// other batches' and Pool.Go tasks are not waited for.
+func (b *Batch) Wait() { b.wg.Wait() }

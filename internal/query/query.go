@@ -87,9 +87,11 @@ func (r Result) Speed() float64 {
 	return r.VideoSeconds / r.VirtualSeconds
 }
 
-// Engine runs cascades against a segment store.
+// Engine runs cascades against a segment store — a bare *segment.Store,
+// or a segment.View pinning a server snapshot so a live query observes one
+// immutable segment set for its whole run.
 type Engine struct {
-	Store *segment.Store
+	Store retrieve.SegmentReader
 	// Cache, when non-nil, memoises full-segment retrievals (see
 	// retrieve.Cache).
 	Cache *retrieve.Cache

@@ -1,6 +1,7 @@
 package retrieve
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -117,6 +118,77 @@ func TestCacheStalePutDropped(t *testing.T) {
 	c.put("cam/0", testFrames(1, 16, 16), c.generation())
 	if st := c.Stats(); st.Entries != 1 {
 		t.Fatalf("fresh put rejected: %+v", st)
+	}
+}
+
+// TestCacheInvalidateCountsMisses pins the post-erosion contract the
+// background erosion daemon relies on: after Invalidate, lookups for the
+// stream register as misses (never hits), exactly what the server's
+// hit/miss counters surface after a daemon pass.
+func TestCacheInvalidateCountsMisses(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.put("cam/0", testFrames(1, 16, 16), c.generation())
+	if _, _, ok := c.get("cam/0"); !ok {
+		t.Fatal("warm entry missing")
+	}
+	before := c.Stats()
+	c.Invalidate("cam") // one erosion-daemon pass
+	if _, _, ok := c.get("cam/0"); ok {
+		t.Fatal("eroded stream served from cache")
+	}
+	after := c.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses+1 {
+		t.Fatalf("counters after invalidation: %+v -> %+v", before, after)
+	}
+	// Repeated passes keep advancing the generation: each drops the puts
+	// of retrievals that began before it.
+	gen := c.generation()
+	c.Invalidate("cam")
+	c.Invalidate("cam")
+	c.put("cam/0", testFrames(1, 16, 16), gen)
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("put from before two passes survived: %+v", st)
+	}
+}
+
+// TestRetrieverErodedSegmentNeverServedFromCache is the belt-and-braces
+// regression behind the daemon: even if an eroded segment's frames were
+// still resident (an invalidation raced or was skipped), the retriever
+// checks visibility BEFORE the cache, so the segment reads as gone rather
+// than serving stale bytes.
+func TestRetrieverErodedSegmentNeverServedFromCache(t *testing.T) {
+	kv, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	store := segment.NewStore(kv)
+	sc, err := vidsim.DatasetByName("jackson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := format.StorageFormat{Fidelity: format.MaxFidelity(), Coding: format.Coding{Speed: format.SpeedFastest, KeyframeI: 30}}
+	ing := ingest.Ingester{Store: store, SFs: []format.StorageFormat{sf}}
+	if _, err := ing.Stream(sc, "cam", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	cf := format.ConsumptionFormat{Fidelity: format.MaxFidelity()}
+	r := Retriever{Store: store, Cache: NewCache(1 << 30)}
+	if _, _, err := r.Segment("cam", sf, cf, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Erode the segment physically but deliberately do NOT invalidate the
+	// cache: its frames are still resident under the segment's key.
+	if err := store.Delete("cam", sf, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Cache.Stats()
+	if _, _, err := r.Segment("cam", sf, cf, 0, nil); !errors.Is(err, segment.ErrNotFound) {
+		t.Fatalf("eroded segment retrieval = %v, want ErrNotFound", err)
+	}
+	after := r.Cache.Stats()
+	if after.Hits != before.Hits {
+		t.Fatal("eroded segment served from cache")
 	}
 }
 

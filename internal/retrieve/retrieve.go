@@ -32,9 +32,24 @@ func (s *Stats) Add(other Stats) {
 	s.VirtualSeconds += other.VirtualSeconds
 }
 
+// SegmentReader is the read surface the retriever needs from segment
+// storage. A bare *segment.Store satisfies it (visibility is physical
+// presence); a segment.View satisfies it scoped to a snapshot, which is
+// how live queries get snapshot isolation from concurrent ingest and
+// erosion.
+type SegmentReader interface {
+	// Visible reports whether the segment may be read at all. The
+	// retriever consults it before every lookup — including cache lookups,
+	// so an eroded or not-yet-committed segment can never be served from
+	// stale cached frames.
+	Visible(stream string, sf format.StorageFormat, idx int) bool
+	GetEncoded(stream string, sf format.StorageFormat, idx int) (*codec.Encoded, error)
+	GetRaw(stream string, sf format.StorageFormat, idx int, keep func(pts int) bool) ([]*frame.Frame, int64, error)
+}
+
 // Retriever streams stored segments to consumers.
 type Retriever struct {
-	Store *segment.Store
+	Store SegmentReader
 	// Cache, when non-nil, memoises full-segment retrievals in their
 	// consumption format. Filtered retrievals (a non-nil within predicate)
 	// bypass it: the delivered frame set depends on the predicate, which
@@ -59,6 +74,12 @@ func (r *Retriever) Segment(stream string, sf format.StorageFormat, cf format.Co
 func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, idx int, within func(pts int) bool, tag string) ([]*frame.Frame, Stats, error) {
 	if !sf.Satisfies(cf) {
 		return nil, Stats{}, fmt.Errorf("retrieve: %v cannot supply %v (R1)", sf, cf)
+	}
+	// Visibility gates the cache too: a segment outside the reader's view
+	// (eroded, or not yet committed) must miss even if frames for it are
+	// still resident from before the deletion.
+	if !r.Store.Visible(stream, sf, idx) {
+		return nil, Stats{}, segment.ErrNotFound
 	}
 	cacheable := r.Cache != nil && (within == nil || tag != "")
 	var key string

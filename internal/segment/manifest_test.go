@@ -1,0 +1,232 @@
+package segment
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/kvstore"
+)
+
+func ref(stream string, idx int) Ref {
+	return Ref{Stream: stream, SFKey: "sf0", Idx: idx}
+}
+
+// recordingDeleter collects physically deleted refs.
+type recordingDeleter struct {
+	mu   sync.Mutex
+	dels []Ref
+	err  error
+}
+
+func (d *recordingDeleter) delete(r Ref) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dels = append(d.dels, r)
+	return d.err
+}
+
+func (d *recordingDeleter) deleted() []Ref {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Ref(nil), d.dels...)
+}
+
+func TestManifestCommitRemove(t *testing.T) {
+	var del recordingDeleter
+	m := NewManifest(del.delete)
+	m.Commit(ref("cam", 0), ref("cam", 2), ref("cam", 1))
+	if !m.Contains(ref("cam", 1)) {
+		t.Fatal("committed segment missing")
+	}
+	if got := m.Segments("cam", "sf0"); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("Segments = %v", got)
+	}
+	if got := m.Segments("other", "sf0"); got != nil {
+		t.Fatalf("foreign stream Segments = %v", got)
+	}
+	// No active snapshot: removal deletes physically at once.
+	if err := m.Remove(ref("cam", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Contains(ref("cam", 1)) {
+		t.Fatal("removed segment still committed")
+	}
+	if got := del.deleted(); !reflect.DeepEqual(got, []Ref{ref("cam", 1)}) {
+		t.Fatalf("deleted = %v", got)
+	}
+	// Removing an uncommitted segment is a no-op, not a double delete.
+	if err := m.Remove(ref("cam", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := del.deleted(); len(got) != 1 {
+		t.Fatalf("no-op remove deleted again: %v", got)
+	}
+}
+
+// TestManifestSnapshotIsolation is the core invariant: a snapshot sees
+// exactly the set committed when it was taken — later commits are
+// invisible, later removals stay readable — and physical deletion waits
+// for the snapshot's release.
+func TestManifestSnapshotIsolation(t *testing.T) {
+	var del recordingDeleter
+	m := NewManifest(del.delete)
+	m.Commit(ref("cam", 0), ref("cam", 1))
+	snap := m.Snapshot()
+	m.Commit(ref("cam", 2))
+	if snap.Contains(ref("cam", 2)) {
+		t.Fatal("post-snapshot commit visible in snapshot")
+	}
+	if !m.Contains(ref("cam", 2)) {
+		t.Fatal("commit not visible in manifest")
+	}
+	if err := m.Remove(ref("cam", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Contains(ref("cam", 0)) {
+		t.Fatal("post-snapshot removal shrank the snapshot")
+	}
+	if m.Contains(ref("cam", 0)) {
+		t.Fatal("removal not applied to manifest")
+	}
+	if got := del.deleted(); len(got) != 0 {
+		t.Fatalf("segment deleted out from under a snapshot: %v", got)
+	}
+	if st := m.Stats(); st.PendingDeletes != 1 || st.ActiveSnapshots != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := snap.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if got := del.deleted(); !reflect.DeepEqual(got, []Ref{ref("cam", 0)}) {
+		t.Fatalf("release did not flush pending delete: %v", got)
+	}
+	// Release is idempotent.
+	if err := snap.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.ActiveSnapshots != 0 || st.SnapshotsTaken != 1 || st.Live != 2 {
+		t.Fatalf("final stats = %+v", st)
+	}
+}
+
+// TestManifestDeferredDeleteWaitsForOldestSnapshot: only snapshots taken
+// BEFORE a removal pin the segment; younger snapshots do not.
+func TestManifestDeferredDeleteWaitsForOldestSnapshot(t *testing.T) {
+	var del recordingDeleter
+	m := NewManifest(del.delete)
+	m.Commit(ref("cam", 0))
+	old := m.Snapshot()
+	if err := m.Remove(ref("cam", 0)); err != nil {
+		t.Fatal(err)
+	}
+	young := m.Snapshot() // taken after the removal: does not pin it
+	if young.Contains(ref("cam", 0)) {
+		t.Fatal("young snapshot sees removed segment")
+	}
+	if len(del.deleted()) != 0 {
+		t.Fatal("deleted while old snapshot active")
+	}
+	young.Release()
+	if len(del.deleted()) != 0 {
+		t.Fatal("young snapshot's release flushed a delete it never pinned... and old still active")
+	}
+	old.Release()
+	if len(del.deleted()) != 1 {
+		t.Fatal("old snapshot's release did not flush")
+	}
+}
+
+func TestManifestDeleterErrorSurfaces(t *testing.T) {
+	del := recordingDeleter{err: errors.New("disk gone")}
+	m := NewManifest(del.delete)
+	m.Commit(ref("cam", 0))
+	if err := m.Remove(ref("cam", 0)); err == nil {
+		t.Fatal("deleter error swallowed")
+	}
+	// The failed deletion stays pending and is retried on the next flush.
+	if st := m.Stats(); st.PendingDeletes != 1 {
+		t.Fatalf("failed delete dropped from pending: %+v", st)
+	}
+	del.err = nil
+	m.Commit(ref("cam", 1))
+	if err := m.Remove(ref("cam", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.PendingDeletes != 0 {
+		t.Fatalf("retry did not flush: %+v", st)
+	}
+	if got := del.deleted(); len(got) != 3 { // failed attempt + retry + second remove
+		t.Fatalf("deleter calls = %v", got)
+	}
+}
+
+// TestViewVisibility drives the snapshot View against a real store: a
+// physically present segment outside the snapshot must read as
+// ErrNotFound, and raw/encoded reads inside the snapshot pass through.
+func TestViewVisibility(t *testing.T) {
+	kv, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	store := NewStore(kv)
+	sf := format.StorageFormat{Fidelity: format.MaxFidelity(), Coding: format.RawCoding}
+	f := frame.New(16, 16)
+	f.PTS = 0
+	if err := store.PutRaw("cam", sf, 0, []*frame.Frame{f}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutRaw("cam", sf, 1, []*frame.Frame{f}); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest(store.DeleteRef)
+	m.Commit(RefOf("cam", sf, 0)) // segment 1 is physically present but uncommitted
+	v := &View{Store: store, Snap: m.Snapshot()}
+	if _, _, err := v.GetRaw("cam", sf, 0, nil); err != nil {
+		t.Fatalf("visible segment: %v", err)
+	}
+	if !v.Visible("cam", sf, 0) || v.Visible("cam", sf, 1) {
+		t.Fatal("Visible disagrees with snapshot")
+	}
+	if _, _, err := v.GetRaw("cam", sf, 1, nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("uncommitted segment readable through view: %v", err)
+	}
+}
+
+func TestScanRefsRebuild(t *testing.T) {
+	kv, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	store := NewStore(kv)
+	raw := format.StorageFormat{Fidelity: format.MaxFidelity(), Coding: format.RawCoding}
+	enc := format.StorageFormat{Fidelity: format.MaxFidelity(), Coding: format.Coding{Speed: format.SpeedFastest, KeyframeI: 30}}
+	f := frame.New(16, 16)
+	if err := store.PutRaw("cam", raw, 3, []*frame.Frame{f}); err != nil {
+		t.Fatal(err)
+	}
+	// An encoded segment under a stream name containing '/': the parser
+	// must still split sfKey and idx off the right-hand side.
+	if err := kv.Put("seg/site/cam2/"+enc.Key()+"/00000007", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	var got []Ref
+	store.ScanRefs(func(r Ref) { got = append(got, r) })
+	want := map[Ref]bool{
+		RefOf("cam", raw, 3): true,
+		{Stream: "site/cam2", SFKey: enc.Key(), Raw: false, Idx: 7}: true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ScanRefs = %v", got)
+	}
+	for _, r := range got {
+		if !want[r] {
+			t.Fatalf("unexpected ref %+v", r)
+		}
+	}
+}

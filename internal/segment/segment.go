@@ -45,16 +45,36 @@ func NewStore(kv *kvstore.Store) *Store { return &Store{kv: kv} }
 // KV exposes the underlying key-value store (for stats and compaction).
 func (s *Store) KV() *kvstore.Store { return s.kv }
 
+// Key layout, shared by the typed accessors below, DeleteRef (which only
+// has the format's key) and the manifest's ScanRefs rebuild.
+const (
+	encPrefix     = "seg/"
+	rawPrefix     = "raw/"
+	rawMetaPrefix = "rawmeta/"
+)
+
+func encKeyOf(stream, sfKey string, idx int) string {
+	return fmt.Sprintf("%s%s/%s/%08d", encPrefix, stream, sfKey, idx)
+}
+
+func rawMetaKeyOf(stream, sfKey string, idx int) string {
+	return fmt.Sprintf("%s%s/%s/%08d", rawMetaPrefix, stream, sfKey, idx)
+}
+
+func rawFramePrefixOf(stream, sfKey string, idx int) string {
+	return fmt.Sprintf("%s%s/%s/%08d/", rawPrefix, stream, sfKey, idx)
+}
+
 func encKey(stream string, sf format.StorageFormat, idx int) string {
-	return fmt.Sprintf("seg/%s/%s/%08d", stream, sf.Key(), idx)
+	return encKeyOf(stream, sf.Key(), idx)
 }
 
 func rawFrameKey(stream string, sf format.StorageFormat, idx, pts int) string {
-	return fmt.Sprintf("raw/%s/%s/%08d/%08d", stream, sf.Key(), idx, pts)
+	return fmt.Sprintf("%s%08d", rawFramePrefixOf(stream, sf.Key(), idx), pts)
 }
 
 func rawMetaKey(stream string, sf format.StorageFormat, idx int) string {
-	return fmt.Sprintf("rawmeta/%s/%s/%08d", stream, sf.Key(), idx)
+	return rawMetaKeyOf(stream, sf.Key(), idx)
 }
 
 // PutEncoded stores an encoded segment.
@@ -202,16 +222,29 @@ func (s *Store) Has(stream string, sf format.StorageFormat, idx int) bool {
 	return s.kv.Has(encKey(stream, sf, idx))
 }
 
+// Visible reports whether the segment may be read. On a bare store it is
+// simply physical presence; a snapshot View (see manifest.go) restricts it
+// to the snapshot's committed set.
+func (s *Store) Visible(stream string, sf format.StorageFormat, idx int) bool {
+	return s.Has(stream, sf, idx)
+}
+
 // Delete removes the segment (all its records, for raw segments).
 func (s *Store) Delete(stream string, sf format.StorageFormat, idx int) error {
-	if !sf.Coding.Raw {
-		return s.kv.Delete(encKey(stream, sf, idx))
+	return s.DeleteRef(RefOf(stream, sf, idx))
+}
+
+// DeleteRef removes the segment replica identified by the Ref. It is the
+// physical-deletion primitive the manifest's deferred deleter uses, where
+// only the format's key (not the full StorageFormat) is known.
+func (s *Store) DeleteRef(r Ref) error {
+	if !r.Raw {
+		return s.kv.Delete(encKeyOf(r.Stream, r.SFKey, r.Idx))
 	}
-	if err := s.kv.Delete(rawMetaKey(stream, sf, idx)); err != nil {
+	if err := s.kv.Delete(rawMetaKeyOf(r.Stream, r.SFKey, r.Idx)); err != nil {
 		return err
 	}
-	prefix := fmt.Sprintf("raw/%s/%s/%08d/", stream, sf.Key(), idx)
-	for _, k := range s.kv.Keys(prefix) {
+	for _, k := range s.kv.Keys(rawFramePrefixOf(r.Stream, r.SFKey, r.Idx)) {
 		if err := s.kv.Delete(k); err != nil {
 			return err
 		}
@@ -224,9 +257,9 @@ func (s *Store) Delete(stream string, sf format.StorageFormat, idx int) error {
 func (s *Store) Segments(stream string, sf format.StorageFormat) []int {
 	var prefix string
 	if sf.Coding.Raw {
-		prefix = fmt.Sprintf("rawmeta/%s/%s/", stream, sf.Key())
+		prefix = fmt.Sprintf("%s%s/%s/", rawMetaPrefix, stream, sf.Key())
 	} else {
-		prefix = fmt.Sprintf("seg/%s/%s/", stream, sf.Key())
+		prefix = fmt.Sprintf("%s%s/%s/", encPrefix, stream, sf.Key())
 	}
 	keys := s.kv.Keys(prefix)
 	out := make([]int, 0, len(keys))
@@ -250,10 +283,10 @@ func (s *Store) BytesFor(stream string, sf format.StorageFormat) int64 {
 		return true
 	}
 	if sf.Coding.Raw {
-		_ = s.kv.Scan(fmt.Sprintf("raw/%s/%s/", stream, sf.Key()), add)
-		_ = s.kv.Scan(fmt.Sprintf("rawmeta/%s/%s/", stream, sf.Key()), add)
+		_ = s.kv.Scan(fmt.Sprintf("%s%s/%s/", rawPrefix, stream, sf.Key()), add)
+		_ = s.kv.Scan(fmt.Sprintf("%s%s/%s/", rawMetaPrefix, stream, sf.Key()), add)
 	} else {
-		_ = s.kv.Scan(fmt.Sprintf("seg/%s/%s/", stream, sf.Key()), add)
+		_ = s.kv.Scan(fmt.Sprintf("%s%s/%s/", encPrefix, stream, sf.Key()), add)
 	}
 	return total
 }

@@ -85,3 +85,52 @@ func BenchmarkQueryParallel8(b *testing.B) { benchQuery(b, 8, 0) }
 // BenchmarkQueryParallelCached adds a 1 GiB retrieval cache on top of the
 // 8-worker pool; the steady state serves every stage-0 scan from memory.
 func BenchmarkQueryParallelCached(b *testing.B) { benchQuery(b, 8, 1<<30) }
+
+// BenchmarkQueryDuringIngest measures query latency while a live stream
+// actively ingests in the background — the serving-under-write-load
+// counterpart of BenchmarkQuerySequential's quiescent baseline. Queries
+// target the pre-ingested stream; a feeder keeps a second stream's
+// pipeline busy transcoding for the whole measurement.
+func BenchmarkQueryDuringIngest(b *testing.B) {
+	s := benchServer(b)
+	s.QueryWorkers = 8
+	s.SetCacheBudget(0)
+	live, err := s.StartStream("bg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := vidsim.DatasetByName("jackson")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var feeder sync.WaitGroup
+	feeder.Add(1)
+	go func() {
+		defer feeder.Done()
+		src := vidsim.NewSource(sc)
+		for seg := s.SegmentsOf("bg"); ; seg++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := live.Submit(src.Clip(seg*segFrames, segFrames)); err != nil {
+				return // stream stopped under us
+			}
+		}
+	}()
+	opNames := []string{"Diff", "S-NN", "NN"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	feeder.Wait()
+	if err := s.StopStream("bg"); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Live serving: per-stream streaming-ingest pipelines, explicit query
+// snapshots, and the background erosion daemon. See the package comment
+// for how the three compose into concurrent ingest-while-query with
+// snapshot isolation.
+
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/erode"
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/ingest"
+	"repro/internal/segment"
+)
+
+// Snapshot is a server-wide consistent read view: the segment manifest,
+// the epoch list, and every stream's committed length, all frozen at one
+// instant. Queries through it (QueryAt) are repeatable — concurrent ingest
+// and erosion change nothing a held snapshot can observe — and segments
+// eroded after the snapshot stay physically readable until Release.
+type Snapshot struct {
+	ms     *segment.Snapshot
+	epochs []*Epoch
+	lens   map[string]int
+}
+
+// Snapshot freezes the current server state for querying. Callers must
+// Release it; Query does this automatically for the common one-shot case.
+func (s *Server) Snapshot() (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server: closed")
+	}
+	lens := make(map[string]int, len(s.next))
+	for k, v := range s.next {
+		lens[k] = v
+	}
+	return &Snapshot{
+		ms:     s.manifest.Snapshot(),
+		epochs: append([]*Epoch(nil), s.epochs...),
+		lens:   lens,
+	}, nil
+}
+
+// Segments returns the stream's segment count when the snapshot was taken;
+// [0, Segments) is the widest range a snapshot query can cover.
+func (sn *Snapshot) Segments(stream string) int { return sn.lens[stream] }
+
+// Release ends the snapshot's pin on eroded-but-undeleted segments. It is
+// idempotent.
+func (sn *Snapshot) Release() { sn.ms.Release() }
+
+// manifestSet adapts the manifest to erosion's SegmentSet: enumeration
+// sees only committed segments (never a replica an earlier pass already
+// removed but whose records a snapshot still pins), and deletion is
+// logical-first through the manifest.
+type manifestSet struct {
+	m     *segment.Manifest
+	store *segment.Store
+}
+
+func (ms manifestSet) Segments(stream string, sf format.StorageFormat) []int {
+	return ms.m.Segments(stream, sf.Key())
+}
+
+func (ms manifestSet) Delete(stream string, sf format.StorageFormat, idx int) error {
+	return ms.m.Remove(segment.RefOf(stream, sf, idx))
+}
+
+// StartStream opens a live streaming-ingest pipeline for the named stream:
+// a dedicated goroutine drains a bounded segment queue (depth from
+// Runtime.IngestQueueDepth), transcoding each segment on the shared pool
+// and committing it atomically. Submit full-fidelity segments on the
+// returned pipeline; stop it with StopStream (or Close, which stops all).
+func (s *Server) StartStream(name string) (*ingest.Stream, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server: closed")
+	}
+	if len(s.epochs) == 0 {
+		return nil, fmt.Errorf("server: no configuration installed; call Reconfigure first")
+	}
+	if _, ok := s.streams[name]; ok {
+		return nil, fmt.Errorf("server: stream %q is already live", name)
+	}
+	depth := s.epochs[len(s.epochs)-1].Cfg.Runtime.IngestQueueDepth
+	st := ingest.NewStream(name, depth, func(full []*frame.Frame) error {
+		_, _, err := s.ingestSegment(name, func(int) []*frame.Frame { return full })
+		return err
+	})
+	s.streams[name] = st
+	return st, nil
+}
+
+// Stream returns the named live pipeline, or nil if it is not running.
+func (s *Server) Stream(name string) *ingest.Stream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streams[name]
+}
+
+// StopStream drains and stops the named live pipeline, returning its first
+// ingest error (nil for an unknown stream).
+func (s *Server) StopStream(name string) error {
+	s.mu.Lock()
+	st := s.streams[name]
+	delete(s.streams, name)
+	s.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return st.Stop()
+}
+
+// DrainStreams blocks until every live pipeline's queue is empty — every
+// segment submitted so far is durably ingested (or failed). Streams keep
+// accepting segments.
+func (s *Server) DrainStreams() {
+	s.mu.Lock()
+	streams := make([]*ingest.Stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.mu.Unlock()
+	for _, st := range streams {
+		st.Drain()
+	}
+}
+
+// LiveStreams reports the per-stream ingest stats of every live pipeline.
+func (s *Server) LiveStreams() map[string]ingest.StreamStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]ingest.StreamStats, len(s.streams))
+	for name, st := range s.streams {
+		out[name] = st.Stats()
+	}
+	return out
+}
+
+// AgeFunc maps a stream's segment index to its age in days — the erosion
+// daemon's notion of footage age.
+type AgeFunc func(stream string, idx int) int
+
+// AgeByToday returns the usual deployment age function: segment ages grow
+// as today advances, one day per erode.SegmentsPerDay segments.
+func AgeByToday(today func() int) AgeFunc {
+	return func(_ string, idx int) int { return today() - idx/erode.SegmentsPerDay }
+}
+
+// ErodePass runs one erosion pass over every known stream — what the
+// background daemon does on each tick. It returns the total segments
+// eroded and the first per-stream error.
+func (s *Server) ErodePass(age AgeFunc) (int, error) {
+	s.mu.Lock()
+	streams := make([]string, 0, len(s.next))
+	for name := range s.next {
+		streams = append(streams, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(streams)
+	total := 0
+	var firstErr error
+	for _, stream := range streams {
+		stream := stream
+		n, err := s.Erode(stream, func(idx int) int { return age(stream, idx) })
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}
+
+// StartErosionDaemon launches the background erosion daemon: every
+// interval (Runtime.ErodeInterval when zero) it applies each epoch's
+// erosion plan and retention expiry to every stream, invalidating the
+// retrieval cache for eroded segments generation-safely exactly as a
+// manual Erode does. clock nil selects the wall clock; tests inject
+// erode.NewManualClock() to drive passes deterministically.
+func (s *Server) StartErosionDaemon(interval time.Duration, clock erode.Clock, age AgeFunc) (*erode.Daemon, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server: closed")
+	}
+	if s.daemon != nil {
+		return nil, fmt.Errorf("server: erosion daemon already running")
+	}
+	if interval <= 0 && len(s.epochs) > 0 {
+		interval = s.epochs[len(s.epochs)-1].Cfg.Runtime.ErodeInterval
+	}
+	d := &erode.Daemon{
+		Interval: interval,
+		Clock:    clock,
+		Pass: func() error {
+			_, err := s.ErodePass(age)
+			return err
+		},
+	}
+	if err := d.Start(); err != nil {
+		return nil, err
+	}
+	s.daemon = d
+	return d, nil
+}
+
+// StopErosionDaemon stops the background eroder, returning its last pass
+// error. It is a no-op when no daemon runs.
+func (s *Server) StopErosionDaemon() error {
+	s.mu.Lock()
+	d := s.daemon
+	s.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	// Stop outside mu: it waits for an in-flight pass, which takes mu via
+	// ErodePass. The daemon is unregistered only after its passes fold
+	// into the running total, so Stats never observes the counter dip,
+	// and the registration check keeps a concurrent Stop from folding
+	// twice.
+	err := d.Stop()
+	s.mu.Lock()
+	if s.daemon == d {
+		s.pastErodePasses += d.Stats().Passes
+		s.daemon = nil
+	}
+	s.mu.Unlock()
+	return err
+}

@@ -2,6 +2,23 @@
 // the database directory, tracks configuration epochs, ingests streams
 // concurrently, runs queries, and applies erosion.
 //
+// The server is a live engine (§4.1's always-on store): cameras ingest
+// through per-stream streaming pipelines (StartStream) while queries run
+// and a background erosion daemon ages footage out, all concurrently.
+// Three mechanisms make that safe:
+//
+//   - a segment manifest (segment.Manifest) records which segments are
+//     fully committed, so a multi-record, multi-format segment becomes
+//     visible atomically once every storage format is written;
+//   - queries read through a snapshot of the manifest (Snapshot/QueryAt),
+//     so an in-flight query observes one immutable segment set — never a
+//     half-ingested or half-eroded segment, and never post-snapshot
+//     shrinkage;
+//   - erosion deletes logically first: a segment leaves the manifest (and
+//     the retrieval cache) immediately, but its records are physically
+//     deleted only after the last snapshot that could read them is
+//     released.
+//
 // Epochs implement §7's "adapting to changes in operators and hardware":
 // reconfiguring (after adding operators or accuracy levels) opens a new
 // epoch whose storage formats apply only to forthcoming video — transcoding
@@ -25,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/erode"
 	"repro/internal/format"
+	"repro/internal/frame"
 	"repro/internal/ingest"
 	"repro/internal/kvstore"
 	"repro/internal/query"
@@ -43,12 +61,20 @@ type Epoch struct {
 
 // Server owns one store directory. All methods are safe for concurrent use.
 type Server struct {
-	mu     sync.Mutex
-	kv     *kvstore.Store
-	segs   *segment.Store
-	epochs []*Epoch
-	next   map[string]int // per stream: next segment index to ingest
-	cache  *retrieve.Cache
+	mu       sync.Mutex
+	kv       *kvstore.Store
+	segs     *segment.Store
+	manifest *segment.Manifest
+	epochs   []*Epoch
+	next     map[string]int // per stream: next segment index to ingest
+	cache    *retrieve.Cache
+	streams  map[string]*ingest.Stream // live streaming-ingest pipelines
+	pool     *query.Pool               // shared transcode pool for all ingest paths
+	daemon   *erode.Daemon
+	// pastErodePasses accumulates passes of stopped daemons so the
+	// ErosionPasses counter stays monotonic across daemon restarts.
+	pastErodePasses int64
+	closed          bool
 	// Parallelism bounds concurrent per-format transcodes during ingest;
 	// zero selects GOMAXPROCS.
 	Parallelism int
@@ -71,7 +97,8 @@ func Open(dir string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{kv: kv, segs: segment.NewStore(kv), next: map[string]int{}}
+	s := &Server{kv: kv, segs: segment.NewStore(kv), next: map[string]int{}, streams: map[string]*ingest.Stream{}}
+	s.manifest = segment.NewManifest(s.segs.DeleteRef)
 	for _, k := range kv.Keys(epochKeyPrefix) {
 		b, err := kv.Get(k)
 		if err != nil {
@@ -104,11 +131,48 @@ func Open(dir string) (*Server, error) {
 			break
 		}
 	}
+	// The manifest restarts from the physical record set: a failed
+	// transcode cleans up its partial records (see ingestSegment), and a
+	// crash's torn tail is truncated by the KV replay, so surviving
+	// records were durably committed. (A hard crash in the narrow window
+	// between two formats' writes can still leave a format short, which
+	// reads exactly like that replica having been eroded; a logically
+	// eroded segment whose physical delete was pinned by a snapshot at
+	// crash time likewise reappears and is re-eroded by the next pass.)
+	// Stream positions are reconciled with the scan: segments ingested
+	// outside the server (the bare CLI ingest path writes no position)
+	// must not be overwritten by live ingest starting at a stale index.
+	maxIdx := map[string]int{}
+	s.segs.ScanRefs(func(r segment.Ref) {
+		s.manifest.Commit(r)
+		if r.Idx+1 > maxIdx[r.Stream] {
+			maxIdx[r.Stream] = r.Idx + 1
+		}
+	})
+	for stream, n := range maxIdx {
+		if s.next[stream] < n {
+			s.next[stream] = n
+		}
+	}
 	return s, nil
 }
 
-// Close releases the store.
+// Close stops the erosion daemon and every live ingest stream (draining
+// their queues), then releases the store.
 func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	streams := s.streams
+	s.streams = map[string]*ingest.Stream{}
+	s.mu.Unlock()
+	s.StopErosionDaemon() // folds its passes into the running total
+	for _, st := range streams {
+		st.Stop() // drains queued segments while the store is still open
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.kv.Close()
@@ -241,9 +305,13 @@ func (s *Server) Epochs() []*Epoch {
 }
 
 // epochOf returns the epoch governing the given segment of the stream.
-func (s *Server) epochOf(stream string, seg int) *Epoch {
+// Segments ingested before any epoch opened (the bare CLI ingest path,
+// adopted on Open) fall to the oldest epoch: its bindings resolve against
+// whatever formats those segments actually have, with missing formats
+// skipped like eroded segments.
+func epochOf(epochs []*Epoch, stream string, seg int) *Epoch {
 	var out *Epoch
-	for _, ep := range s.epochs {
+	for _, ep := range epochs {
 		since, ok := ep.Since[stream]
 		if !ok {
 			since = 0 // stream unknown when the epoch opened: epoch governs from 0
@@ -252,39 +320,141 @@ func (s *Server) epochOf(stream string, seg int) *Epoch {
 			out = ep
 		}
 	}
+	if out == nil && len(epochs) > 0 {
+		out = epochs[0]
+	}
 	return out
 }
 
 // Ingest appends n segments of the scene to the named stream under the
-// current epoch, transcoding storage formats concurrently.
+// current epoch — the batch counterpart of the live streaming pipeline
+// (StartStream). Each segment is transcoded into every storage format
+// concurrently on the shared transcode pool and committed to the segment
+// manifest atomically, so queries running concurrently either see a whole
+// segment (in every format) or none of it.
 func (s *Server) Ingest(scene vidsim.Scene, stream string, n int) (ingest.Stats, error) {
+	src := vidsim.NewSource(scene)
+	stats := ingest.Stats{}
+	for i := 0; i < n; i++ {
+		perSF, cpu, err := s.ingestSegment(stream, func(idx int) []*frame.Frame {
+			return src.Clip(idx*segment.Frames, segment.Frames)
+		})
+		mergeSFStats(&stats, perSF)
+		stats.CPUSeconds += cpu
+		if err != nil {
+			return stats, err
+		}
+		stats.Segments++
+	}
+	return stats, nil
+}
+
+// mergeSFStats folds one segment's per-format stats into the batch totals,
+// matching formats by key (a reconfiguration mid-batch changes the set).
+func mergeSFStats(total *ingest.Stats, perSF []ingest.SFStats) {
+	for _, one := range perSF {
+		found := false
+		for i := range total.PerSF {
+			if total.PerSF[i].SF == one.SF {
+				total.PerSF[i].Bytes += one.Bytes
+				total.PerSF[i].CPUSeconds += one.CPUSeconds
+				found = true
+				break
+			}
+		}
+		if !found {
+			total.PerSF = append(total.PerSF, one)
+		}
+	}
+}
+
+// ingestSegment durably ingests one segment of the stream: it reserves the
+// next segment index, cuts the segment's frames via clip, transcodes every
+// storage format of the current epoch concurrently on the shared pool,
+// and — only if every format succeeded — commits the segment to the
+// manifest (atomic visibility) and persists the stream position. A failed
+// transcode leaves an invisible index hole that queries skip, exactly like
+// an eroded segment.
+func (s *Server) ingestSegment(stream string, clip func(idx int) []*frame.Frame) ([]ingest.SFStats, float64, error) {
 	s.mu.Lock()
 	if len(s.epochs) == 0 {
 		s.mu.Unlock()
-		return ingest.Stats{}, errors.New("server: no configuration installed; call Reconfigure first")
+		return nil, 0, errors.New("server: no configuration installed; call Reconfigure first")
 	}
 	cfg := s.epochs[len(s.epochs)-1].Cfg
-	start := s.next[stream]
+	idx := s.next[stream]
+	s.next[stream] = idx + 1
+	pool := s.poolLocked()
 	s.mu.Unlock()
 
-	par := s.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+	full := clip(idx)
+	sfs := cfg.StorageFormats()
+	perSF := make([]ingest.SFStats, len(sfs))
+	for i := range sfs {
+		perSF[i].SF = sfs[i]
 	}
-	ing := parallelIngester{store: s.segs, sfs: cfg.StorageFormats(), parallel: par}
-	st, err := ing.stream(scene, stream, start, n)
-	if err != nil {
-		return st, err
+	var (
+		stMu     sync.Mutex
+		firstErr error
+		cpu      float64
+	)
+	batch := pool.Batch()
+	for fi := range sfs {
+		fi := fi
+		batch.Go(func() {
+			one := ingest.Ingester{Store: s.segs, SFs: sfs[fi : fi+1]}
+			bytes, c, err := one.TranscodeSegment(full, stream, sfs[fi], idx)
+			stMu.Lock()
+			defer stMu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			perSF[fi].Bytes += bytes
+			perSF[fi].CPUSeconds += c
+			cpu += c
+		})
 	}
+	batch.Wait()
+	if firstErr != nil {
+		// Best-effort cleanup of the formats that did land: the segment
+		// was never committed, so the records are invisible, but leaving
+		// them would leak disk and resurrect a partial segment when a
+		// reopen rebuilds the manifest from physical records.
+		for _, sf := range sfs {
+			_ = s.segs.Delete(stream, sf, idx)
+		}
+		return perSF, cpu, firstErr
+	}
+	refs := make([]segment.Ref, len(sfs))
+	for i, sf := range sfs {
+		refs[i] = segment.RefOf(stream, sf, idx)
+	}
+	s.manifest.Commit(refs...)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.next[stream] = start + n
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], uint64(s.next[stream]))
 	if err := s.kv.Put(streamKeyPrefix+stream, buf[:]); err != nil {
-		return st, err
+		return perSF, cpu, err
 	}
-	return st, nil
+	return perSF, cpu, nil
+}
+
+// poolLocked returns the shared transcode pool, creating it on first use.
+// Caller holds mu.
+func (s *Server) poolLocked() *query.Pool {
+	if s.pool == nil {
+		par := s.Parallelism
+		if par <= 0 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		s.pool = query.NewPool(par)
+	}
+	return s.pool
 }
 
 // SegmentsOf returns how many segments the stream holds.
@@ -374,19 +544,37 @@ func (q QueryResult) Detections() []query.Result {
 
 // Query runs the cascade at the target accuracy over segments [seg0, seg1)
 // of the stream, splitting the range by configuration epoch and resolving
-// each stage's formats per epoch. Epoch spans execute concurrently on a
-// worker pool (one span's operators consume while another span still
-// retrieves), and within each span every stage fans its segment retrievals
-// across the same pool width; results merge in segment order, so the
-// output is identical to fully sequential execution.
+// each stage's formats per epoch. It takes a snapshot of the segment
+// manifest at entry and releases it on return, so the whole query — every
+// stage, every span — observes one immutable segment set even while
+// ingest and the erosion daemon run concurrently. Epoch spans execute
+// concurrently on a worker pool (one span's operators consume while
+// another span still retrieves), and within each span every stage fans its
+// segment retrievals across the same pool width; results merge in segment
+// order, so the output is identical to fully sequential execution.
 func (s *Server) Query(stream string, cascade query.Cascade, opNames []string, acc float64, seg0, seg1 int) (QueryResult, error) {
-	s.mu.Lock()
-	if len(s.epochs) == 0 {
-		s.mu.Unlock()
+	snap, err := s.Snapshot()
+	if err != nil {
+		return QueryResult{}, err
+	}
+	defer snap.Release()
+	return s.QueryAt(snap, stream, cascade, opNames, acc, seg0, seg1)
+}
+
+// QueryAt runs the query against an explicitly held snapshot (see
+// Snapshot). Callers that hold a snapshot across several queries get
+// repeatable reads: segments eroded after the snapshot remain readable
+// until the snapshot is released, and segments ingested after it stay
+// invisible.
+func (s *Server) QueryAt(snap *Snapshot, stream string, cascade query.Cascade, opNames []string, acc float64, seg0, seg1 int) (QueryResult, error) {
+	epochs := snap.epochs
+	if len(epochs) == 0 {
 		return QueryResult{}, errors.New("server: no configuration installed")
 	}
-	current := s.epochs[len(s.epochs)-1].Cfg
+	current := epochs[len(epochs)-1].Cfg
+	s.mu.Lock()
 	cache := s.cache
+	s.mu.Unlock()
 	// Split [seg0, seg1) into epoch-homogeneous ranges.
 	type span struct {
 		ep     *Epoch
@@ -394,10 +582,10 @@ func (s *Server) Query(stream string, cascade query.Cascade, opNames []string, a
 	}
 	var spans []span
 	for seg := seg0; seg < seg1; {
-		ep := s.epochOf(stream, seg)
+		ep := epochOf(epochs, stream, seg)
 		hi := seg1
 		for nxt := seg + 1; nxt < seg1; nxt++ {
-			if s.epochOf(stream, nxt) != ep {
+			if epochOf(epochs, stream, nxt) != ep {
 				hi = nxt
 				break
 			}
@@ -405,7 +593,6 @@ func (s *Server) Query(stream string, cascade query.Cascade, opNames []string, a
 		spans = append(spans, span{ep, seg, hi})
 		seg = hi
 	}
-	s.mu.Unlock()
 
 	// Resolve every span's binding up front: bindings are cheap, and a
 	// resolution error surfaces before any retrieval work is scheduled.
@@ -429,7 +616,8 @@ func (s *Server) Query(stream string, cascade query.Cascade, opNames []string, a
 	if workers > 1 && len(spans) > 1 {
 		spanPar = min(workers, len(spans))
 	}
-	eng := query.Engine{Store: s.segs, Cache: cache, Workers: max(workers/spanPar, 1)}
+	view := &segment.View{Store: s.segs, Snap: snap.ms}
+	eng := query.Engine{Store: view, Cache: cache, Workers: max(workers/spanPar, 1)}
 	results := make([]query.Result, len(spans))
 	errs := make([]error, len(spans))
 	if spanPar > 1 {
@@ -477,12 +665,17 @@ func (s *Server) queryWorkers(cfg *core.Config) int {
 }
 
 // Erode applies every epoch's erosion plan to the segments it governs.
-// ageOfSegment maps a stream's segment index to its age in days.
+// ageOfSegment maps a stream's segment index to its age in days. Deletion
+// is logical-first: an eroded segment leaves the manifest (and therefore
+// every future query snapshot and the retrieval cache) immediately, while
+// its records are physically deleted only once no in-flight query snapshot
+// can still read them. The background erosion daemon (StartErosionDaemon)
+// runs exactly this per stream on every pass.
 func (s *Server) Erode(stream string, ageOfSegment func(idx int) int) (int, error) {
 	s.mu.Lock()
 	epochs := append([]*Epoch(nil), s.epochs...)
 	s.mu.Unlock()
-	e := erode.Eroder{Store: s.segs}
+	e := erode.Eroder{Store: manifestSet{m: s.manifest, store: s.segs}}
 	total := 0
 	// Eroded segments must not be served from cache — including the ones a
 	// partially-failed Apply already deleted, so the invalidation is
@@ -528,8 +721,10 @@ func (s *Server) Erode(stream string, ageOfSegment func(idx int) int) (int, erro
 	return total, nil
 }
 
-// Stats reports the underlying store occupancy plus the retrieval cache's
-// hit/miss/evict counters (zero when the cache is disabled).
+// Stats reports the underlying store occupancy, the retrieval cache's
+// hit/miss/evict counters (zero when the cache is disabled), and the live
+// lifecycle's counters: streaming-ingest queue occupancy, erosion-daemon
+// passes, and snapshot activity.
 func (s *Server) Stats() kvstore.Stats {
 	st := s.kv.Stats()
 	cs := s.CacheStats()
@@ -537,57 +732,20 @@ func (s *Server) Stats() kvstore.Stats {
 	st.CacheMisses = cs.Misses
 	st.CacheEvictions = cs.Evictions
 	st.CacheBytes = cs.Bytes
+	ms := s.manifest.Stats()
+	st.ActiveSnapshots = ms.ActiveSnapshots
+	st.SnapshotsTaken = ms.SnapshotsTaken
+	s.mu.Lock()
+	daemon := s.daemon
+	past := s.pastErodePasses
+	for _, live := range s.streams {
+		st.IngestQueued += live.Stats().Queued
+	}
+	s.mu.Unlock()
+	st.ErosionPasses = past + daemon.Stats().Passes
 	return st
 }
 
 // Compact reclaims garbage space in the underlying store (e.g., after
 // erosion deleted many segments).
 func (s *Server) Compact() error { return s.kv.Compact() }
-
-// parallelIngester transcodes each segment's storage formats concurrently.
-type parallelIngester struct {
-	store    *segment.Store
-	sfs      []format.StorageFormat
-	parallel int
-}
-
-func (pi parallelIngester) stream(scene vidsim.Scene, stream string, seg0, n int) (ingest.Stats, error) {
-	src := vidsim.NewSource(scene)
-	stats := ingest.Stats{PerSF: make([]ingest.SFStats, len(pi.sfs))}
-	for i := range pi.sfs {
-		stats.PerSF[i].SF = pi.sfs[i]
-	}
-	sem := make(chan struct{}, pi.parallel)
-	for si := 0; si < n; si++ {
-		idx := seg0 + si
-		full := src.Clip(idx*segment.Frames, segment.Frames)
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		var firstErr error
-		for fi := range pi.sfs {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(fi int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				one := ingest.Ingester{Store: pi.store, SFs: pi.sfs[fi : fi+1]}
-				bytes, cpu, err := one.TranscodeSegment(full, stream, pi.sfs[fi], idx)
-				mu.Lock()
-				defer mu.Unlock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-					return
-				}
-				stats.PerSF[fi].Bytes += bytes
-				stats.PerSF[fi].CPUSeconds += cpu
-				stats.CPUSeconds += cpu
-			}(fi)
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return stats, firstErr
-		}
-		stats.Segments++
-	}
-	return stats, nil
-}
