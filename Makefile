@@ -3,12 +3,13 @@
 GO ?= go
 
 # Packages with concurrent paths, exercised under the race detector.
-RACE_PKGS := ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/...
+RACE_PKGS := ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/...
 
-# The live-serving core: covered with a minimum gate so the concurrency
-# machinery (manifest commits, snapshot release, daemon lifecycle) cannot
-# silently lose its tests.
-COVER_PKGS := ./internal/server ./internal/ingest ./internal/erode
+# The live-serving and storage core: covered with a minimum gate so the
+# concurrency machinery (manifest commits, snapshot release, daemon
+# lifecycle, tier demotion, shard recovery) cannot silently lose its
+# tests.
+COVER_PKGS := ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier
 COVER_MIN := 80
 
 .PHONY: build test race bench lint fmt vet cover fuzz all
@@ -28,13 +29,20 @@ race:
 	$(GO) test -race -short -timeout 25m $(RACE_PKGS)
 
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchmem ./internal/server/
+	$(GO) test -run '^$$' -bench 'Benchmark(Tiered)?Query' -benchmem ./internal/server/
 
+# Every listed package must actually carry tests: a package silently
+# contributing zero statements would hollow out the aggregate gate.
 cover:
+	@for p in $(COVER_PKGS); do \
+		if ! ls $$p/*_test.go >/dev/null 2>&1; then \
+			echo "FAIL: coverage-gated package $$p has no test files"; exit 1; \
+		fi; \
+	done
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
 	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) '/^total:/ { \
 		sub(/%/, "", $$3); \
-		printf "coverage (server+ingest+erode): %s%% (minimum %s%%)\n", $$3, min; \
+		printf "coverage (server+ingest+erode+kvstore+tier): %s%% (minimum %s%%)\n", $$3, min; \
 		if ($$3 + 0 < min) { print "FAIL: coverage below minimum"; exit 1 } }'
 
 # A short deterministic-input fuzz pass over configuration persistence:

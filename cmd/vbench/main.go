@@ -7,7 +7,7 @@
 //	vbench [-clip frames] [-segments n] [-dir path] <artifact>
 //
 // Artifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13
-// fig14 sfconfig speedup focus all
+// fig14 sfconfig speedup tiering focus all
 package main
 
 import (
@@ -27,11 +27,13 @@ var (
 	seconds    = flag.Int("seconds", 60, "clip seconds for fig3 coding sweeps")
 	parallel   = flag.Int("parallel", 8, "query worker-pool width for the speedup artifact (0 = GOMAXPROCS)")
 	cacheBytes = flag.Int64("cache-bytes", 1<<30, "retrieval cache budget in bytes for the speedup artifact (0 = disabled)")
+	shards     = flag.Int("shards", 4, "per-tier kvstore shards for the tiering artifact")
+	fastBytes  = flag.Int64("fast-bytes", 0, "fast-tier byte budget for the tiering artifact (0 = unbudgeted)")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vbench [flags] <artifact>\nartifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13 fig14 sfconfig speedup focus all\n")
+		fmt.Fprintf(os.Stderr, "usage: vbench [flags] <artifact>\nartifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13 fig14 sfconfig speedup tiering focus all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -181,6 +183,29 @@ func run(artifact string) error {
 				return err
 			}
 			fmt.Print(experiments.RenderSpeedup(res))
+			return nil
+		}},
+		{"tiering", func() error {
+			wd := *dir
+			if wd == "" {
+				var err error
+				wd, err = os.MkdirTemp("", "vbench-tiering-*")
+				if err != nil {
+					return err
+				}
+				defer os.RemoveAll(wd)
+			}
+			// Multi-segment reads across the tiers are the point; honour
+			// an explicit -segments whatever it is.
+			n := *segments
+			if !flagPassed("segments") {
+				n = 6
+			}
+			res, err := experiments.Tiering(env, wd, "jackson", n, *shards, *fastBytes)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderTiering(res))
 			return nil
 		}},
 		{"sfconfig", func() error {

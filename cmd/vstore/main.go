@@ -5,10 +5,12 @@
 // Usage:
 //
 //	vstore configure -db DIR [-ingest-cores N] [-storage-gb N] [-lifespan D] [-clip frames]
-//	vstore ingest    -db DIR -scene NAME [-segments N] [-start I]
+//	                 [-shards N] [-fast-gb N] [-demote-after D]
+//	vstore ingest    -db DIR -scene NAME [-segments N] [-start I] [-shards N]
 //	vstore query     -db DIR -scene NAME -query A|B [-accuracy F] [-from I] [-to I]
 //	vstore erode     -db DIR -scene NAME [-today D]
 //	vstore serve     -db DIR [-streams A,B] [-segments N] [-queries N] [-query A|B] [-erode-interval D]
+//	                 [-shards N] [-fast-bytes N] [-demote-after D]
 //	vstore stats     -db DIR
 package main
 
@@ -25,10 +27,10 @@ import (
 	"repro/internal/erode"
 	"repro/internal/experiments"
 	"repro/internal/ingest"
-	"repro/internal/kvstore"
 	"repro/internal/query"
 	"repro/internal/segment"
 	"repro/internal/server"
+	"repro/internal/tier"
 	"repro/internal/vidsim"
 )
 
@@ -67,12 +69,18 @@ func usage() {
 
 func configPath(db string) string { return filepath.Join(db, "config.json") }
 
-func openStore(db string) (*segment.Store, func(), error) {
-	kv, err := kvstore.Open(filepath.Join(db, "segments"), kvstore.Options{})
+// openStore opens the tiered sharded segment store directly (the bare,
+// server-less CLI path). Shards only matter when the store is created;
+// an existing layout wins.
+func openStore(db string, shards int) (*segment.Store, func(), error) {
+	ts, err := tier.Open(filepath.Join(db, "segments"), tier.Options{
+		Shards: shards,
+		Route:  segment.RouteKey,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return segment.NewStore(kv), func() { kv.Close() }, nil
+	return segment.NewStore(ts), func() { ts.Close() }, nil
 }
 
 func cmdConfigure(args []string) error {
@@ -82,6 +90,9 @@ func cmdConfigure(args []string) error {
 	storageGB := fs.Float64("storage-gb", 0, "storage budget in GB over the lifespan (0 = unlimited)")
 	lifespan := fs.Int("lifespan", 10, "video lifespan in days")
 	clip := fs.Int("clip", 300, "profiling clip length in frames")
+	shards := fs.Int("shards", 0, "per-tier kvstore shards for fresh stores (0 = engine default)")
+	fastGB := fs.Float64("fast-gb", 0, "fast disk tier byte budget in GB (0 = unbudgeted)")
+	demoteAfter := fs.Int("demote-after", 0, "demote segments to the cold tier after this many days (0 = off)")
 	fs.Parse(args)
 	if err := os.MkdirAll(*db, 0o755); err != nil {
 		return err
@@ -96,6 +107,9 @@ func cmdConfigure(args []string) error {
 	if err != nil {
 		return err
 	}
+	cfg.Runtime.Shards = *shards
+	cfg.Runtime.FastTierBytes = int64(*fastGB * 1e9)
+	cfg.Runtime.DemoteAfterDays = *demoteAfter
 	if err := cfg.Save(configPath(*db)); err != nil {
 		return err
 	}
@@ -112,6 +126,7 @@ func cmdIngest(args []string) error {
 	scene := fs.String("scene", "jackson", "dataset to ingest")
 	n := fs.Int("segments", 5, "number of 8-second segments")
 	start := fs.Int("start", 0, "first segment index")
+	shards := fs.Int("shards", 0, "per-tier kvstore shards for fresh stores (0 = configured/default)")
 	fs.Parse(args)
 	cfg, err := core.Load(configPath(*db))
 	if err != nil {
@@ -121,11 +136,23 @@ func cmdIngest(args []string) error {
 	if err != nil {
 		return err
 	}
-	store, closeStore, err := openStore(*db)
+	if *shards == 0 {
+		*shards = cfg.Runtime.Shards
+	}
+	store, closeStore, err := openStore(*db, *shards)
 	if err != nil {
 		return err
 	}
 	defer closeStore()
+	// Bare ingest honours the configuration's derived placement, so the
+	// retrieval-hot formats land on the fast tier even without a server.
+	placements := cfg.Placements()
+	store.SetPlacement(func(sfKey string) tier.ID {
+		if placements[sfKey] == core.PlaceCold {
+			return tier.Cold
+		}
+		return tier.Fast
+	})
 	ing := ingest.Ingester{Store: store, SFs: cfg.StorageFormats()}
 	st, err := ing.Stream(sc, *scene, *start, *n)
 	if err != nil {
@@ -168,7 +195,7 @@ func cmdQuery(args []string) error {
 		}
 		binding = append(binding, query.StageBinding{CF: cf, SF: sf})
 	}
-	store, closeStore, err := openStore(*db)
+	store, closeStore, err := openStore(*db, 0)
 	if err != nil {
 		return err
 	}
@@ -212,7 +239,7 @@ func cmdErode(args []string) error {
 		fmt.Println("configuration has no erosion pressure (k=0); nothing to do")
 		return nil
 	}
-	store, closeStore, err := openStore(*db)
+	store, closeStore, err := openStore(*db, 0)
 	if err != nil {
 		return err
 	}
@@ -241,9 +268,25 @@ func cmdServe(args []string) error {
 	acc := fs.Float64("accuracy", 0.9, "target operator accuracy")
 	erodeEvery := fs.Duration("erode-interval", 0, "erosion daemon pass interval (0 = no daemon)")
 	today := fs.Int("today", 1, "current day index for the erosion daemon's age function")
+	shards := fs.Int("shards", 0, "per-tier kvstore shards for fresh stores (0 = engine default)")
+	fastBytes := fs.Int64("fast-bytes", 0, "fast disk tier byte budget (0 = configured/unbudgeted)")
+	demoteAfter := fs.Int("demote-after", 0, "demote segments to the cold tier after this many days (0 = configured/off)")
 	fs.Parse(args)
 
-	srv, err := server.Open(*db)
+	// The shard count must be known before the store is opened (layout
+	// is a creation-time property), so the configured Runtime.Shards is
+	// read from the saved configuration when the flag is silent — an
+	// existing on-disk layout wins over both.
+	if *shards == 0 {
+		if cfg, err := core.Load(configPath(*db)); err == nil {
+			*shards = cfg.Runtime.Shards
+		}
+	}
+	srv, err := server.OpenWith(*db, server.Options{
+		Shards:          *shards,
+		FastTierBytes:   *fastBytes,
+		DemoteAfterDays: *demoteAfter,
+	})
 	if err != nil {
 		return err
 	}
@@ -359,9 +402,21 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
+	// One settling demotion pass before the final report: segments
+	// ingested after the daemon's last tick (or with no daemon at all —
+	// -demote-after/-fast-bytes work without -erode-interval) still age
+	// out of the fast tier. A no-op when no demotion knob is active.
+	if n, err := srv.DemotePass(server.AgeByToday(func() int { return *today })); err != nil {
+		return err
+	} else if n > 0 {
+		fmt.Printf("settling demotion pass migrated %d replicas\n", n)
+	}
 	st := srv.Stats()
 	fmt.Printf("served: %d queries over %d snapshots (%d erosion passes); store %d keys, cache %d/%d hit/miss\n",
 		ran, st.SnapshotsTaken, st.ErosionPasses, st.Keys, st.CacheHits, st.CacheMisses)
+	fmt.Printf("tiers: %d shards; fast %d segs / %.1f MB, cold %d segs / %.1f MB, %d demotions\n",
+		st.Shards, st.FastSegments, float64(st.FastLiveBytes)/1e6,
+		st.ColdSegments, float64(st.ColdLiveBytes)/1e6, st.Demotions)
 	return nil
 }
 
@@ -369,7 +424,7 @@ func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	db := fs.String("db", "vstore-db", "store directory")
 	fs.Parse(args)
-	store, closeStore, err := openStore(*db)
+	store, closeStore, err := openStore(*db, 0)
 	if err != nil {
 		return err
 	}
@@ -381,6 +436,8 @@ func cmdStats(args []string) error {
 	}
 	fmt.Printf("keys %d, live %.1f MB, garbage %.1f MB, disk %.1f MB in %d files\n",
 		st.Keys, float64(st.LiveBytes)/1e6, float64(st.GarbageBytes)/1e6, float64(disk)/1e6, st.Files)
+	fmt.Printf("tiers: %d shards; fast %d keys / %.1f MB, cold %d keys / %.1f MB\n",
+		st.Shards, st.FastKeys, float64(st.FastLiveBytes)/1e6, st.ColdKeys, float64(st.ColdLiveBytes)/1e6)
 	if cfg, err := core.Load(configPath(*db)); err == nil {
 		fmt.Printf("configuration: %d consumers, %d storage formats, erosion k=%.2f\n",
 			len(cfg.Derivation.Choices), len(cfg.Derivation.SFs), cfg.Erosion.K)

@@ -90,8 +90,8 @@ func (c *Config) Table() string {
 		if i == d.Golden {
 			tag = " (golden)"
 		}
-		fmt.Fprintf(&b, "  SF%-2d %-22s %-12s %8.1f KB/s  ingest %.2f cores%s\n",
-			i, sf.SF.Fidelity, sf.SF.Coding, sf.Prof.BytesPerSec/1024, sf.Prof.IngestSec, tag)
+		fmt.Fprintf(&b, "  SF%-2d %-22s %-12s %8.1f KB/s  ingest %.2f cores  %s%s\n",
+			i, sf.SF.Fidelity, sf.SF.Coding, sf.Prof.BytesPerSec/1024, sf.Prof.IngestSec, sf.Placement, tag)
 	}
 	return b.String()
 }
@@ -146,6 +146,7 @@ func ExhaustiveStorageSearch(choices []ConsumptionChoice, p StorageProfiler) (*S
 	}
 	recurse(0)
 	best.rebuildSubs()
+	derivePlacements(best, p)
 	return best, partitions
 }
 

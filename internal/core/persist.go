@@ -27,6 +27,9 @@ type runtimeDTO struct {
 	CacheBytes       int64 `json:"cache_bytes,omitempty"`
 	IngestQueueDepth int   `json:"ingest_queue_depth,omitempty"`
 	ErodeIntervalNS  int64 `json:"erode_interval_ns,omitempty"`
+	FastTierBytes    int64 `json:"fast_tier_bytes,omitempty"`
+	Shards           int   `json:"shards,omitempty"`
+	DemoteAfterDays  int   `json:"demote_after_days,omitempty"`
 }
 
 type consumerDTO struct {
@@ -42,6 +45,7 @@ type sfDTO struct {
 	Coding      string  `json:"coding"`
 	BytesPerSec float64 `json:"bytes_per_sec"`
 	IngestSec   float64 `json:"ingest_sec"`
+	Placement   string  `json:"placement,omitempty"`
 }
 
 type erosionDTO struct {
@@ -99,6 +103,7 @@ func (c *Config) MarshalBytes() ([]byte, error) {
 			Coding:      sf.SF.Coding.String(),
 			BytesPerSec: sf.Prof.BytesPerSec,
 			IngestSec:   sf.Prof.IngestSec,
+			Placement:   sf.Placement.String(),
 		})
 	}
 	if c.Erosion != nil {
@@ -114,6 +119,9 @@ func (c *Config) MarshalBytes() ([]byte, error) {
 			CacheBytes:       c.Runtime.CacheBytes,
 			IngestQueueDepth: c.Runtime.IngestQueueDepth,
 			ErodeIntervalNS:  int64(c.Runtime.ErodeInterval),
+			FastTierBytes:    c.Runtime.FastTierBytes,
+			Shards:           c.Runtime.Shards,
+			DemoteAfterDays:  c.Runtime.DemoteAfterDays,
 		}
 	}
 	b, err := json.MarshalIndent(dto, "", "  ")
@@ -159,6 +167,7 @@ func FromBytes(b []byte) (*Config, error) {
 			Profile:  profile.CFProfile{Fidelity: fid, Accuracy: c.Accuracy, Speed: c.Speed},
 		})
 	}
+	legacyPlacement := make([]bool, 0, len(dto.SFs))
 	for _, s := range dto.SFs {
 		fid, err := format.ParseFidelity(s.Fidelity)
 		if err != nil {
@@ -168,10 +177,16 @@ func FromBytes(b []byte) (*Config, error) {
 		if err != nil {
 			return nil, err
 		}
+		placement, explicit, err := ParsePlacement(s.Placement)
+		if err != nil {
+			return nil, err
+		}
+		legacyPlacement = append(legacyPlacement, !explicit)
 		sf := format.StorageFormat{Fidelity: fid, Coding: coding}
 		d.SFs = append(d.SFs, DerivedSF{
-			SF:   sf,
-			Prof: profile.SFProfile{SF: sf, BytesPerSec: s.BytesPerSec, IngestSec: s.IngestSec},
+			SF:        sf,
+			Prof:      profile.SFProfile{SF: sf, BytesPerSec: s.BytesPerSec, IngestSec: s.IngestSec},
+			Placement: placement,
 		})
 	}
 	for ci, si := range d.Subs {
@@ -179,6 +194,14 @@ func FromBytes(b []byte) (*Config, error) {
 			return nil, fmt.Errorf("core: invalid subscription %d -> %d", ci, si)
 		}
 		d.SFs[si].Consumers = append(d.SFs[si].Consumers, ci)
+	}
+	// Legacy configurations (persisted before tier placement existed)
+	// default to the profiler-free rule: subscribed formats stay fast,
+	// unsubscribed ones (the archival golden fallback) go cold.
+	for i := range d.SFs {
+		if legacyPlacement[i] && len(d.SFs[i].Consumers) == 0 {
+			d.SFs[i].Placement = PlaceCold
+		}
 	}
 	cfg := &Config{Derivation: d}
 	if dto.Erosion != nil {
@@ -194,6 +217,9 @@ func FromBytes(b []byte) (*Config, error) {
 			CacheBytes:       dto.Runtime.CacheBytes,
 			IngestQueueDepth: dto.Runtime.IngestQueueDepth,
 			ErodeInterval:    time.Duration(dto.Runtime.ErodeIntervalNS),
+			FastTierBytes:    dto.Runtime.FastTierBytes,
+			Shards:           dto.Runtime.Shards,
+			DemoteAfterDays:  dto.Runtime.DemoteAfterDays,
 		}
 	}
 	return cfg, nil
@@ -210,6 +236,23 @@ func (c *Config) BindingFor(opName string, target float64) (format.ConsumptionFo
 	}
 	return format.ConsumptionFormat{}, format.StorageFormat{},
 		fmt.Errorf("core: no consumer <%s,%.2f> in configuration", opName, target)
+}
+
+// Placements returns the configuration's tier placement keyed by storage
+// format key — what the server's ingest path consults to land each
+// format's segments on the right disk tier. Should two derived formats
+// ever share a key, the fast placement wins (placement is a retrieval
+// floor, never a promise of coldness).
+func (c *Config) Placements() map[string]Placement {
+	out := make(map[string]Placement, len(c.Derivation.SFs))
+	for _, sf := range c.Derivation.SFs {
+		k := sf.SF.Key()
+		if p, ok := out[k]; ok && p == PlaceFast {
+			continue
+		}
+		out[k] = sf.Placement
+	}
+	return out
 }
 
 // StorageFormats returns the configuration's storage formats in order.

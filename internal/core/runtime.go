@@ -28,4 +28,23 @@ type Runtime struct {
 	// means the daemon is not started automatically; the server's
 	// StartErosionDaemon uses it as the default when no interval is given.
 	ErodeInterval time.Duration
+	// FastTierBytes is the fast disk tier's byte budget: once a demotion
+	// pass settles, the fast tier holds at most this many live bytes,
+	// with the overflow migrated to the cold tier oldest-first. Only
+	// segment replicas demote, so the budget has a small floor: server
+	// metadata (epoch configurations, stream positions) always stays
+	// fast. Zero means "unspecified" (an operator-set budget survives a
+	// reconfiguration); negative explicitly removes the budget.
+	FastTierBytes int64
+	// Shards is the per-tier kvstore shard count used when a fresh store
+	// is created. An existing store's shard count is discovered from its
+	// on-disk layout — sharding is a creation-time property — so this
+	// knob only shapes new stores. Zero selects the engine default.
+	Shards int
+	// DemoteAfterDays ages segments off the fast tier: a demotion pass
+	// migrates segments at least this many days old to the cold tier
+	// before erosion runs. Zero means "unspecified" (no age-based
+	// demotion unless the operator sets one); negative explicitly
+	// disables.
+	DemoteAfterDays int
 }

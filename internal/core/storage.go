@@ -23,12 +23,53 @@ const (
 	DistanceSelection
 )
 
+// Placement is a storage format's disk-tier assignment (§4.1 places
+// formats across fast and slow media): retrieval-hot formats go to the
+// fast tier, archival ones to the cold tier.
+type Placement int
+
+// The two placements.
+const (
+	PlaceFast Placement = iota
+	PlaceCold
+)
+
+// String returns the placement's persisted name.
+func (p Placement) String() string {
+	if p == PlaceCold {
+		return "cold"
+	}
+	return "fast"
+}
+
+// ParsePlacement parses a persisted placement name. The empty string is
+// the legacy (pre-tiering) form and reports ok=false so the caller can
+// apply the default rule.
+func ParsePlacement(s string) (Placement, bool, error) {
+	switch s {
+	case "fast":
+		return PlaceFast, true, nil
+	case "cold":
+		return PlaceCold, true, nil
+	case "":
+		return PlaceFast, false, nil
+	}
+	return PlaceFast, false, fmt.Errorf("core: unknown placement %q", s)
+}
+
+// ColdSlowdown models the cold tier's retrieval bandwidth penalty
+// relative to fast media. Placement derivation keeps a format on fast
+// media iff some subscriber's retrieval-speed demand could not be met
+// from a cold-tier read at this slowdown.
+const ColdSlowdown = 8.0
+
 // DerivedSF is one storage format of a configuration together with its
-// profile and subscribers.
+// profile, subscribers, and disk-tier placement.
 type DerivedSF struct {
 	SF        format.StorageFormat
 	Prof      profile.SFProfile
 	Consumers []int // indices into the ConsumptionChoice slice
+	Placement Placement
 	minSpeed  format.SpeedStep
 }
 
@@ -191,7 +232,29 @@ func DeriveStorageFormats(choices []ConsumptionChoice, opt SFOptions) (*StorageD
 		return nil, err
 	}
 	d.rebuildSubs()
+	derivePlacements(d, p)
 	return d, nil
+}
+
+// derivePlacements assigns each storage format to a disk tier from its
+// derived retrieval-speed demand: a format stays on fast media iff some
+// subscriber's required consumption speed exceeds what a ColdSlowdown×
+// slower cold-tier read of that format could supply (R2 would break on
+// cold media). Unsubscribed formats — notably the golden archival
+// fallback — go cold. The rule is a pure function of the derivation and
+// the profiler, so the placement plan is byte-identical across runs.
+func derivePlacements(d *StorageDerivation, p StorageProfiler) {
+	for i := range d.SFs {
+		sf := &d.SFs[i]
+		sf.Placement = PlaceCold
+		for _, ci := range sf.Consumers {
+			ch := d.Choices[ci]
+			if p.RetrievalSpeed(sf.SF, ch.CF.Fidelity.Sampling)/ColdSlowdown < ch.Profile.Speed {
+				sf.Placement = PlaceFast
+				break
+			}
+		}
+	}
 }
 
 // coalesced builds the candidate SF resulting from merging SFs i and j.

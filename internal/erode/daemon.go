@@ -57,9 +57,10 @@ func (c *ManualClock) TryFire() bool {
 
 // DaemonStats reports the background eroder's activity.
 type DaemonStats struct {
-	Passes  int64 // erosion passes completed (successful or not)
-	Errors  int64 // passes that returned an error
-	Running bool
+	Passes       int64 // erosion passes completed (successful or not)
+	DemotePasses int64 // tier-demotion passes completed (when Demote is set)
+	Errors       int64 // passes that returned an error
+	Running      bool
 }
 
 // Daemon periodically runs an erosion pass in the background — the
@@ -74,9 +75,15 @@ type Daemon struct {
 	// Pass runs one erosion pass over every stream. The owner (the server)
 	// supplies it, including cache invalidation for eroded segments.
 	Pass func() error
+	// Demote, when non-nil, runs before Pass on every tick: aged
+	// segments migrate off the fast disk tier before logical erosion
+	// considers them, so the fast tier sheds bytes even when the erosion
+	// plan keeps the footage.
+	Demote func() error
 
 	mu      sync.Mutex
 	passes  int64
+	demotes int64
 	errs    int64
 	lastErr error
 	quit    chan struct{}
@@ -121,14 +128,28 @@ func (d *Daemon) loop(clock Clock, quit, done chan struct{}) {
 	}
 }
 
-// RunPass runs one erosion pass synchronously, updating the counters. The
-// ticking loop calls it; tests may call it directly for deterministic
-// "after a daemon pass" scenarios.
+// RunPass runs one demotion-then-erosion pass synchronously, updating the
+// counters. The ticking loop calls it; tests may call it directly for
+// deterministic "after a daemon pass" scenarios. A demotion failure does
+// not suppress the erosion pass — retention must advance even when the
+// cold tier misbehaves — and the first error wins.
 func (d *Daemon) RunPass() error {
+	var demoteErr error
+	demoted := false
+	if d.Demote != nil {
+		demoteErr = d.Demote()
+		demoted = true
+	}
 	err := d.Pass()
+	if demoteErr != nil {
+		err = demoteErr // demotion ran first, so its error wins
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.passes++
+	if demoted {
+		d.demotes++
+	}
 	if err != nil {
 		d.errs++
 		d.lastErr = err
@@ -160,5 +181,5 @@ func (d *Daemon) Stats() DaemonStats {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return DaemonStats{Passes: d.passes, Errors: d.errs, Running: d.quit != nil}
+	return DaemonStats{Passes: d.passes, DemotePasses: d.demotes, Errors: d.errs, Running: d.quit != nil}
 }

@@ -112,3 +112,52 @@ func TestManualClockTryFire(t *testing.T) {
 	}
 	<-got
 }
+
+// TestDaemonDemoteRunsBeforeErosion pins the tiering order: each tick
+// runs the fast→cold demotion hook before the erosion pass, a demotion
+// failure does not suppress erosion, and both are counted.
+func TestDaemonDemoteRunsBeforeErosion(t *testing.T) {
+	var order []string
+	demoteErr := errors.New("cold tier down")
+	erodeErr := errors.New("erode failed")
+	var failDemote, failPass bool
+	d := &Daemon{
+		Interval: time.Hour,
+		Demote: func() error {
+			order = append(order, "demote")
+			if failDemote {
+				return demoteErr
+			}
+			return nil
+		},
+		Pass: func() error {
+			order = append(order, "erode")
+			if failPass {
+				return erodeErr
+			}
+			return nil
+		},
+	}
+	if err := d.RunPass(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "demote" || order[1] != "erode" {
+		t.Fatalf("pass order = %v, want demote before erode", order)
+	}
+	failDemote = true
+	if err := d.RunPass(); !errors.Is(err, demoteErr) {
+		t.Fatalf("demotion error not surfaced: %v", err)
+	}
+	if len(order) != 4 || order[3] != "erode" {
+		t.Fatalf("failed demotion suppressed erosion: %v", order)
+	}
+	// Both failing: the demotion error wins (it happened first).
+	failPass = true
+	if err := d.RunPass(); !errors.Is(err, demoteErr) {
+		t.Fatalf("first (demotion) error did not win: %v", err)
+	}
+	st := d.Stats()
+	if st.Passes != 3 || st.DemotePasses != 3 || st.Errors != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTieringSmoke(t *testing.T) {
+	e := NewEnv(120)
+	res, err := Tiering(e, t.TempDir(), "jackson", 3, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("cold or cached query output differs from fast-tier read")
+	}
+	if res.FastSec <= 0 || res.ColdSec <= 0 || res.CachedSec <= 0 {
+		t.Fatalf("non-positive wall times: %+v", res)
+	}
+	if res.Demotions == 0 || res.FastSegsAfterPass != 0 {
+		t.Fatalf("demotion pass did not empty the fast tier: %+v", res)
+	}
+	if !res.BudgetedWithinPass {
+		t.Fatalf("unbudgeted run reported over budget: %+v", res)
+	}
+	out := RenderTiering(res)
+	for _, want := range []string{"fast tier", "cold tier", "warm cache", "demotion", "identical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -276,6 +276,25 @@ func (s *Store) appendLocked(key string, value []byte, tombstone bool) error {
 	return nil
 }
 
+// Sync fsyncs every log file, making all records appended so far
+// durable (a recent append may live in a just-rotated log, so the
+// active file alone is not enough). Callers that need an ordering
+// barrier between writes to different stores (e.g. tier demotion's
+// copy-before-delete) sync the written store before mutating the other.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("kvstore: store is closed")
+	}
+	for _, f := range s.files {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("kvstore: sync: %w", err)
+		}
+	}
+	return nil
+}
+
 // Get returns the value stored under key, or ErrNotFound.
 func (s *Store) Get(key string) ([]byte, error) {
 	s.mu.RLock()
@@ -364,6 +383,19 @@ type Stats struct {
 	ErosionPasses   int64 // background erosion daemon passes completed
 	ActiveSnapshots int   // query snapshots currently held
 	SnapshotsTaken  int64 // query snapshots ever taken
+
+	// Tier counters, populated by the tiered sharded engine and the
+	// server's demotion pass (zero on a bare single store): per-tier
+	// occupancy, committed segment replicas per tier, and fast→cold
+	// migrations performed.
+	Shards        int
+	FastKeys      int
+	ColdKeys      int
+	FastLiveBytes int64
+	ColdLiveBytes int64
+	FastSegments  int   // committed segment replicas placed fast
+	ColdSegments  int   // committed segment replicas placed cold
+	Demotions     int64 // segment replicas migrated fast→cold
 }
 
 // Stats returns current occupancy counters.

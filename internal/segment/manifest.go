@@ -26,6 +26,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/format"
 	"repro/internal/frame"
+	"repro/internal/tier"
 )
 
 // Ref identifies one stored segment replica: a stream's segment index in
@@ -54,6 +55,8 @@ type pendingDelete struct {
 // ManifestStats reports the manifest's occupancy and snapshot activity.
 type ManifestStats struct {
 	Live            int   // committed segment replicas
+	FastLive        int   // committed replicas recorded on the fast tier
+	ColdLive        int   // committed replicas recorded on the cold tier
 	ActiveSnapshots int   // snapshots taken and not yet released
 	SnapshotsTaken  int64 // snapshots ever taken
 	PendingDeletes  int   // removed segments awaiting snapshot release
@@ -65,7 +68,8 @@ type Manifest struct {
 	mu      sync.Mutex
 	deleter func(Ref) error
 	live    map[Ref]struct{}
-	frozen  bool // live is shared with a snapshot; clone before mutating
+	tiers   map[Ref]tier.ID // committed replica → disk tier (Fast if absent)
+	frozen  bool            // live is shared with a snapshot; clone before mutating
 	version int64
 	active  map[int64]int // refcount of snapshots per version
 	taken   int64
@@ -79,6 +83,7 @@ func NewManifest(deleter func(Ref) error) *Manifest {
 	return &Manifest{
 		deleter: deleter,
 		live:    make(map[Ref]struct{}),
+		tiers:   make(map[Ref]tier.ID),
 		active:  make(map[int64]int),
 	}
 }
@@ -97,15 +102,86 @@ func (m *Manifest) mutateLocked() {
 	m.version++
 }
 
-// Commit makes the given segment replicas visible atomically: a snapshot
-// taken before the call sees none of them, one taken after sees all.
+// Commit makes the given segment replicas visible atomically on the fast
+// tier: a snapshot taken before the call sees none of them, one taken
+// after sees all.
 func (m *Manifest) Commit(refs ...Ref) {
+	m.commit(refs, nil)
+}
+
+// CommitPlaced is Commit with each replica's disk tier recorded —
+// derivation-driven placement lands different storage formats of one
+// segment on different tiers, yet they become visible in one atomic
+// step. tiers runs parallel to refs.
+func (m *Manifest) CommitPlaced(refs []Ref, tiers []tier.ID) {
+	m.commit(refs, tiers)
+}
+
+func (m *Manifest) commit(refs []Ref, tiers []tier.ID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.mutateLocked()
-	for _, r := range refs {
+	for i, r := range refs {
 		m.live[r] = struct{}{}
+		t := tier.Fast
+		if tiers != nil {
+			t = tiers[i]
+		}
+		if t == tier.Fast {
+			delete(m.tiers, r)
+		} else {
+			m.tiers[r] = t
+		}
 	}
+}
+
+// SetTier records a committed replica's disk tier — what a demotion pass
+// calls once the records are durably migrated. Unknown refs are ignored.
+func (m *Manifest) SetTier(r Ref, t tier.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.live[r]; !ok {
+		return
+	}
+	if t == tier.Fast {
+		delete(m.tiers, r)
+	} else {
+		m.tiers[r] = t
+	}
+}
+
+// TierOf reports a committed replica's recorded disk tier.
+func (m *Manifest) TierOf(r Ref) (tier.ID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.live[r]; !ok {
+		return tier.Fast, false
+	}
+	return m.tiers[r], true
+}
+
+// RefsInTier returns the committed replicas recorded on the given tier,
+// sorted oldest-first (segment index, then stream, then format key) —
+// the deterministic order demotion walks.
+func (m *Manifest) RefsInTier(t tier.ID) []Ref {
+	m.mu.Lock()
+	var out []Ref
+	for r := range m.live {
+		if m.tiers[r] == t {
+			out = append(out, r)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Idx != out[j].Idx {
+			return out[i].Idx < out[j].Idx
+		}
+		if out[i].Stream != out[j].Stream {
+			return out[i].Stream < out[j].Stream
+		}
+		return out[i].SFKey < out[j].SFKey
+	})
+	return out
 }
 
 // Remove logically deletes the given replicas: they vanish from all future
@@ -122,6 +198,7 @@ func (m *Manifest) Remove(refs ...Ref) error {
 			continue
 		}
 		delete(m.live, r)
+		delete(m.tiers, r)
 		m.pending = append(m.pending, pendingDelete{ref: r, removedAt: m.version})
 	}
 	return m.flushLocked()
@@ -208,8 +285,16 @@ func (m *Manifest) Stats() ManifestStats {
 	for _, c := range m.active {
 		n += c
 	}
+	cold := 0
+	for r := range m.tiers {
+		if _, ok := m.live[r]; ok {
+			cold++
+		}
+	}
 	return ManifestStats{
 		Live:            len(m.live),
+		FastLive:        len(m.live) - cold,
+		ColdLive:        cold,
 		ActiveSnapshots: n,
 		SnapshotsTaken:  m.taken,
 		PendingDeletes:  len(m.pending),

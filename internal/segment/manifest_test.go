@@ -9,6 +9,7 @@ import (
 	"repro/internal/format"
 	"repro/internal/frame"
 	"repro/internal/kvstore"
+	"repro/internal/tier"
 )
 
 func ref(stream string, idx int) Ref {
@@ -228,5 +229,66 @@ func TestScanRefsRebuild(t *testing.T) {
 		if !want[r] {
 			t.Fatalf("unexpected ref %+v", r)
 		}
+	}
+}
+
+// TestManifestTierRecording covers the tier bookkeeping layered onto the
+// committed set: placed commits, demotion via SetTier, deterministic
+// fast-tier enumeration, per-tier stats, and removal clearing the record.
+func TestManifestTierRecording(t *testing.T) {
+	var del recordingDeleter
+	m := NewManifest(del.delete)
+	a, b, c := ref("cam", 0), ref("cam", 1), Ref{Stream: "aux", SFKey: "sf1", Idx: 0}
+	m.CommitPlaced([]Ref{a, b, c}, []tier.ID{tier.Fast, tier.Cold, tier.Fast})
+
+	if got, ok := m.TierOf(a); !ok || got != tier.Fast {
+		t.Fatalf("TierOf(a) = %v, %v", got, ok)
+	}
+	if got, ok := m.TierOf(b); !ok || got != tier.Cold {
+		t.Fatalf("TierOf(b) = %v, %v", got, ok)
+	}
+	if _, ok := m.TierOf(ref("cam", 9)); ok {
+		t.Fatal("TierOf reported an uncommitted ref")
+	}
+	if st := m.Stats(); st.FastLive != 2 || st.ColdLive != 1 {
+		t.Fatalf("tier stats = %+v", st)
+	}
+	// Fast enumeration is oldest-first: (idx, stream, sfkey).
+	if got := m.RefsInTier(tier.Fast); !reflect.DeepEqual(got, []Ref{c, a}) {
+		t.Fatalf("RefsInTier(Fast) = %v", got)
+	}
+	if got := m.RefsInTier(tier.Cold); !reflect.DeepEqual(got, []Ref{b}) {
+		t.Fatalf("RefsInTier(Cold) = %v", got)
+	}
+
+	// Demotion flips the record; promoting back clears it.
+	m.SetTier(a, tier.Cold)
+	if got, _ := m.TierOf(a); got != tier.Cold {
+		t.Fatalf("TierOf(a) after demotion = %v", got)
+	}
+	m.SetTier(a, tier.Fast)
+	if got, _ := m.TierOf(a); got != tier.Fast {
+		t.Fatalf("TierOf(a) after promotion = %v", got)
+	}
+	// SetTier on an uncommitted ref is ignored.
+	m.SetTier(ref("cam", 9), tier.Cold)
+	if st := m.Stats(); st.FastLive != 2 || st.ColdLive != 1 {
+		t.Fatalf("stats after no-op SetTier = %+v", st)
+	}
+
+	// A plain Commit lands fast, and re-committing a cold ref resets it.
+	m.Commit(b)
+	if got, _ := m.TierOf(b); got != tier.Fast {
+		t.Fatalf("TierOf(b) after plain re-commit = %v", got)
+	}
+	m.SetTier(b, tier.Cold)
+	if err := m.Remove(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.TierOf(b); ok {
+		t.Fatal("removed ref still reports a tier")
+	}
+	if st := m.Stats(); st.FastLive != 2 || st.ColdLive != 0 {
+		t.Fatalf("stats after remove = %+v", st)
 	}
 }

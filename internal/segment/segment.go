@@ -17,11 +17,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/format"
 	"repro/internal/frame"
 	"repro/internal/kvstore"
+	"repro/internal/tier"
 	"repro/internal/vidsim"
 )
 
@@ -34,16 +36,76 @@ const Frames = Seconds * vidsim.FPS
 // ErrNotFound is returned when a requested segment does not exist.
 var ErrNotFound = errors.New("segment: not found")
 
+// KV is the key-value surface the segment store needs. A bare
+// *kvstore.Store satisfies it (one log, one lock); a *tier.Store
+// satisfies it with sharded fast/cold tiers behind tier-transparent
+// reads.
+type KV interface {
+	Put(key string, value []byte) error
+	Get(key string) ([]byte, error)
+	Has(key string) bool
+	Delete(key string) error
+	Keys(prefix string) []string
+	Scan(prefix string, fn func(key string, value []byte) bool) error
+	Stats() kvstore.Stats
+	DiskBytes() (int64, error)
+	Compact() error
+	Close() error
+}
+
+// PlaceFunc maps a storage format key to its disk tier — the segment
+// store consults it on every write so derivation-driven placement lands
+// each format's records on the right medium.
+type PlaceFunc func(sfKey string) tier.ID
+
 // Store organises segments inside a key-value store.
 type Store struct {
-	kv *kvstore.Store
+	kv KV
+	ts *tier.Store // non-nil when kv is tiered: enables placement and demotion
+
+	mu    sync.RWMutex
+	place PlaceFunc
 }
 
 // NewStore wraps a key-value store.
-func NewStore(kv *kvstore.Store) *Store { return &Store{kv: kv} }
+func NewStore(kv KV) *Store {
+	s := &Store{kv: kv}
+	if ts, ok := kv.(*tier.Store); ok {
+		s.ts = ts
+	}
+	return s
+}
 
 // KV exposes the underlying key-value store (for stats and compaction).
-func (s *Store) KV() *kvstore.Store { return s.kv }
+func (s *Store) KV() KV { return s.kv }
+
+// Tiered exposes the tiered engine, or nil when the store is backed by a
+// bare kvstore.
+func (s *Store) Tiered() *tier.Store { return s.ts }
+
+// SetPlacement installs the write-time tier placement. Safe to call
+// while ingest runs: in-flight segments pick up the new placement on
+// their next record write. A nil PlaceFunc (or an untiered store) writes
+// everything to the fast tier.
+func (s *Store) SetPlacement(place PlaceFunc) {
+	s.mu.Lock()
+	s.place = place
+	s.mu.Unlock()
+}
+
+// put writes one record of a segment stored under sfKey, routing it to
+// the placed tier when the store is tiered.
+func (s *Store) put(sfKey, key string, value []byte) error {
+	if s.ts != nil {
+		s.mu.RLock()
+		place := s.place
+		s.mu.RUnlock()
+		if place != nil {
+			return s.ts.PutTier(place(sfKey), key, value)
+		}
+	}
+	return s.kv.Put(key, value)
+}
 
 // Key layout, shared by the typed accessors below, DeleteRef (which only
 // has the format's key) and the manifest's ScanRefs rebuild.
@@ -82,7 +144,7 @@ func (s *Store) PutEncoded(stream string, sf format.StorageFormat, idx int, enc 
 	if sf.Coding.Raw {
 		return errors.New("segment: PutEncoded with raw coding; use PutRaw")
 	}
-	return s.kv.Put(encKey(stream, sf, idx), enc.Marshal())
+	return s.put(sf.Key(), encKey(stream, sf, idx), enc.Marshal())
 }
 
 // GetEncoded loads an encoded segment.
@@ -165,11 +227,11 @@ func (s *Store) PutRaw(stream string, sf format.StorageFormat, idx int, frames [
 		return errors.New("segment: empty raw segment")
 	}
 	meta := rawMeta{w: frames[0].W, h: frames[0].H, n: len(frames), firstPTS: frames[0].PTS}
-	if err := s.kv.Put(rawMetaKey(stream, sf, idx), meta.marshal()); err != nil {
+	if err := s.put(sf.Key(), rawMetaKey(stream, sf, idx), meta.marshal()); err != nil {
 		return err
 	}
 	for _, f := range frames {
-		if err := s.kv.Put(rawFrameKey(stream, sf, idx, f.PTS), marshalFrame(f)); err != nil {
+		if err := s.put(sf.Key(), rawFrameKey(stream, sf, idx, f.PTS), marshalFrame(f)); err != nil {
 			return err
 		}
 	}
@@ -273,6 +335,91 @@ func (s *Store) Segments(stream string, sf format.StorageFormat) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// RouteKey maps a segment-store key to its shard-routing token: all
+// records of one (stream, segment index) — every storage format's
+// replica, raw frames included — share a token and therefore a shard, so
+// a segment's ingest, retrieval, demotion and deletion are shard-local.
+// Non-segment keys (server metadata) route by their full key.
+func RouteKey(key string) string {
+	rest, raw := "", false
+	switch {
+	case strings.HasPrefix(key, encPrefix):
+		rest = key[len(encPrefix):]
+	case strings.HasPrefix(key, rawMetaPrefix):
+		rest = key[len(rawMetaPrefix):]
+	case strings.HasPrefix(key, rawPrefix):
+		raw = true
+		rest = key[len(rawPrefix):]
+		last := strings.LastIndexByte(rest, '/')
+		if last < 0 {
+			return key
+		}
+		rest = rest[:last] // strip the per-frame pts component
+	default:
+		return key
+	}
+	r, ok := parseRefKey(rest, raw)
+	if !ok {
+		return key
+	}
+	return r.Stream + "\x00" + strconv.Itoa(r.Idx)
+}
+
+// anchorKey is the replica's metadata record: the single key whose tier
+// defines the segment's tier (it is copied last and deleted last during
+// demotion, so a half-migrated segment still reports its pre-migration
+// tier while every record stays readable through the fast→cold
+// fallthrough).
+func anchorKey(r Ref) string {
+	if r.Raw {
+		return rawMetaKeyOf(r.Stream, r.SFKey, r.Idx)
+	}
+	return encKeyOf(r.Stream, r.SFKey, r.Idx)
+}
+
+// refKeys returns every live record key of the replica, frames first and
+// the anchor last — the order demotion copies and deletes them in.
+func (s *Store) refKeys(r Ref) []string {
+	if !r.Raw {
+		return []string{encKeyOf(r.Stream, r.SFKey, r.Idx)}
+	}
+	keys := s.kv.Keys(rawFramePrefixOf(r.Stream, r.SFKey, r.Idx))
+	return append(keys, rawMetaKeyOf(r.Stream, r.SFKey, r.Idx))
+}
+
+// TierOf reports which disk tier holds the replica (by its anchor
+// record). An untiered store reports Fast for every present replica.
+func (s *Store) TierOf(r Ref) (tier.ID, bool) {
+	if s.ts == nil {
+		return tier.Fast, s.kv.Has(anchorKey(r))
+	}
+	return s.ts.TierOf(anchorKey(r))
+}
+
+// DemoteRef migrates the replica's records fast→cold via the engine's
+// crash-safe copy-then-delete. Records are ordered frames-first,
+// anchor-last, so the segment's reported tier flips to cold only once
+// every record is durably migrated; a crash at any point leaves every
+// record readable in exactly one tier after recovery. It is a no-op on
+// an untiered store and idempotent for already-cold replicas.
+func (s *Store) DemoteRef(r Ref) error {
+	if s.ts == nil {
+		return nil
+	}
+	return s.ts.Demote(s.refKeys(r))
+}
+
+// RefBytes returns the stored bytes of one replica's records.
+func (s *Store) RefBytes(r Ref) int64 {
+	var total int64
+	for _, k := range s.refKeys(r) {
+		if v, err := s.kv.Get(k); err == nil {
+			total += int64(len(v))
+		}
+	}
+	return total
 }
 
 // BytesFor returns the stored bytes of all segments of the stream/format.

@@ -86,6 +86,87 @@ func BenchmarkQueryParallel8(b *testing.B) { benchQuery(b, 8, 0) }
 // 8-worker pool; the steady state serves every stage-0 scan from memory.
 func BenchmarkQueryParallelCached(b *testing.B) { benchQuery(b, 8, 1<<30) }
 
+// The tiered benchmark server lives in its own store: the cold-hit
+// variant demotes every segment, which must not perturb the shared
+// benchmark server's placement.
+var (
+	tierBenchOnce sync.Once
+	tierBenchSrv  *Server
+	tierBenchErr  error
+)
+
+func tieredBenchServer(b *testing.B) *Server {
+	b.Helper()
+	tierBenchOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "server-tierbench-*")
+		if err != nil {
+			tierBenchErr = err
+			return
+		}
+		s, err := OpenWith(dir, Options{Shards: 4, DemoteAfterDays: 1})
+		if err != nil {
+			tierBenchErr = err
+			return
+		}
+		cfg := testConfig(b, "jackson", []ops.Operator{ops.Diff{}, ops.SNN{}, ops.NN{}}, []float64{0.9})
+		if err := s.Reconfigure(cfg); err != nil {
+			tierBenchErr = err
+			return
+		}
+		sc, err := vidsim.DatasetByName("jackson")
+		if err != nil {
+			tierBenchErr = err
+			return
+		}
+		if _, err := s.Ingest(sc, "cam", benchSegments); err != nil {
+			tierBenchErr = err
+			return
+		}
+		tierBenchSrv = s
+	})
+	if tierBenchErr != nil {
+		b.Fatal(tierBenchErr)
+	}
+	return tierBenchSrv
+}
+
+// BenchmarkTieredQuery compares the three steady states of the tiered
+// read path: every segment on the fast tier, every segment demoted to
+// the cold tier (reads fall through fast→cold), and the warm retrieval
+// cache in front of the cold tier. Sub-benchmarks run in order; the
+// demotion between fast and cold happens exactly once.
+func BenchmarkTieredQuery(b *testing.B) {
+	s := tieredBenchServer(b)
+	opNames := []string{"Diff", "S-NN", "NN"}
+	run := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	s.QueryWorkers = 8
+	s.SetCacheBudget(0)
+	// The shared server is demoted exactly once; a repeated run
+	// (-count>=2) finds everything already cold and skips the fast-hit
+	// variant rather than mislabelling cold reads.
+	if s.Stats().FastSegments > 0 {
+		b.Run("fast-hit", run)
+		if n, err := s.DemotePass(func(string, int) int { return 1 << 20 }); err != nil || n == 0 {
+			b.Fatalf("demotion before cold-hit benchmark: n=%d err=%v", n, err)
+		}
+	} else {
+		b.Run("fast-hit", func(b *testing.B) { b.Skip("segments already demoted by an earlier run") })
+	}
+	b.Run("cold-hit", run)
+	s.SetCacheBudget(1 << 30)
+	if _, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
+		b.Fatal(err) // warm pass: the measured steady state is cached
+	}
+	b.Run("cached", run)
+	s.SetCacheBudget(0)
+}
+
 // BenchmarkQueryDuringIngest measures query latency while a live stream
 // actively ingests in the background — the serving-under-write-load
 // counterpart of BenchmarkQuerySequential's quiescent baseline. Queries

@@ -199,6 +199,14 @@ func (s *Server) StartErosionDaemon(interval time.Duration, clock erode.Clock, a
 	d := &erode.Daemon{
 		Interval: interval,
 		Clock:    clock,
+		// Demotion runs before erosion on every tick: aged segments
+		// migrate off the fast tier (and the fast-tier budget is
+		// re-enforced) before the erosion plan decides what footage to
+		// drop entirely.
+		Demote: func() error {
+			_, err := s.DemotePass(age)
+			return err
+		},
 		Pass: func() error {
 			_, err := s.ErodePass(age)
 			return err

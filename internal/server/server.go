@@ -48,6 +48,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/retrieve"
 	"repro/internal/segment"
+	"repro/internal/tier"
 	"repro/internal/vidsim"
 )
 
@@ -62,7 +63,7 @@ type Epoch struct {
 // Server owns one store directory. All methods are safe for concurrent use.
 type Server struct {
 	mu       sync.Mutex
-	kv       *kvstore.Store
+	kv       *tier.Store
 	segs     *segment.Store
 	manifest *segment.Manifest
 	epochs   []*Epoch
@@ -75,6 +76,20 @@ type Server struct {
 	// ErosionPasses counter stays monotonic across daemon restarts.
 	pastErodePasses int64
 	closed          bool
+	// erodeMu serialises lifecycle passes (demotion and erosion): a
+	// demoter copying records fast→cold must never interleave with an
+	// eroder physically deleting those records, or a deleted segment
+	// could be resurrected on the cold tier.
+	erodeMu sync.Mutex
+	// placements maps storage-format keys to their derived disk tier,
+	// merged across epochs (newest wins) so in-flight ingest of an older
+	// epoch's formats still resolves during a reconfiguration.
+	placements map[string]core.Placement
+	// fastBytes and demoteAfterDays are the resolved demotion knobs (see
+	// Options and Runtime).
+	fastBytes       int64
+	demoteAfterDays int
+	demotions       int64 // segment replicas migrated fast→cold
 	// Parallelism bounds concurrent per-format transcodes during ingest;
 	// zero selects GOMAXPROCS.
 	Parallelism int
@@ -90,14 +105,45 @@ const (
 	streamKeyPrefix = "meta/stream/"
 )
 
+// Options shapes how a server opens its store. Every field has a working
+// zero value; non-zero fields override the persisted Runtime knobs.
+type Options struct {
+	// Shards is the per-tier shard count when creating a fresh store (an
+	// existing store's layout wins). Zero selects the engine default.
+	Shards int
+	// FastTierBytes caps the fast tier's live bytes (enforced by
+	// demotion passes). Zero defers to the configuration's Runtime.
+	FastTierBytes int64
+	// DemoteAfterDays ages segments off the fast tier. Zero defers to
+	// the configuration's Runtime.
+	DemoteAfterDays int
+}
+
 // Open opens (creating if needed) a server over the given directory,
 // restoring epochs and stream positions from the store's metadata.
-func Open(dir string) (*Server, error) {
-	kv, err := kvstore.Open(filepath.Join(dir, "segments"), kvstore.Options{})
+func Open(dir string) (*Server, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith is Open with explicit engine options. The store is a tiered,
+// sharded engine: segment records live in per-shard logs split across a
+// fast and a cold tier, routed by stream+segment, with reads falling
+// through fast→cold. A legacy single-log store is migrated in place, and
+// demotions interrupted by a crash are completed before the manifest is
+// rebuilt.
+func OpenWith(dir string, opt Options) (*Server, error) {
+	kv, err := tier.Open(filepath.Join(dir, "segments"), tier.Options{
+		Shards: opt.Shards,
+		Route:  segment.RouteKey,
+	})
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{kv: kv, segs: segment.NewStore(kv), next: map[string]int{}, streams: map[string]*ingest.Stream{}}
+	s := &Server{
+		kv: kv, segs: segment.NewStore(kv),
+		next: map[string]int{}, streams: map[string]*ingest.Stream{},
+		placements:      map[string]core.Placement{},
+		fastBytes:       opt.FastTierBytes,
+		demoteAfterDays: opt.DemoteAfterDays,
+	}
 	s.manifest = segment.NewManifest(s.segs.DeleteRef)
 	for _, k := range kv.Keys(epochKeyPrefix) {
 		b, err := kv.Get(k)
@@ -131,6 +177,28 @@ func Open(dir string) (*Server, error) {
 			break
 		}
 	}
+	// The demotion knobs follow the same newest-to-oldest fold; explicit
+	// open options win over the configuration.
+	for i := len(s.epochs) - 1; i >= 0 && s.fastBytes == 0; i-- {
+		s.fastBytes = s.epochs[i].Cfg.Runtime.FastTierBytes
+	}
+	for i := len(s.epochs) - 1; i >= 0 && s.demoteAfterDays == 0; i-- {
+		s.demoteAfterDays = s.epochs[i].Cfg.Runtime.DemoteAfterDays
+	}
+	if s.fastBytes < 0 {
+		s.fastBytes = 0
+	}
+	if s.demoteAfterDays < 0 {
+		s.demoteAfterDays = 0
+	}
+	// Placement merges oldest-to-newest so the newest epoch's derivation
+	// decides where a format's forthcoming segments land.
+	for _, ep := range s.epochs {
+		for k, p := range ep.Cfg.Placements() {
+			s.placements[k] = p
+		}
+	}
+	s.segs.SetPlacement(s.placeFunc())
 	// The manifest restarts from the physical record set: a failed
 	// transcode cleans up its partial records (see ingestSegment), and a
 	// crash's torn tail is truncated by the KV replay, so surviving
@@ -142,9 +210,13 @@ func Open(dir string) (*Server, error) {
 	// Stream positions are reconciled with the scan: segments ingested
 	// outside the server (the bare CLI ingest path writes no position)
 	// must not be overwritten by live ingest starting at a stale index.
+	// Each replica is re-committed on the tier its anchor record lives
+	// on, so demotions survive a reopen (and an interrupted demotion,
+	// already healed by the engine's recovery, reports its settled tier).
 	maxIdx := map[string]int{}
 	s.segs.ScanRefs(func(r segment.Ref) {
-		s.manifest.Commit(r)
+		t, _ := s.segs.TierOf(r)
+		s.manifest.CommitPlaced([]segment.Ref{r}, []tier.ID{t})
 		if r.Idx+1 > maxIdx[r.Stream] {
 			maxIdx[r.Stream] = r.Idx + 1
 		}
@@ -228,6 +300,22 @@ func decodeEpoch(b []byte) (*Epoch, error) {
 	return ep, nil
 }
 
+// placeFunc returns the segment store's write-time tier resolver. It
+// reads the live placement map under mu on every call, so one install at
+// Open tracks every later Reconfigure. Unknown formats (foreign or
+// pre-placement segments) default to the fast tier.
+func (s *Server) placeFunc() segment.PlaceFunc {
+	return func(sfKey string) tier.ID {
+		s.mu.Lock()
+		p, ok := s.placements[sfKey]
+		s.mu.Unlock()
+		if ok && p == core.PlaceCold {
+			return tier.Cold
+		}
+		return tier.Fast
+	}
+}
+
 // Reconfigure installs a new configuration epoch. Forthcoming segments of
 // every stream are ingested under it; already-stored segments remain under
 // their original epochs (§7).
@@ -251,6 +339,17 @@ func (s *Server) Reconfigure(cfg *core.Config) error {
 	// (SetCacheBudget) survives. A negative budget explicitly disables.
 	if cfg.Runtime.CacheBytes != 0 {
 		s.applyCacheBudgetLocked(cfg.Runtime.CacheBytes)
+	}
+	// The demotion knobs follow the same zero-is-silent convention.
+	if v := cfg.Runtime.FastTierBytes; v != 0 {
+		s.fastBytes = max(v, 0)
+	}
+	if v := cfg.Runtime.DemoteAfterDays; v != 0 {
+		s.demoteAfterDays = max(v, 0)
+	}
+	// The new epoch's derived placement governs forthcoming writes.
+	for k, p := range cfg.Placements() {
+		s.placements[k] = p
 	}
 	return nil
 }
@@ -428,11 +527,19 @@ func (s *Server) ingestSegment(stream string, clip func(idx int) []*frame.Frame)
 		}
 		return perSF, cpu, firstErr
 	}
+	// Commit every format's replica atomically, each recorded on the
+	// tier its records were actually written to (the anchor's physical
+	// tier, exactly what a reopen rebuilds from) — re-consulting the
+	// placement map here could disagree with the writes if a Reconfigure
+	// flipped a format mid-transcode, leaving a fast replica the
+	// demotion pass would never enumerate.
 	refs := make([]segment.Ref, len(sfs))
+	tiers := make([]tier.ID, len(sfs))
 	for i, sf := range sfs {
 		refs[i] = segment.RefOf(stream, sf, idx)
+		tiers[i], _ = s.segs.TierOf(refs[i])
 	}
-	s.manifest.Commit(refs...)
+	s.manifest.CommitPlaced(refs, tiers)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -664,6 +771,65 @@ func (s *Server) queryWorkers(cfg *core.Config) int {
 	return w
 }
 
+// DemotePass migrates committed segment replicas fast→cold: first every
+// fast-tier replica at least DemoteAfterDays old (when that knob is set),
+// then — if the fast tier still exceeds FastTierBytes — oldest replicas
+// until the budget holds, in deterministic oldest-first order. Each
+// replica migrates via crash-safe copy-then-delete and flips its manifest
+// tier only once durably cold. Concurrent queries are unaffected: reads
+// fall through fast→cold, and demoted bytes are identical, so even cached
+// frames stay valid. It returns the number of replicas demoted.
+func (s *Server) DemotePass(age AgeFunc) (int, error) {
+	s.erodeMu.Lock()
+	defer s.erodeMu.Unlock()
+	s.mu.Lock()
+	fastBytes := s.fastBytes
+	afterDays := s.demoteAfterDays
+	s.mu.Unlock()
+	if fastBytes == 0 && afterDays == 0 {
+		return 0, nil
+	}
+	demoted := 0
+	demote := func(r segment.Ref) error {
+		if err := s.segs.DemoteRef(r); err != nil {
+			return fmt.Errorf("server: demoting %v: %w", r, err)
+		}
+		s.manifest.SetTier(r, tier.Cold)
+		demoted++
+		// Counted per replica, not folded at return: a later failure in
+		// the same pass must not erase the migrations that did happen.
+		s.mu.Lock()
+		s.demotions++
+		s.mu.Unlock()
+		return nil
+	}
+	refs := s.manifest.RefsInTier(tier.Fast)
+	if afterDays > 0 {
+		kept := refs[:0]
+		for _, r := range refs {
+			if age(r.Stream, r.Idx) >= afterDays {
+				if err := demote(r); err != nil {
+					return demoted, err
+				}
+				continue
+			}
+			kept = append(kept, r)
+		}
+		refs = kept
+	}
+	if fastBytes > 0 {
+		for _, r := range refs {
+			if s.kv.TierBytes(tier.Fast) <= fastBytes {
+				break
+			}
+			if err := demote(r); err != nil {
+				return demoted, err
+			}
+		}
+	}
+	return demoted, nil
+}
+
 // Erode applies every epoch's erosion plan to the segments it governs.
 // ageOfSegment maps a stream's segment index to its age in days. Deletion
 // is logical-first: an eroded segment leaves the manifest (and therefore
@@ -672,6 +838,10 @@ func (s *Server) queryWorkers(cfg *core.Config) int {
 // can still read them. The background erosion daemon (StartErosionDaemon)
 // runs exactly this per stream on every pass.
 func (s *Server) Erode(stream string, ageOfSegment func(idx int) int) (int, error) {
+	// Serialised against demotion passes: erosion physically deletes
+	// records that a concurrent fast→cold copy could otherwise resurrect.
+	s.erodeMu.Lock()
+	defer s.erodeMu.Unlock()
 	s.mu.Lock()
 	epochs := append([]*Epoch(nil), s.epochs...)
 	s.mu.Unlock()
@@ -721,10 +891,11 @@ func (s *Server) Erode(stream string, ageOfSegment func(idx int) int) (int, erro
 	return total, nil
 }
 
-// Stats reports the underlying store occupancy, the retrieval cache's
-// hit/miss/evict counters (zero when the cache is disabled), and the live
-// lifecycle's counters: streaming-ingest queue occupancy, erosion-daemon
-// passes, and snapshot activity.
+// Stats reports the underlying store occupancy (with the per-tier
+// breakdown and demotion count of the tiered engine), the retrieval
+// cache's hit/miss/evict counters (zero when the cache is disabled), and
+// the live lifecycle's counters: streaming-ingest queue occupancy,
+// erosion-daemon passes, and snapshot activity.
 func (s *Server) Stats() kvstore.Stats {
 	st := s.kv.Stats()
 	cs := s.CacheStats()
@@ -735,9 +906,12 @@ func (s *Server) Stats() kvstore.Stats {
 	ms := s.manifest.Stats()
 	st.ActiveSnapshots = ms.ActiveSnapshots
 	st.SnapshotsTaken = ms.SnapshotsTaken
+	st.FastSegments = ms.FastLive
+	st.ColdSegments = ms.ColdLive
 	s.mu.Lock()
 	daemon := s.daemon
 	past := s.pastErodePasses
+	st.Demotions = s.demotions
 	for _, live := range s.streams {
 		st.IngestQueued += live.Stats().Queued
 	}
@@ -747,5 +921,13 @@ func (s *Server) Stats() kvstore.Stats {
 }
 
 // Compact reclaims garbage space in the underlying store (e.g., after
-// erosion deleted many segments).
-func (s *Server) Compact() error { return s.kv.Compact() }
+// erosion deleted many segments), compacting every shard of both tiers
+// in parallel on the shared transcode/query pool — shards lock
+// independently, so compactions proceed concurrently up to the pool's
+// width.
+func (s *Server) Compact() error {
+	s.mu.Lock()
+	pool := s.poolLocked()
+	s.mu.Unlock()
+	return s.kv.CompactShards(pool.Batch())
+}

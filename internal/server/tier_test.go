@@ -1,0 +1,461 @@
+package server
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/erode"
+	"repro/internal/kvstore"
+	"repro/internal/ops"
+	"repro/internal/query"
+	"repro/internal/tier"
+	"repro/internal/vidsim"
+)
+
+// assertOneTierPerKey asserts the engine-level invariant after crashes
+// and demotions: every live key is present in exactly one tier (the
+// aggregated per-tier key counts, which would count a duplicated key
+// twice, equal the deduplicated enumeration).
+func assertOneTierPerKey(t *testing.T, s *Server) {
+	t.Helper()
+	st := s.kv.Stats()
+	if got := len(s.kv.Keys("")); got != st.Keys {
+		t.Fatalf("%d distinct keys but %d per-tier key slots: some key is live in both tiers", got, st.Keys)
+	}
+}
+
+// TestTierPlacementAndDemotionLifecycle walks a segment through the
+// placement lifecycle: ingest lands the subscribed format fast and the
+// golden archival format cold, a demotion pass ages the fast replicas to
+// cold with byte-identical query results, and the recorded tiers survive
+// a reopen.
+func TestTierPlacementAndDemotionLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{Shards: 4, DemoteAfterDays: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, "jackson", []ops.Operator{ops.Motion{}, ops.License{}}, []float64{0.9})
+	// Tiny test derivations coalesce every consumer into the golden
+	// format, which then places fast; pin the archival golden format to
+	// the cold tier so ingest exercises split placement. (The derivation
+	// rule itself is unit-tested in core with a controllable profiler.)
+	cfg.Derivation.SFs[cfg.Derivation.Golden].Placement = core.PlaceCold
+	if err := s.Reconfigure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	fastSFs, coldSFs := 0, 0
+	for _, sf := range cfg.Derivation.SFs {
+		if sf.Placement == core.PlaceFast {
+			fastSFs++
+		} else {
+			coldSFs++
+		}
+	}
+	if fastSFs == 0 || coldSFs == 0 {
+		t.Fatalf("placement has no tier split: %d fast, %d cold", fastSFs, coldSFs)
+	}
+	sc, _ := vidsim.DatasetByName("jackson")
+	const segments = 3
+	if _, err := s.Ingest(sc, "cam", segments); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FastSegments != fastSFs*segments || st.ColdSegments != coldSFs*segments {
+		t.Fatalf("ingest placed %d fast / %d cold replicas, want %d / %d",
+			st.FastSegments, st.ColdSegments, fastSFs*segments, coldSFs*segments)
+	}
+	if st.FastLiveBytes == 0 || st.ColdLiveBytes == 0 {
+		t.Fatalf("tier bytes not split: %+v", st)
+	}
+	cascade, names := motionCascade()
+	ref, err := s.Query("cam", cascade, names, 0.9, 0, segments)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Segment 0 is old enough to demote; 1 and 2 are not.
+	n, err := s.DemotePass(func(_ string, idx int) int { return segments - 1 - idx })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != fastSFs {
+		t.Fatalf("demoted %d replicas, want %d (segment 0's fast formats)", n, fastSFs)
+	}
+	st = s.Stats()
+	if st.Demotions != int64(n) || st.FastSegments != fastSFs*(segments-1) {
+		t.Fatalf("post-demotion stats: %+v", st)
+	}
+	assertOneTierPerKey(t, s)
+	mixed, err := s.Query("cam", cascade, names, 0.9, 0, segments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetections(t, ref, mixed, "fast/cold mixed read")
+
+	// Everything ages out of the fast tier; results stay identical.
+	if _, err := s.DemotePass(func(string, int) int { return 10 }); err != nil {
+		t.Fatal(err)
+	}
+	if st = s.Stats(); st.FastSegments != 0 || st.ColdSegments != (fastSFs+coldSFs)*segments {
+		t.Fatalf("full demotion left %+v", st)
+	}
+	cold, err := s.Query("cam", cascade, names, 0.9, 0, segments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetections(t, ref, cold, "all-cold read")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The recorded tiers are rebuilt from the on-disk layout on reopen.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.FastSegments != 0 || st.ColdSegments != (fastSFs+coldSFs)*segments {
+		t.Fatalf("tiers lost across reopen: %+v", st)
+	}
+	again, err := s2.Query("cam", cascade, names, 0.9, 0, segments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetections(t, ref, again, "after reopen")
+}
+
+// TestCrashRecoveryMidTierMigration simulates a crash in the middle of a
+// fast→cold migration — the cold copies of one segment's records written,
+// the fast deletes never applied — reopens the server, and demands every
+// segment be visible in exactly one tier with byte-identical query
+// results: no loss, no duplicates.
+func TestCrashRecoveryMidTierMigration(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, "jackson", []ops.Operator{ops.Motion{}}, []float64{0.9})
+	if err := s.Reconfigure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := vidsim.DatasetByName("jackson")
+	if _, err := s.Ingest(sc, "cam", 3); err != nil {
+		t.Fatal(err)
+	}
+	cascade, names := motionCascade()
+	ref, err := s.Query("cam", cascade, names, 0.9, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := s.manifest.Stats().Live
+	distinctKeys := len(s.kv.Keys(""))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash simulation, against the raw shard layout: copy every one of
+	// segment 0's fast records into the matching cold shard and "crash"
+	// before any fast delete — the exact window the two-phase migration
+	// leaves open.
+	copied := 0
+	for shard := 0; shard < 4; shard++ {
+		fast, err := kvstore.Open(filepath.Join(dir, "segments", tier.Fast.String(), fmtShard(shard)), kvstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := kvstore.Open(filepath.Join(dir, "segments", tier.Cold.String(), fmtShard(shard)), kvstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range fast.Keys("") {
+			if !strings.Contains(k, "/00000000") {
+				continue // not a segment-0 record
+			}
+			v, err := fast.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cold.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			copied++
+		}
+		fast.Close()
+		cold.Close()
+	}
+	if copied == 0 {
+		t.Fatal("crash simulation copied nothing")
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	assertOneTierPerKey(t, s2)
+	if got := len(s2.kv.Keys("")); got != distinctKeys {
+		t.Fatalf("recovery changed the key set: %d keys, want %d", got, distinctKeys)
+	}
+	ms := s2.manifest.Stats()
+	if ms.Live != live {
+		t.Fatalf("recovery changed the committed set: %d replicas, want %d", ms.Live, live)
+	}
+	if ms.FastLive+ms.ColdLive != ms.Live {
+		t.Fatalf("replicas not in exactly one tier: %+v", ms)
+	}
+	// The healed migration reports segment 0 cold (its cold copies were
+	// durable) and everything else untouched on fast.
+	if ms.ColdLive == 0 {
+		t.Fatal("completed migration not visible in any tier accounting")
+	}
+	got, err := s2.Query("cam", cascade, names, 0.9, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDetections(t, ref, got, "after crash recovery")
+}
+
+func fmtShard(i int) string { return []string{"000", "001", "002", "003"}[i] }
+
+// TestShardDeterminism is the golden determinism test: one fixed
+// configuration ingested into stores sharded 1, 4 and 16 ways returns
+// byte-identical query results at every shard count, and the derived
+// placement plan itself is byte-identical across derivation runs (see
+// core's TestPlacementDeterminism for the pure-derivation half).
+func TestShardDeterminism(t *testing.T) {
+	cfg := testConfig(t, "jackson", []ops.Operator{ops.Diff{}, ops.SNN{}, ops.NN{}}, []float64{0.9})
+	sc, _ := vidsim.DatasetByName("jackson")
+	cascade := []string{"Diff", "S-NN", "NN"}
+	var ref QueryResult
+	for i, shards := range []int{1, 4, 16} {
+		s, err := OpenWith(t.TempDir(), Options{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.kv.Shards(); got != shards {
+			t.Fatalf("store opened with %d shards, want %d", got, shards)
+		}
+		if err := s.Reconfigure(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Ingest(sc, "cam", 3); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Query("cam", query.QueryA(), cascade, 0.9, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = res
+		} else {
+			sameDetections(t, ref, res, "shard count variation")
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTieredConcurrentServe is the tiered counterpart of
+// TestLiveConcurrentServe: two streams ingest while four queriers, the
+// demotion+erosion daemon and per-shard compaction all run under -race,
+// every live query re-runs byte-identically on its retained snapshot, and
+// once a final demotion pass settles the fast tier is within its byte
+// budget.
+func TestTieredConcurrentServe(t *testing.T) {
+	const fastBudget = 64 << 10
+	s, err := OpenWith(t.TempDir(), Options{Shards: 4, FastTierBytes: fastBudget, DemoteAfterDays: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Reconfigure(pressureConfig(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s.SetCacheBudget(16 << 20)
+
+	segments := 4
+	if testing.Short() {
+		segments = 3
+	}
+	streams := []string{"cam0", "cam1"}
+	scenes := []string{"jackson", "park"}
+	for _, name := range streams {
+		if _, err := s.StartStream(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	age := func(stream string, idx int) int { return s.SegmentsOf(stream) - idx }
+	clock := erode.NewManualClock()
+	if _, err := s.StartErosionDaemon(time.Hour, clock, age); err != nil {
+		t.Fatal(err)
+	}
+	fireDone := make(chan struct{})
+	var firer sync.WaitGroup
+	firer.Add(1)
+	go func() {
+		defer firer.Done()
+		for {
+			select {
+			case <-fireDone:
+				return
+			default:
+				if !clock.TryFire() {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}
+	}()
+
+	// Compactor: per-shard parallel compaction interleaving with
+	// everything else.
+	compactDone := make(chan struct{})
+	var compactor sync.WaitGroup
+	compactor.Add(1)
+	go func() {
+		defer compactor.Done()
+		for {
+			select {
+			case <-compactDone:
+				return
+			default:
+				if err := s.Compact(); err != nil {
+					t.Error(err)
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+
+	var feeders sync.WaitGroup
+	for i, name := range streams {
+		i, name := i, name
+		feeders.Add(1)
+		go func() {
+			defer feeders.Done()
+			sc, err := vidsim.DatasetByName(scenes[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			src := vidsim.NewSource(sc)
+			live := s.Stream(name)
+			for seg := 0; seg < segments; seg++ {
+				if err := live.Submit(src.Clip(seg*segFrames, segFrames)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	type observed struct {
+		snap   *Snapshot
+		stream string
+		n      int
+		res    QueryResult
+	}
+	cascade, names := motionCascade()
+	var obsMu sync.Mutex
+	var observations []observed
+	ingestDone := make(chan struct{})
+	var queriers sync.WaitGroup
+	const keepPerQuerier = 16
+	for q := 0; q < 4; q++ {
+		q := q
+		queriers.Add(1)
+		go func() {
+			defer queriers.Done()
+			kept := 0
+			for iter := 0; ; iter++ {
+				select {
+				case <-ingestDone:
+					return
+				default:
+				}
+				stream := streams[(q+iter)%len(streams)]
+				snap, err := s.Snapshot()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n := snap.Segments(stream)
+				if n == 0 {
+					snap.Release()
+					continue
+				}
+				res, err := s.QueryAt(snap, stream, cascade, names, 0.9, 0, n)
+				if err != nil {
+					t.Errorf("live query: %v", err)
+					snap.Release()
+					return
+				}
+				if kept < keepPerQuerier {
+					kept++
+					obsMu.Lock()
+					observations = append(observations, observed{snap, stream, n, res})
+					obsMu.Unlock()
+				} else {
+					snap.Release()
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+
+	feeders.Wait()
+	s.DrainStreams()
+	close(ingestDone)
+	queriers.Wait()
+	close(fireDone)
+	firer.Wait()
+	close(compactDone)
+	compactor.Wait()
+	if err := s.StopErosionDaemon(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range streams {
+		if err := s.StopStream(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if len(observations) == 0 {
+		t.Fatal("no queries completed during the live phase")
+	}
+	for i, ob := range observations {
+		again, err := s.QueryAt(ob.snap, ob.stream, cascade, names, 0.9, 0, ob.n)
+		if err != nil {
+			t.Fatalf("quiescent re-run %d: %v", i, err)
+		}
+		sameDetections(t, ob.res, again, "live vs quiescent under tiering")
+		ob.snap.Release()
+	}
+
+	// Quiesced: one settling demotion pass, then the budget must hold
+	// (only server metadata — which never demotes — may remain fast).
+	if _, err := s.DemotePass(age); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FastLiveBytes > fastBudget {
+		t.Fatalf("fast tier holds %d bytes after a settled demotion pass, budget %d", st.FastLiveBytes, fastBudget)
+	}
+	if st.Demotions == 0 {
+		t.Fatal("no demotions despite the fast-tier budget")
+	}
+	if d := s.daemon; d != nil {
+		t.Fatal("daemon still registered")
+	}
+	assertOneTierPerKey(t, s)
+	t.Logf("verified %d live queries; %d demotions; fast tier %d/%d bytes",
+		len(observations), st.Demotions, st.FastLiveBytes, fastBudget)
+}
