@@ -3,7 +3,13 @@
 GO ?= go
 
 # Packages with concurrent paths, exercised under the race detector.
-RACE_PKGS := ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/...
+RACE_PKGS := ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/...
+
+# The retrieval fast path's headline benchmarks: the series tracked in
+# BENCH_PR4.json (ns/op, allocs/op, MB/s) so later PRs can spot
+# regressions.
+BENCH_PKGS := ./internal/retrieve/ ./internal/codec/ ./internal/server/
+BENCH_REGEX := 'BenchmarkRetrieveSegment|BenchmarkRetrieveSparse|BenchmarkDecodeSampled|BenchmarkEncodeGOPs|Benchmark(Tiered)?Query'
 
 # The live-serving and storage core: covered with a minimum gate so the
 # concurrency machinery (manifest commits, snapshot release, daemon
@@ -12,7 +18,7 @@ RACE_PKGS := ./internal/server/... ./internal/query/... ./internal/kvstore/... .
 COVER_PKGS := ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier
 COVER_MIN := 80
 
-.PHONY: build test race bench lint fmt vet cover fuzz all
+.PHONY: build test race bench bench-json bench-smoke lint fmt vet cover fuzz all
 
 all: build lint test
 
@@ -29,7 +35,22 @@ race:
 	$(GO) test -race -short -timeout 25m $(RACE_PKGS)
 
 bench:
-	$(GO) test -run '^$$' -bench 'Benchmark(Tiered)?Query' -benchmem ./internal/server/
+	$(GO) test -run '^$$' -bench $(BENCH_REGEX) -benchmem $(BENCH_PKGS)
+
+# Refreshes the "after" side of the committed benchmark trajectory.
+# (The "before" side is the recorded pre-PR4 baseline; benchjson
+# preserves fields it is not asked to write.) Two steps, not a pipe: a
+# benchmark failure must fail the target, not vanish into a truncated
+# artifact.
+bench-json:
+	$(GO) test -run '^$$' -bench $(BENCH_REGEX) -benchmem $(BENCH_PKGS) > bench.out.tmp
+	$(GO) run ./cmd/benchjson -o BENCH_PR4.json -field after < bench.out.tmp
+	@rm -f bench.out.tmp
+
+# One iteration of every benchmark in the fast-path packages: keeps
+# benchmark code compiling and running in CI without the measurement cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)
 
 # Every listed package must actually carry tests: a package silently
 # contributing zero statements would hollow out the aggregate gate.

@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// trajectory artifact, so benchmark results can be committed and compared
+// across PRs (BENCH_PR4.json seeds the series).
+//
+// Usage:
+//
+//	go test -run '^$' -bench X -benchmem ./... | benchjson -o BENCH_PR4.json -field after
+//
+// The tool parses benchmark result lines from stdin (name, iterations,
+// ns/op and the optional MB/s, B/op, allocs/op columns) and writes them
+// under the named field of the output JSON object, preserving every other
+// field already in the file. Recording a "before" once and refreshing
+// "after" on demand therefore keeps both sides of a comparison in one
+// committed artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's parsed result row.
+type Metrics struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	MBPerSec    *float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkRetrieveSegment/cold-8  91  11930120 ns/op  36.09 MB/s  4602533 B/op  2485 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "output JSON file (default stdout, flat)")
+	field := flag.String("field", "after", "top-level field to (over)write in the output object")
+	flag.Parse()
+
+	parsed, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(parsed) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(parsed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	doc := map[string]json.RawMessage{}
+	if b, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(b, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not a JSON object: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	raw, err := json.Marshal(parsed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc[*field] = raw
+	env, _ := json.Marshal(map[string]any{
+		"goos": runtime.GOOS, "goarch": runtime.GOARCH, "gomaxprocs": runtime.GOMAXPROCS(0),
+	})
+	doc["env_"+*field] = env
+	b, err := json.MarshalIndent(orderedDoc(doc), "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s field %q\n", len(parsed), *out, *field)
+}
+
+// orderedDoc keeps map marshalling deterministic (encoding/json sorts map
+// keys, so a plain map is already stable; the indirection documents the
+// intent and keeps RawMessage values verbatim).
+func orderedDoc(doc map[string]json.RawMessage) map[string]json.RawMessage { return doc }
+
+func parse(f *os.File) (map[string]Metrics, error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := map[string]Metrics{}
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := trimProcSuffix(m[1])
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		met := Metrics{Iterations: iters, NsPerOp: ns}
+		rest := strings.Fields(m[4])
+		for i := 0; i+1 < len(rest); i += 2 {
+			switch rest[i+1] {
+			case "MB/s":
+				if v, err := strconv.ParseFloat(rest[i], 64); err == nil {
+					met.MBPerSec = &v
+				}
+			case "B/op":
+				if v, err := strconv.ParseInt(rest[i], 10, 64); err == nil {
+					met.BytesPerOp = &v
+				}
+			case "allocs/op":
+				if v, err := strconv.ParseInt(rest[i], 10, 64); err == nil {
+					met.AllocsPerOp = &v
+				}
+			}
+		}
+		out[name] = met
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix drops the -N GOMAXPROCS suffix go test appends to
+// benchmark names, so results compare across machines with different
+// core counts.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -7,7 +7,7 @@
 //	vbench [-clip frames] [-segments n] [-dir path] <artifact>
 //
 // Artifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13
-// fig14 sfconfig speedup tiering focus all
+// fig14 sfconfig speedup tiering fastpath focus all
 package main
 
 import (
@@ -33,7 +33,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vbench [flags] <artifact>\nartifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13 fig14 sfconfig speedup tiering focus all\n")
+		fmt.Fprintf(os.Stderr, "usage: vbench [flags] <artifact>\nartifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13 fig14 sfconfig speedup tiering fastpath focus all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -206,6 +206,29 @@ func run(artifact string) error {
 				return err
 			}
 			fmt.Print(experiments.RenderTiering(res))
+			return nil
+		}},
+		{"fastpath", func() error {
+			wd := *dir
+			if wd == "" {
+				var err error
+				wd, err = os.MkdirTemp("", "vbench-fastpath-*")
+				if err != nil {
+					return err
+				}
+				defer os.RemoveAll(wd)
+			}
+			// One full 8-second segment by default; an explicit -clip
+			// chooses the measured clip length like the other artifacts.
+			n := 240
+			if flagPassed("clip") {
+				n = *clipFrames
+			}
+			res, err := experiments.FastPath(wd, "jackson", n, *parallel)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderFastPath(res))
 			return nil
 		}},
 		{"sfconfig", func() error {

@@ -1,0 +1,78 @@
+package codec
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/format"
+	"repro/internal/vidsim"
+)
+
+// The benchmark fixture is encoded once per process; the encode costs far
+// more than the individual decodes being measured.
+var (
+	decBenchOnce sync.Once
+	decBenchEnc  *Encoded
+	decBenchErr  error
+	decBenchRaw  int64 // raw bytes of the full decoded clip
+)
+
+func benchEncoded(b *testing.B) *Encoded {
+	b.Helper()
+	decBenchOnce.Do(func() {
+		src := vidsim.NewSource(vidsim.Datasets[0])
+		frames := src.Clip(0, 240)
+		for _, f := range frames {
+			decBenchRaw += int64(f.Bytes())
+		}
+		enc, _, err := Encode(frames, Params{Quality: format.QGood, Speed: format.SpeedMedium, KeyframeI: 10})
+		if err != nil {
+			decBenchErr = err
+			return
+		}
+		decBenchEnc = enc
+	})
+	if decBenchErr != nil {
+		b.Fatal(decBenchErr)
+	}
+	return decBenchEnc
+}
+
+// BenchmarkDecodeSampled measures the decode hot path: full reconstructs
+// every frame of a 240-frame clip (24 GOPs); sparse keeps 1 frame in 30,
+// exercising the GOP-skip machinery.
+func BenchmarkDecodeSampled(b *testing.B) {
+	enc := benchEncoded(b)
+	run := func(keep func(int) bool, bytes int64) func(*testing.B) {
+		return func(b *testing.B) {
+			b.SetBytes(bytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := enc.DecodeSampled(keep); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("full", run(func(int) bool { return true }, decBenchRaw))
+	b.Run("sparse", run(func(i int) bool { return i%30 == 29 }, decBenchRaw/30))
+}
+
+// BenchmarkEncodeGOPs measures the encode path the ingest pipeline runs
+// per segment: 120 frames, 12 GOPs, one flate stream per GOP.
+func BenchmarkEncodeGOPs(b *testing.B) {
+	src := vidsim.NewSource(vidsim.Datasets[0])
+	frames := src.Clip(0, 120)
+	var bytes int64
+	for _, f := range frames {
+		bytes += int64(f.Bytes())
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Encode(frames, Params{Quality: format.QGood, Speed: format.SpeedFast, KeyframeI: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -17,7 +17,6 @@ package codec
 
 import (
 	"bytes"
-	"compress/flate"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -141,9 +140,23 @@ func Encode(frames []*frame.Frame, p Params) (*Encoded, Stats, error) {
 	dz := byte(deadzone(q))
 	planeLen := e.planeLen()
 	var data bytes.Buffer
-	prev := make([]byte, planeLen) // previous reconstructed (quantised) frame
-	cur := make([]byte, planeLen)  // current quantised frame
-	gopBuf := make([]byte, 0, planeLen*min(p.KeyframeI, len(frames)))
+	// Pooled scratch: the (previous, current) quantised plane pair, the GOP
+	// staging buffer, and one flate writer Reset across every GOP of the
+	// segment (and across segments, through the pool).
+	pair := getPlanePair(planeLen)
+	defer putPlanePair(pair)
+	prev, cur := pair.a, pair.b
+	gopBuf := getGOPBuf(planeLen * min(p.KeyframeI, len(frames)))
+	// Closure, not value: append may regrow gopBuf, and error returns must
+	// pool whatever backing array the encode ended up with.
+	defer func() { putGOPBuf(gopBuf) }()
+	fw, err := getFlateWriter(&data, p.Speed.FlateLevel())
+	if err != nil {
+		return nil, st, fmt.Errorf("codec: flate init: %w", err)
+	}
+	// Pooled even after a mid-stream error: Reset fully reinitialises a
+	// broken writer on its next Get.
+	defer putFlateWriter(fw, p.Speed.FlateLevel())
 	for g := 0; g < len(frames); g += p.KeyframeI {
 		end := min(g+p.KeyframeI, len(frames))
 		gopBuf = gopBuf[:0]
@@ -174,13 +187,14 @@ func Encode(frames []*frame.Frame, p Params) (*Encoded, Stats, error) {
 			st.Frames++
 		}
 		off := data.Len()
-		fw, err := flate.NewWriter(&data, p.Speed.FlateLevel())
-		if err != nil {
-			return nil, st, fmt.Errorf("codec: flate init: %w", err)
+		if g > 0 {
+			fw.Reset(&data)
 		}
 		if _, err := fw.Write(gopBuf); err != nil {
 			return nil, st, fmt.Errorf("codec: flate write: %w", err)
 		}
+		// Each GOP is a complete flate stream, so decode can open any GOP
+		// independently.
 		if err := fw.Close(); err != nil {
 			return nil, st, fmt.Errorf("codec: flate close: %w", err)
 		}
@@ -237,60 +251,159 @@ func (e *Encoded) Decode() ([]*frame.Frame, Stats, error) {
 // kept frame are skipped entirely; within a touched GOP, decoding proceeds
 // from the keyframe to the last kept frame and stops. This is the mechanism
 // by which small keyframe intervals accelerate sparse consumers (Fig 3b).
+//
+// Scratch planes and the flate reader come from pools; delivered frames
+// are carved from fresh per-GOP arenas, never from pooled memory, so they
+// are safe to cache and share under the frame package's read-only
+// contract.
 func (e *Encoded) DecodeSampled(keep func(i int) bool) ([]*frame.Frame, Stats, error) {
+	return e.DecodeSampledInto(keep, nil)
+}
+
+// DecodeSampledInto is DecodeSampled appending into out (which may be nil),
+// reusing its capacity — the variant for callers that retrieve many
+// segments into one frame slice.
+func (e *Encoded) DecodeSampledInto(keep func(i int) bool, out []*frame.Frame) ([]*frame.Frame, Stats, error) {
 	var st Stats
-	var out []*frame.Frame
-	planeLen := e.planeLen()
-	buf := make([]byte, planeLen)   // raw GOP read: intra planes or deltas
-	recon := make([]byte, planeLen) // reconstructed current frame
-	for _, g := range e.gops {
-		last := -1
-		for i := int(g.start); i < int(g.start+g.frames); i++ {
-			if keep(i) {
-				last = i
-			}
-		}
+	for gi := range e.gops {
+		g := &e.gops[gi]
+		last, kept := e.gopPlan(g, keep)
 		if last < 0 {
 			continue
 		}
-		if int(g.off)+int(g.length) > len(e.Data) {
-			return nil, st, fmt.Errorf("codec: gop at offset %d overruns payload", g.off)
-		}
-		st.GOPsTouched++
-		st.BytesFlate += int64(g.length)
-		r := flate.NewReader(bytes.NewReader(e.Data[g.off : g.off+g.length]))
-		for i := int(g.start); i <= last; i++ {
-			if _, err := io.ReadFull(r, buf); err != nil {
-				return nil, st, fmt.Errorf("codec: decoding frame %d: %w", i, err)
-			}
-			if i == int(g.start) {
-				copy(recon, buf)
-				st.PixelsIntra += int64(planeLen)
-			} else {
-				for j := range recon {
-					recon[j] += buf[j]
-				}
-				st.PixelsDelta += int64(planeLen)
-			}
-			st.Frames++
-			if keep(i) {
-				out = append(out, e.frameAt(i, recon))
-			}
-		}
-		if err := r.(io.Closer).Close(); err != nil {
-			return nil, st, fmt.Errorf("codec: flate close: %w", err)
+		var gst Stats
+		var err error
+		out, gst, err = e.decodeGOP(g, last, kept, keep, out)
+		st.Add(gst)
+		if err != nil {
+			return nil, st, err
 		}
 	}
 	return out, st, nil
 }
 
-func (e *Encoded) frameAt(i int, planes []byte) *frame.Frame {
-	f := frame.New(e.W, e.H)
-	f.PTS = int(e.pts[i])
-	n := copy(f.Y, planes)
-	n += copy(f.Cb, planes[n:])
-	copy(f.Cr, planes[n:])
-	return f
+// Batcher schedules functions concurrently and waits for them — the
+// subset of the worker pool's Batch the GOP-parallel decoder needs, kept
+// as a local interface so codec stays a leaf package (*sched.Batch
+// satisfies it).
+type Batcher interface {
+	Go(fn func())
+	Wait()
+}
+
+// DecodeSampledParallel is DecodeSampled with independent GOPs decoded
+// concurrently on b: each GOP is self-contained (keyframe plus deltas, its
+// own flate stream), so GOPs of one segment reconstruct in parallel with
+// no shared state. Results merge in position order and Stats accumulate in
+// GOP order, so output and stats are identical to the sequential call,
+// byte for byte, at any worker count. keep must be safe for concurrent
+// use. A nil b, or a plan touching fewer than two GOPs, falls back to the
+// sequential path.
+func (e *Encoded) DecodeSampledParallel(keep func(i int) bool, b Batcher) ([]*frame.Frame, Stats, error) {
+	type gopPlanned struct {
+		g          *gop
+		last, kept int
+	}
+	var plans []gopPlanned
+	for gi := range e.gops {
+		g := &e.gops[gi]
+		if last, kept := e.gopPlan(g, keep); last >= 0 {
+			plans = append(plans, gopPlanned{g, last, kept})
+		}
+	}
+	if b == nil || len(plans) < 2 {
+		return e.DecodeSampledInto(keep, nil)
+	}
+	type gopResult struct {
+		frames []*frame.Frame
+		st     Stats
+		err    error
+	}
+	results := make([]gopResult, len(plans))
+	for pi := range plans {
+		p := plans[pi]
+		slot := &results[pi]
+		b.Go(func() {
+			slot.frames, slot.st, slot.err = e.decodeGOP(p.g, p.last, p.kept, keep, nil)
+		})
+	}
+	b.Wait()
+	var out []*frame.Frame
+	var st Stats
+	for i := range results {
+		st.Add(results[i].st)
+		if results[i].err != nil {
+			return nil, st, results[i].err
+		}
+		out = append(out, results[i].frames...)
+	}
+	return out, st, nil
+}
+
+// gopPlan scans the GOP's positions, returning the last kept position (-1
+// if none) and the kept count — the decode horizon and the output arena
+// size.
+func (e *Encoded) gopPlan(g *gop, keep func(i int) bool) (last, kept int) {
+	last = -1
+	for i := int(g.start); i < int(g.start+g.frames); i++ {
+		if keep(i) {
+			last = i
+			kept++
+		}
+	}
+	return last, kept
+}
+
+// decodeGOP reconstructs one GOP from its keyframe through position last,
+// appending the kept frames to out. Scratch comes from the pools; output
+// planes are carved from one fresh arena allocation per GOP
+// (frame.NewBatch), so a delivered frame never aliases pooled or
+// per-call scratch memory.
+func (e *Encoded) decodeGOP(g *gop, last, kept int, keep func(i int) bool, out []*frame.Frame) ([]*frame.Frame, Stats, error) {
+	var st Stats
+	if int(g.off)+int(g.length) > len(e.Data) {
+		return nil, st, fmt.Errorf("codec: gop at offset %d overruns payload", g.off)
+	}
+	planeLen := e.planeLen()
+	st.GOPsTouched++
+	st.BytesFlate += int64(g.length)
+	pair := getPlanePair(planeLen)
+	buf, recon := pair.a, pair.b // raw GOP read; reconstructed current frame
+	r := getGOPReader(e.Data[g.off : g.off+g.length])
+	batch := frame.NewBatch(e.W, e.H, kept)
+	bi := 0
+	for i := int(g.start); i <= last; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			r.close() // re-pools the reader; Reset reinitialises the broken stream
+			putPlanePair(pair)
+			return nil, st, fmt.Errorf("codec: decoding frame %d: %w", i, err)
+		}
+		if i == int(g.start) {
+			copy(recon, buf)
+			st.PixelsIntra += int64(planeLen)
+		} else {
+			for j := range recon {
+				recon[j] += buf[j]
+			}
+			st.PixelsDelta += int64(planeLen)
+		}
+		st.Frames++
+		if keep(i) {
+			f := batch[bi]
+			bi++
+			f.PTS = int(e.pts[i])
+			n := copy(f.Y, recon)
+			n += copy(f.Cb, recon[n:])
+			copy(f.Cr, recon[n:])
+			out = append(out, f)
+		}
+	}
+	err := r.close()
+	putPlanePair(pair)
+	if err != nil {
+		return nil, st, fmt.Errorf("codec: flate close: %w", err)
+	}
+	return out, st, nil
 }
 
 // Marshal serialises the container to bytes.

@@ -56,22 +56,30 @@ func SampleTimeline(src []*frame.Frame, s format.Sampling) []*frame.Frame {
 // position, without reuse. Shared by retrieval and by retrieval-speed
 // profiling so both touch exactly the same frames.
 func SelectPositions(pts []int, s format.Sampling) []int {
-	if len(pts) == 0 {
+	return SelectPositionsFunc(len(pts), func(i int) int { return pts[i] }, s)
+}
+
+// SelectPositionsFunc is SelectPositions over an indexed PTS table: n
+// entries, at(i) the original-timeline index of position i. It lets the
+// retrieval hot path walk a container's stored PTS table in place instead
+// of materialising a []int copy per segment read.
+func SelectPositionsFunc(n int, at func(i int) int, s format.Sampling) []int {
+	if n == 0 {
 		return nil
 	}
-	lo, hi := pts[0], pts[len(pts)-1]
+	lo, hi := at(0), at(n-1)
 	out := make([]int, 0, (hi-lo+1)*s.Num/s.Den+1)
 	j := 0
 	for d := lo; d <= hi; d++ {
 		if !s.Keep(d) {
 			continue
 		}
-		for j+1 < len(pts) && abs(pts[j+1]-d) <= abs(pts[j]-d) {
+		for j+1 < n && abs(at(j+1)-d) <= abs(at(j)-d) {
 			j++
 		}
 		out = append(out, j)
 		j++
-		if j >= len(pts) {
+		if j >= n {
 			break
 		}
 	}

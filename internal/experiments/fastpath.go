@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/kvstore"
+	"repro/internal/retrieve"
+	"repro/internal/sched"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+// FastPathResult reports the retrieval fast path's steady states over one
+// encoded segment: the pooled sequential decode, the GOP-parallel decode,
+// the pooling-free decode (the pre-PR4 allocation behaviour, kept
+// measurable so the win stays visible), and the three retrieval paths —
+// cold, identity-cf and cache-warm. Alloc columns are measured with
+// runtime.MemStats around single-threaded runs; wall times keep the best
+// of several rounds.
+type FastPathResult struct {
+	Scene    string
+	Workers  int
+	Frames   int
+	RawBytes int64 // decoded frame bytes per retrieval (MB/s denominator)
+
+	DecodeSeqSec      float64 // pooled sequential decode
+	DecodeParSec      float64 // GOP-parallel decode on the pool
+	DecodeNoPoolSec   float64 // pooling disabled (pre-fast-path behaviour)
+	DecodeSeqAllocs   uint64  // heap objects per pooled sequential decode
+	DecodeNoPoolAlloc uint64  // heap objects per pooling-free decode
+
+	ColdSec       float64 // full retrieval: decode + fidelity conversion
+	IdentitySec   float64 // consumption format == storage fidelity (zero-copy)
+	WarmSec       float64 // cache hit
+	ColdAllocs    uint64
+	WarmAllocs    uint64
+	RetIdentical  bool // cold, identity re-run and warm deliver equal pixels
+	DecIdentical  bool // all three decode modes deliver equal pixels
+	PoolingOnExit bool // pooling restored after the pooling-off leg
+}
+
+// FastPath encodes nFrames of the scene as one stored segment and measures
+// the decode→convert→deliver path in every mode. dir hosts the throwaway
+// kvstore.
+func FastPath(dir, scene string, nFrames, workers int) (FastPathResult, error) {
+	res := FastPathResult{Scene: scene, Workers: workers, Frames: nFrames}
+	sc, err := vidsim.DatasetByName(scene)
+	if err != nil {
+		return res, err
+	}
+	kv, err := kvstore.Open(dir, kvstore.Options{})
+	if err != nil {
+		return res, err
+	}
+	defer kv.Close()
+	store := segment.NewStore(kv)
+	src := vidsim.NewSource(sc)
+	full := src.Clip(0, nFrames)
+	for _, f := range full {
+		res.RawBytes += int64(f.Bytes())
+	}
+	sf := format.StorageFormat{
+		Fidelity: format.Fidelity{Quality: format.QGood, Crop: format.Crop100, Res: 540, Sampling: format.Sampling{Num: 1, Den: 1}},
+		Coding:   format.Coding{Speed: format.SpeedFast, KeyframeI: 10},
+	}
+	tw, th := vidsim.Dims(540)
+	frames := codec.ApplyFidelity(full, sf.Fidelity, tw, th)
+	enc, _, err := codec.Encode(frames, codec.ParamsFor(sf))
+	if err != nil {
+		return res, err
+	}
+	if err := store.PutEncoded(scene, sf, 0, enc); err != nil {
+		return res, err
+	}
+
+	const rounds = 3
+	all := func(int) bool { return true }
+	best := func(fn func() error) (float64, error) {
+		b := -1.0
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(t0).Seconds(); b < 0 || d < b {
+				b = d
+			}
+		}
+		return b, nil
+	}
+	allocsPer := func(fn func() error) (uint64, error) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		const n = 3
+		for i := 0; i < n; i++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		runtime.ReadMemStats(&after)
+		return (after.Mallocs - before.Mallocs) / n, nil
+	}
+
+	// Decode modes. Every mode's frames must be pixel-identical.
+	ref, _, err := enc.DecodeSampled(all)
+	if err != nil {
+		return res, err
+	}
+	var got []*frame.Frame
+	seq := func() error { got, _, err = enc.DecodeSampled(all); return err }
+	if res.DecodeSeqSec, err = best(seq); err != nil {
+		return res, err
+	}
+	res.DecIdentical = framesEqual(got, ref)
+	if res.DecodeSeqAllocs, err = allocsPer(seq); err != nil {
+		return res, err
+	}
+	pool := sched.NewPool(workers)
+	par := func() error { got, _, err = enc.DecodeSampledParallel(all, pool.Batch()); return err }
+	if res.DecodeParSec, err = best(par); err != nil {
+		return res, err
+	}
+	res.DecIdentical = res.DecIdentical && framesEqual(got, ref)
+	codec.SetPooling(false)
+	if res.DecodeNoPoolSec, err = best(seq); err != nil {
+		codec.SetPooling(true)
+		return res, err
+	}
+	res.DecIdentical = res.DecIdentical && framesEqual(got, ref)
+	if res.DecodeNoPoolAlloc, err = allocsPer(seq); err != nil {
+		codec.SetPooling(true)
+		return res, err
+	}
+	codec.SetPooling(true)
+	res.PoolingOnExit = codec.PoolingEnabled()
+
+	// Retrieval paths.
+	coldCF := format.ConsumptionFormat{Fidelity: format.Fidelity{
+		Quality: format.QGood, Crop: format.Crop100, Res: 200, Sampling: format.Sampling{Num: 1, Den: 1}}}
+	idCF := format.ConsumptionFormat{Fidelity: format.Fidelity{
+		Quality: format.QGood, Crop: format.Crop100, Res: 540, Sampling: format.Sampling{Num: 1, Den: 1}}}
+	cold := &retrieve.Retriever{Store: store}
+	var coldRef, coldGot []*frame.Frame
+	if coldRef, _, err = cold.SegmentTagged(scene, sf, coldCF, 0, nil, ""); err != nil {
+		return res, err
+	}
+	coldFn := func() error { coldGot, _, err = cold.SegmentTagged(scene, sf, coldCF, 0, nil, ""); return err }
+	if res.ColdSec, err = best(coldFn); err != nil {
+		return res, err
+	}
+	res.RetIdentical = framesEqual(coldGot, coldRef)
+	if res.ColdAllocs, err = allocsPer(coldFn); err != nil {
+		return res, err
+	}
+	idFn := func() error { _, _, err := cold.SegmentTagged(scene, sf, idCF, 0, nil, ""); return err }
+	if res.IdentitySec, err = best(idFn); err != nil {
+		return res, err
+	}
+	warm := &retrieve.Retriever{Store: store, Cache: retrieve.NewCache(1 << 30)}
+	if _, _, err = warm.SegmentTagged(scene, sf, coldCF, 0, nil, ""); err != nil {
+		return res, err
+	}
+	var warmGot []*frame.Frame
+	warmFn := func() error { warmGot, _, err = warm.SegmentTagged(scene, sf, coldCF, 0, nil, ""); return err }
+	if res.WarmSec, err = best(warmFn); err != nil {
+		return res, err
+	}
+	res.RetIdentical = res.RetIdentical && framesEqual(warmGot, coldRef)
+	if res.WarmAllocs, err = allocsPer(warmFn); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func framesEqual(a, b []*frame.Frame) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].PTS != b[i].PTS || !frame.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderFastPath renders the comparison.
+func RenderFastPath(r FastPathResult) string {
+	mbs := func(sec float64) string {
+		if sec <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(r.RawBytes)/sec/(1<<20))
+	}
+	s := fmt.Sprintf("Retrieval fast path: %s, %d frames/segment, %d decode workers\n",
+		r.Scene, r.Frames, r.Workers)
+	rows := [][]string{
+		{"decode sequential (pooled)", fmt.Sprintf("%.4fs", r.DecodeSeqSec), mbs(r.DecodeSeqSec), fmt.Sprintf("%d", r.DecodeSeqAllocs)},
+		{"decode GOP-parallel", fmt.Sprintf("%.4fs", r.DecodeParSec), mbs(r.DecodeParSec), "-"},
+		{"decode pooling OFF", fmt.Sprintf("%.4fs", r.DecodeNoPoolSec), mbs(r.DecodeNoPoolSec), fmt.Sprintf("%d", r.DecodeNoPoolAlloc)},
+		{"retrieve cold (decode+convert)", fmt.Sprintf("%.4fs", r.ColdSec), mbs(r.ColdSec), fmt.Sprintf("%d", r.ColdAllocs)},
+		{"retrieve identity-cf", fmt.Sprintf("%.4fs", r.IdentitySec), mbs(r.IdentitySec), "-"},
+		{"retrieve warm (cache hit)", fmt.Sprintf("%.4fs", r.WarmSec), mbs(r.WarmSec), fmt.Sprintf("%d", r.WarmAllocs)},
+	}
+	s += Table([]string{"path", "wall", "MB/s", "allocs/op"}, rows)
+	if r.DecIdentical && r.RetIdentical {
+		s += "pixels: identical across every decode mode and retrieval path\n"
+	} else {
+		s += fmt.Sprintf("pixels: MISMATCH (decode=%v retrieval=%v) (BUG)\n", r.DecIdentical, r.RetIdentical)
+	}
+	if r.DecodeNoPoolAlloc > 0 {
+		s += fmt.Sprintf("pooling cuts decode allocations %.1fx (%d -> %d objects/op)\n",
+			float64(r.DecodeNoPoolAlloc)/float64(max(r.DecodeSeqAllocs, 1)), r.DecodeNoPoolAlloc, r.DecodeSeqAllocs)
+	}
+	return s
+}

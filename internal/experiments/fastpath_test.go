@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestFastPathSmoke runs the fast-path artifact at a small scale and
+// checks its invariants: identical pixels on every decode mode and
+// retrieval path, pooling restored, and a warm hit beating a cold read.
+func TestFastPathSmoke(t *testing.T) {
+	res, err := FastPath(t.TempDir(), "jackson", 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFastPath(res))
+	if !res.DecIdentical {
+		t.Fatal("decode modes delivered different pixels")
+	}
+	if !res.RetIdentical {
+		t.Fatal("retrieval paths delivered different pixels")
+	}
+	if !res.PoolingOnExit {
+		t.Fatal("pooling left disabled")
+	}
+	if res.WarmSec >= res.ColdSec {
+		t.Fatalf("warm hit (%.4fs) not faster than cold read (%.4fs)", res.WarmSec, res.ColdSec)
+	}
+	if res.ColdAllocs == 0 || res.DecodeSeqAllocs == 0 {
+		t.Fatal("alloc accounting returned zero")
+	}
+}

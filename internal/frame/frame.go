@@ -2,6 +2,20 @@
 // the store: planar YUV 4:2:0 buffers plus the geometric transforms the data
 // path needs (box-filter downscaling, centre cropping) and comparison
 // helpers (absolute difference, PSNR).
+//
+// # Read-only frame contract
+//
+// Frames flowing through the read path — decoder output, retrieval cache
+// entries, the slices handed to operators — are SHARED, not copied: the
+// identity transforms (Downscale to the source dimensions, CropCenter(1))
+// return their receiver, cached segments hand the same frames to every
+// hit, and arena batches (NewBatch) share one backing allocation. Every
+// consumer of delivered frames must treat them as immutable; an operator
+// or caller that needs to scribble on pixels must Clone first. Producers
+// (the scene renderer, the decoder) may freely mutate frames they have
+// not yet delivered. The aliasing-safety tests in the retrieve package
+// enforce the contract end to end; the one boundary that hands out owned,
+// mutation-safe copies is the public Retriever.Segment/Range surface.
 package frame
 
 import (
@@ -38,6 +52,43 @@ func New(w, h int) *Frame {
 	}
 }
 
+// NewBatch returns n zeroed frames of identical luma dimensions whose
+// planes are carved from a single contiguous allocation — the decoder's
+// output allocator (one arena per GOP instead of four allocations per
+// frame). The frames are ordinary GC-managed frames; they merely share a
+// backing array, which the read-only contract above makes safe.
+func NewBatch(w, h, n int) []*Frame {
+	if n <= 0 {
+		return nil
+	}
+	if w < 2 {
+		w = 2
+	}
+	if h < 2 {
+		h = 2
+	}
+	w += w & 1
+	h += h & 1
+	ylen := w * h
+	clen := (w / 2) * (h / 2)
+	flen := ylen + 2*clen
+	arena := make([]byte, n*flen)
+	frames := make([]Frame, n)
+	out := make([]*Frame, n)
+	for i := range frames {
+		p := arena[i*flen : (i+1)*flen]
+		frames[i] = Frame{
+			W:  w,
+			H:  h,
+			Y:  p[:ylen:ylen],
+			Cb: p[ylen : ylen+clen : ylen+clen],
+			Cr: p[ylen+clen : flen : flen],
+		}
+		out[i] = &frames[i]
+	}
+	return out
+}
+
 // Clone returns a deep copy of f.
 func (f *Frame) Clone() *Frame {
 	g := &Frame{W: f.W, H: f.H, PTS: f.PTS}
@@ -65,9 +116,11 @@ func (f *Frame) String() string {
 	return fmt.Sprintf("frame %dx%d pts=%d", f.W, f.H, f.PTS)
 }
 
-// Downscale returns a new frame scaled to the target luma dimensions with a
+// Downscale returns a frame scaled to the target luma dimensions with a
 // box filter. Upscaling is not supported: target dimensions are clamped to
-// the source's. Scaling to the same size returns a clone.
+// the source's. Scaling to the same size is the identity and returns the
+// receiver itself — zero copies, under the read-only contract; callers
+// that need an independent frame must Clone.
 func (f *Frame) Downscale(tw, th int) *Frame {
 	if tw > f.W {
 		tw = f.W
@@ -76,14 +129,22 @@ func (f *Frame) Downscale(tw, th int) *Frame {
 		th = f.H
 	}
 	if tw == f.W && th == f.H {
-		return f.Clone()
+		return f
 	}
 	g := New(tw, th)
+	f.DownscaleInto(g)
+	return g
+}
+
+// DownscaleInto box-filters f into g, whose dimensions select the target
+// scale (they must not exceed f's). It is the allocation-free core of
+// Downscale: the retrieval fast path scales into arena-carved batches
+// instead of allocating one frame at a time. g must not alias f.
+func (f *Frame) DownscaleInto(g *Frame) {
 	g.PTS = f.PTS
 	boxScale(g.Y, g.W, g.H, f.Y, f.W, f.H)
 	boxScale(g.Cb, g.W/2, g.H/2, f.Cb, f.W/2, f.H/2)
 	boxScale(g.Cr, g.W/2, g.H/2, f.Cr, f.W/2, f.H/2)
-	return g
 }
 
 // boxScale fills dst (dw×dh) by averaging the source box mapped to each
@@ -117,12 +178,14 @@ func boxScale(dst []byte, dw, dh int, src []byte, sw, sh int) {
 	}
 }
 
-// CropCenter returns a new frame retaining the central fraction frac of each
-// dimension (frac in (0,1]; 1 returns a clone). The retained dimensions are
-// kept even.
+// CropCenter returns a frame retaining the central fraction frac of each
+// dimension (frac in (0,1]). The retained dimensions are kept even.
+// CropCenter(1) is the identity and returns the receiver itself — zero
+// copies, under the read-only contract; callers that need an independent
+// frame must Clone.
 func (f *Frame) CropCenter(frac float64) *Frame {
 	if frac >= 1 {
-		return f.Clone()
+		return f
 	}
 	if frac <= 0 {
 		frac = 0.01

@@ -27,6 +27,73 @@ func TestNewDimensionsEven(t *testing.T) {
 	}
 }
 
+func TestDownscaleIdentityReturnsReceiver(t *testing.T) {
+	f := New(32, 18)
+	if g := f.Downscale(32, 18); g != f {
+		t.Fatal("identity Downscale did not return the receiver")
+	}
+	if g := f.Downscale(64, 64); g != f {
+		t.Fatal("clamped (upscale) Downscale did not return the receiver")
+	}
+	if g := f.Downscale(16, 10); g == f || g.W != 16 || g.H != 10 {
+		t.Fatalf("real downscale returned %v", g)
+	}
+}
+
+func TestCropCenterIdentityReturnsReceiver(t *testing.T) {
+	f := New(32, 18)
+	if g := f.CropCenter(1); g != f {
+		t.Fatal("CropCenter(1) did not return the receiver")
+	}
+	if g := f.CropCenter(0.5); g == f || g.W != 16 {
+		t.Fatalf("CropCenter(0.5) returned %v", g)
+	}
+}
+
+func TestDownscaleIntoMatchesDownscale(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := randomFrame(r, 64, 36)
+	want := f.Downscale(20, 12)
+	got := New(20, 12)
+	f.DownscaleInto(got)
+	if !Equal(want, got) || got.PTS != want.PTS {
+		t.Fatal("DownscaleInto differs from Downscale")
+	}
+}
+
+func TestNewBatch(t *testing.T) {
+	batch := NewBatch(31, 17, 5) // odd dims round up to even, like New
+	if len(batch) != 5 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	single := New(31, 17)
+	for i, f := range batch {
+		if f.W != single.W || f.H != single.H {
+			t.Fatalf("frame %d dims %dx%d, want %dx%d", i, f.W, f.H, single.W, single.H)
+		}
+		if len(f.Y) != len(single.Y) || len(f.Cb) != len(single.Cb) || len(f.Cr) != len(single.Cr) {
+			t.Fatalf("frame %d plane sizes differ from New", i)
+		}
+	}
+	// Full-slice expressions must keep writes through one frame's plane
+	// from spilling into its arena neighbour via append.
+	grown := append(batch[0].Y, 0xEE)
+	_ = grown
+	if batch[0].Cb[0] != 0 || batch[1].Y[0] != 0 {
+		t.Fatal("append through a batch plane overwrote a neighbour")
+	}
+	// Writes land only in the addressed frame.
+	for i := range batch[2].Y {
+		batch[2].Y[i] = 9
+	}
+	if batch[1].Y[len(batch[1].Y)-1] != 0 || batch[3].Y[0] != 0 {
+		t.Fatal("write to one batch frame bled into a neighbour")
+	}
+	if NewBatch(8, 8, 0) != nil {
+		t.Fatal("empty batch not nil")
+	}
+}
+
 func TestCloneIndependence(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	f := randomFrame(r, 32, 18)

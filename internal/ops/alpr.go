@@ -34,18 +34,19 @@ const (
 func (License) Run(frames []*frame.Frame) (Output, Stats) {
 	var out Output
 	var st Stats
+	var grid cellStats // reused across frames (allocation economy)
 	for _, f := range frames {
 		out.PTS = append(out.PTS, f.PTS)
 		st.Frames++
 		st.Pixels += int64(f.NumPixels())
 		st.Work += int64(f.NumPixels()) * licenseWorkDepth
-		out.Detections = append(out.Detections, plateCells(f)...)
+		out.Detections = append(out.Detections, plateCells(f, &grid)...)
 	}
 	return out, st
 }
 
-func plateCells(f *frame.Frame) []Detection {
-	g := gridStats(f, max(f.H/licenseCellDivisor, 2))
+func plateCells(f *frame.Frame, g *cellStats) []Detection {
+	g.update(f, max(f.H/licenseCellDivisor, 2))
 	var xs, ys []float64
 	for c := range g.flips {
 		if g.flips[c] >= plateFlipDensity {
@@ -77,12 +78,13 @@ func (OCR) Name() string { return "OCR" }
 func (OCR) Run(frames []*frame.Frame) (Output, Stats) {
 	var out Output
 	var st Stats
+	var grid cellStats // reused across frames (allocation economy)
 	for _, f := range frames {
 		out.PTS = append(out.PTS, f.PTS)
 		st.Frames++
 		st.Pixels += int64(f.NumPixels())
 		st.Work += int64(f.NumPixels()) * ocrWorkDepth
-		for _, det := range plateCells(f) {
+		for _, det := range plateCells(f, &grid) {
 			if s, ok := readPlate(f, det.X, det.Y); ok {
 				out.Detections = append(out.Detections, Detection{PTS: f.PTS, Label: s, X: det.X, Y: det.Y})
 			}

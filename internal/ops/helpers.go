@@ -9,7 +9,11 @@ const sigGrad = 30
 
 // cellStats holds per-cell first and second moments of the luma plane plus
 // horizontal gradient energy, the shared feature grid behind the classifier
-// operators.
+// operators. A cellStats is reusable: update recomputes it for a new frame
+// on the same buffers, which is how the per-frame Run loops keep the grid
+// allocation-free after the first frame (per-frame scratch reused purely
+// for allocation economy — explicitly not "state" under the
+// FrameIndependent contract).
 type cellStats struct {
 	cw, ch   int // cells across and down
 	px       int // cell pixel size
@@ -17,28 +21,53 @@ type cellStats struct {
 	variance []float64
 	hGrad    []float64 // mean |horizontal gradient|
 	flips    []float64 // horizontal gradient sign-flip density (plate signature)
+	// accumulation and helper scratch, reused across update calls
+	sum, sum2, grad, flip, cnt []float64
+	med                        []float64 // median sort buffer
+	rows                       []float64 // rowMedianMean output
 }
 
-// gridStats computes cell statistics over f with the given cell pixel size.
-// The work is one pass over the luma plane.
+// gridStats computes cell statistics over f with the given cell pixel size
+// into a fresh grid. The work is one pass over the luma plane. Hot loops
+// reuse one cellStats via update instead.
 func gridStats(f *frame.Frame, px int) *cellStats {
+	g := new(cellStats)
+	g.update(f, px)
+	return g
+}
+
+// growZero returns buf resized to n elements, all zero, reusing its
+// capacity when possible.
+func growZero(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// update recomputes the grid over f, reusing g's buffers when their
+// capacity allows. Slices previously returned by g's helpers are
+// overwritten.
+func (g *cellStats) update(f *frame.Frame, px int) {
 	if px < 2 {
 		px = 2
 	}
 	cw := (f.W + px - 1) / px
 	ch := (f.H + px - 1) / px
-	g := &cellStats{
-		cw: cw, ch: ch, px: px,
-		mean:     make([]float64, cw*ch),
-		variance: make([]float64, cw*ch),
-		hGrad:    make([]float64, cw*ch),
-		flips:    make([]float64, cw*ch),
-	}
-	sum := make([]float64, cw*ch)
-	sum2 := make([]float64, cw*ch)
-	grad := make([]float64, cw*ch)
-	flip := make([]float64, cw*ch)
-	count := make([]float64, cw*ch)
+	n := cw * ch
+	g.cw, g.ch, g.px = cw, ch, px
+	g.mean = growZero(g.mean, n)
+	g.variance = growZero(g.variance, n)
+	g.hGrad = growZero(g.hGrad, n)
+	g.flips = growZero(g.flips, n)
+	g.sum = growZero(g.sum, n)
+	g.sum2 = growZero(g.sum2, n)
+	g.grad = growZero(g.grad, n)
+	g.flip = growZero(g.flip, n)
+	g.cnt = growZero(g.cnt, n)
+	sum, sum2, grad, flip, count := g.sum, g.sum2, g.grad, g.flip, g.cnt
 	for y := 0; y < f.H; y++ {
 		cy := y / px
 		row := y * f.W
@@ -82,7 +111,6 @@ func gridStats(f *frame.Frame, px int) *cellStats {
 		g.hGrad[c] = grad[c] / count[c]
 		g.flips[c] = flip[c] / count[c]
 	}
-	return g
 }
 
 // globalMean returns the mean of all cell means.
@@ -96,34 +124,57 @@ func (g *cellStats) globalMean() float64 {
 
 // medianVariance returns the median cell variance: a robust estimate of the
 // background texture level.
-func (g *cellStats) medianVariance() float64 { return median(g.variance) }
+func (g *cellStats) medianVariance() float64 {
+	m, buf := medianInto(g.med, g.variance)
+	g.med = buf
+	return m
+}
 
 // medianMean returns the median cell mean: a robust estimate of the
 // background brightness that, unlike the global mean, is not dragged by
 // bright or dark objects.
-func (g *cellStats) medianMean() float64 { return median(g.mean) }
+func (g *cellStats) medianMean() float64 {
+	m, buf := medianInto(g.med, g.mean)
+	g.med = buf
+	return m
+}
 
 // rowMedianMean returns, per cell row, the median of that row's cell means.
 // Scenes have a vertical luminance gradient, so a per-row background
 // estimate is what keeps the top and bottom of the frame from reading as
-// objects.
+// objects. The returned slice is g's scratch, valid until the next call.
 func (g *cellStats) rowMedianMean() []float64 {
-	out := make([]float64, g.ch)
-	for cy := 0; cy < g.ch; cy++ {
-		out[cy] = median(g.mean[cy*g.cw : (cy+1)*g.cw])
+	if cap(g.rows) < g.ch {
+		g.rows = make([]float64, g.ch)
 	}
-	return out
+	g.rows = g.rows[:g.ch]
+	for cy := 0; cy < g.ch; cy++ {
+		g.rows[cy], g.med = medianInto(g.med, g.mean[cy*g.cw:(cy+1)*g.cw])
+	}
+	return g.rows
 }
 
-func median(src []float64) float64 {
-	vs := append([]float64(nil), src...)
+// medianInto computes the median of src, sorting in buf (grown as needed)
+// so hot loops amortise the copy buffer; it returns the median and the
+// buffer for reuse. src is not modified.
+func medianInto(buf, src []float64) (float64, []float64) {
+	if cap(buf) < len(src) {
+		buf = make([]float64, len(src))
+	}
+	vs := buf[:len(src)]
+	copy(vs, src)
 	// Insertion sort is fine at these sizes (tens of cells).
 	for i := 1; i < len(vs); i++ {
 		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
 			vs[j], vs[j-1] = vs[j-1], vs[j]
 		}
 	}
-	return vs[len(vs)/2]
+	return vs[len(vs)/2], buf
+}
+
+func median(src []float64) float64 {
+	m, _ := medianInto(nil, src)
+	return m
 }
 
 // centre returns the normalised centre of cell c.

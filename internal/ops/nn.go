@@ -42,6 +42,7 @@ func (SNN) Name() string { return "S-NN" }
 func (SNN) Run(frames []*frame.Frame) (Output, Stats) {
 	var out Output
 	var st Stats
+	var colMean, medBuf []float64 // per-band scratch reused across frames
 	for _, f := range frames {
 		out.PTS = append(out.PTS, f.PTS)
 		st.Frames++
@@ -49,7 +50,10 @@ func (SNN) Run(frames []*frame.Frame) (Output, Stats) {
 		st.Work += int64(f.NumPixels()) * snnWorkDepth
 		var xs, ys []float64
 		bandH := max(f.H/snnCellDivisor, 2)
-		colMean := make([]float64, f.W)
+		if cap(colMean) < f.W {
+			colMean = make([]float64, f.W)
+		}
+		colMean = colMean[:f.W]
 		for y0 := 0; y0+bandH <= f.H; y0 += bandH {
 			for x := 0; x < f.W; x++ {
 				var s int
@@ -58,7 +62,8 @@ func (SNN) Run(frames []*frame.Frame) (Output, Stats) {
 				}
 				colMean[x] = float64(s) / float64(bandH)
 			}
-			bg := median(colMean)
+			var bg float64
+			bg, medBuf = medianInto(medBuf, colMean)
 			minRun := max(f.W*8/100, 2) // cars are ~19% of frame width
 			maxGap := max(minRun/2, 1)  // plates and roof stripes split runs
 			run, gap := 0, 0
@@ -186,6 +191,7 @@ func (NN) Run(frames []*frame.Frame) (Output, Stats) {
 	var out Output
 	var st Stats
 	var feat, scratch []byte
+	var grid cellStats // feature grid reused across frames (allocation economy)
 	for _, f := range frames {
 		out.PTS = append(out.PTS, f.PTS)
 		st.Frames++
@@ -205,7 +211,8 @@ func (NN) Run(frames []*frame.Frame) (Output, Stats) {
 		for p := 0; p < nnConvPasses; p++ {
 			boxBlur3(ff.Y, ff.W, ff.H, scratch)
 		}
-		fine := gridStats(ff, max(ff.H/nnCellDivisor, 2))
+		grid.update(ff, max(ff.H/nnCellDivisor, 2))
+		fine := &grid
 		car, person := false, false
 		for _, cl := range objectClusters(fine, 0.7) {
 			if cl.cells >= nnCarMinCells {

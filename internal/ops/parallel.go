@@ -10,6 +10,13 @@ package ops
 // relies on to fan consumption across a worker pool without changing
 // detections.
 //
+// Operators consume frames under the frame package's read-only contract:
+// the chunks they are handed may alias the retrieval cache, decoder
+// arenas, and the chunks of concurrently running siblings — zero copies
+// on the way in. An operator must never write to an input frame's planes;
+// one that needs mutable pixels copies them into its own scratch first
+// (see NN's feature buffer).
+//
 // Operators that compare frames (Diff, Opflow) or accumulate models
 // (Motion) must NOT implement this interface.
 type FrameIndependent interface {

@@ -1,74 +1,16 @@
 package query
 
-import (
-	"runtime"
-	"sync"
-)
+import "repro/internal/sched"
 
-// Pool is a bounded worker pool: at most its configured number of tasks run
-// concurrently, and Go blocks once the pool is saturated, so a producer
-// enqueueing thousands of segments never builds an unbounded goroutine
-// backlog. It is the execution substrate of the parallel query engine and
-// is intended for reuse by later subsystems (sharded serving, async
-// ingest).
-type Pool struct {
-	sem chan struct{}
-	wg  sync.WaitGroup
-}
+// Pool is the bounded worker pool of the execution engine. The
+// implementation lives in the leaf package sched so lower layers (the
+// GOP-parallel decoder, the retriever) can schedule onto the same
+// primitive; the aliases keep the engine's public surface unchanged.
+type Pool = sched.Pool
+
+// Batch groups tasks scheduled on a shared Pool; see sched.Batch.
+type Batch = sched.Batch
 
 // NewPool returns a pool running at most workers tasks concurrently;
 // workers <= 0 selects runtime.GOMAXPROCS(0).
-func NewPool(workers int) *Pool {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return &Pool{sem: make(chan struct{}, workers)}
-}
-
-// Workers returns the pool's concurrency bound.
-func (p *Pool) Workers() int { return cap(p.sem) }
-
-// Go schedules fn on the pool, blocking until a worker slot frees up.
-// Tasks must not themselves schedule onto the same pool: a task waiting on
-// a slot it transitively holds would deadlock.
-func (p *Pool) Go(fn func()) {
-	p.wg.Add(1)
-	p.sem <- struct{}{}
-	go func() {
-		defer p.wg.Done()
-		defer func() { <-p.sem }()
-		fn()
-	}()
-}
-
-// Wait blocks until every scheduled task has finished.
-func (p *Pool) Wait() { p.wg.Wait() }
-
-// Batch groups tasks scheduled on a shared pool so one caller can wait for
-// just its own tasks while slot accounting stays pool-wide. This is how
-// concurrent ingest streams share a single transcode pool: each segment's
-// per-format fan-out is a batch, bounded by the pool, awaited
-// independently.
-type Batch struct {
-	p  *Pool
-	wg sync.WaitGroup
-}
-
-// Batch returns a new empty batch on the pool.
-func (p *Pool) Batch() *Batch { return &Batch{p: p} }
-
-// Go schedules fn on the underlying pool, blocking until a slot frees up.
-// The same transitive-scheduling caveat as Pool.Go applies.
-func (b *Batch) Go(fn func()) {
-	b.wg.Add(1)
-	b.p.sem <- struct{}{}
-	go func() {
-		defer b.wg.Done()
-		defer func() { <-b.p.sem }()
-		fn()
-	}()
-}
-
-// Wait blocks until every task scheduled through this batch has finished;
-// other batches' and Pool.Go tasks are not waited for.
-func (b *Batch) Wait() { b.wg.Wait() }
+func NewPool(workers int) *Pool { return sched.NewPool(workers) }

@@ -114,6 +114,15 @@ func (e *Engine) Run(stream string, c Cascade, b Binding, seg0, seg1 int) (Resul
 		return Result{}, fmt.Errorf("query: binding has %d stages, cascade %d", len(b), len(c.Stages))
 	}
 	r := retrieve.Retriever{Store: e.Store, Cache: e.Cache}
+	if e.Workers != 1 {
+		// Intra-segment decode parallelism: each retrieval fans its
+		// segment's independent GOPs across this pool (merged in position
+		// order, so output is byte-identical to sequential). The pool is
+		// distinct from the per-range segment fan-out pools — a segment
+		// task blocking on a decode slot can never deadlock against its
+		// own pool.
+		r.DecodePool = NewPool(e.Workers)
+	}
 	res := Result{VideoSeconds: float64(seg1-seg0) * segment.Seconds}
 	t0 := time.Now()
 

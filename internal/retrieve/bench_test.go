@@ -1,0 +1,110 @@
+package retrieve
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/format"
+	"repro/internal/kvstore"
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+// The benchmark store is built once per process: encoding the fixture
+// segments costs far more than the retrievals being measured.
+var (
+	benchOnce  sync.Once
+	benchStore *segment.Store
+	benchSF    format.StorageFormat
+	benchErr   error
+)
+
+const benchSegs = 2
+
+func benchSetup(b *testing.B) (*segment.Store, format.StorageFormat) {
+	b.Helper()
+	benchOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "retrieve-bench-*")
+		if err != nil {
+			benchErr = err
+			return
+		}
+		kv, err := kvstore.Open(dir, kvstore.Options{})
+		if err != nil {
+			benchErr = err
+			return
+		}
+		store := segment.NewStore(kv)
+		src := vidsim.NewSource(vidsim.Datasets[0])
+		sf := format.StorageFormat{
+			Fidelity: format.Fidelity{Quality: format.QGood, Crop: format.Crop100, Res: 540, Sampling: s11},
+			Coding:   format.Coding{Speed: format.SpeedFast, KeyframeI: 10},
+		}
+		tw, th := vidsim.Dims(540)
+		for idx := 0; idx < benchSegs; idx++ {
+			full := src.Clip(idx*segment.Frames, segment.Frames)
+			frames := codec.ApplyFidelity(full, sf.Fidelity, tw, th)
+			enc, _, err := codec.Encode(frames, codec.ParamsFor(sf))
+			if err != nil {
+				benchErr = err
+				return
+			}
+			if err := store.PutEncoded("cam", sf, idx, enc); err != nil {
+				benchErr = err
+				return
+			}
+		}
+		benchStore, benchSF = store, sf
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchStore, benchSF
+}
+
+func benchRetrieve(b *testing.B, cf format.ConsumptionFormat, cacheBytes int64) {
+	store, sf := benchSetup(b)
+	r := &Retriever{Store: store, Cache: NewCache(cacheBytes)}
+	frames, _, err := r.SegmentTagged("cam", sf, cf, 0, nil, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytes int64
+	for _, f := range frames {
+		bytes += int64(f.Bytes())
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.SegmentTagged("cam", sf, cf, 0, nil, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRetrieveSegment is the headline retrieval benchmark: one
+// 8-second encoded segment decoded and converted to its consumption
+// format. cold decodes on every iteration (no cache); warm serves the
+// steady state from the retrieval cache; identity-cf decodes with a
+// consumption format whose fidelity matches the storage format exactly,
+// the case the fast path delivers without conversion work.
+func BenchmarkRetrieveSegment(b *testing.B) {
+	downCF := format.ConsumptionFormat{Fidelity: format.Fidelity{
+		Quality: format.QGood, Crop: format.Crop100, Res: 200, Sampling: s11}}
+	idCF := format.ConsumptionFormat{Fidelity: format.Fidelity{
+		Quality: format.QGood, Crop: format.Crop100, Res: 540, Sampling: s11}}
+	b.Run("cold", func(b *testing.B) { benchRetrieve(b, downCF, 0) })
+	b.Run("warm", func(b *testing.B) { benchRetrieve(b, downCF, 1<<30) })
+	b.Run("identity-cf", func(b *testing.B) { benchRetrieve(b, idCF, 0) })
+}
+
+// BenchmarkRetrieveSparse samples 1 frame in 30 from the stored segment:
+// the GOP-skipping sparse-consumer path (Fig 3b).
+func BenchmarkRetrieveSparse(b *testing.B) {
+	cf := format.ConsumptionFormat{Fidelity: format.Fidelity{
+		Quality: format.QGood, Crop: format.Crop100, Res: 200, Sampling: s130}}
+	benchRetrieve(b, cf, 0)
+}

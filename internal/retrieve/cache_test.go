@@ -248,8 +248,26 @@ func TestRetrieverCacheHit(t *testing.T) {
 		t.Fatalf("hit delivered %d frames, miss %d", len(hit), len(miss))
 	}
 	for i := range hit {
-		if hit[i] != miss[i] {
-			t.Fatalf("frame %d: cache returned a different frame", i)
+		if !frame.Equal(hit[i], miss[i]) {
+			t.Fatalf("frame %d: cache returned different pixels", i)
+		}
+		if hit[i] == miss[i] {
+			t.Fatalf("frame %d: owned-delivery boundary returned a shared frame", i)
+		}
+	}
+	// The zero-copy engine path (SegmentTagged) shares the cached set
+	// across hits: same frames, no copies.
+	t1, _, err := r.SegmentTagged("cam", sf, cf, 0, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := r.SegmentTagged("cam", sf, cf, 0, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("frame %d: tagged hits did not share the cached frame", i)
 		}
 	}
 	// Filtered retrievals bypass the cache: no new hits or misses.

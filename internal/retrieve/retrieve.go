@@ -12,6 +12,7 @@ import (
 	"repro/internal/format"
 	"repro/internal/frame"
 	"repro/internal/profile"
+	"repro/internal/sched"
 	"repro/internal/segment"
 	"repro/internal/vidsim"
 )
@@ -55,14 +56,31 @@ type Retriever struct {
 	// bypass it: the delivered frame set depends on the predicate, which
 	// cannot be keyed.
 	Cache *Cache
+	// DecodePool, when non-nil, fans the independent GOPs of each encoded
+	// segment across the pool (codec.DecodeSampledParallel) — intra-segment
+	// decode parallelism on top of the engine's inter-segment fan-out.
+	// Results are merged in position order, so delivered frames and stats
+	// are byte-identical to the sequential path at any worker count.
+	DecodePool *sched.Pool
 }
 
 // Segment retrieves segment idx of the stream stored in sf and converts it
 // to cf. sf must satisfy cf (R1). The within predicate, if non-nil, further
 // restricts the delivered original-timeline frame indices — the mechanism
 // cascades use to fetch only activated spans.
+//
+// Segment is the owned-delivery boundary: the returned frames are the
+// caller's to mutate. SegmentTagged is the zero-copy variant for
+// consumers that honour the read-only frame contract.
 func (r *Retriever) Segment(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, idx int, within func(pts int) bool) ([]*frame.Frame, Stats, error) {
-	return r.SegmentTagged(stream, sf, cf, idx, within, "")
+	frames, st, err := r.SegmentTagged(stream, sf, cf, idx, within, "")
+	if err == nil && r.Cache != nil && within == nil {
+		// The set is (or just became) cache-resident and therefore shared;
+		// hand the caller a private copy. Non-cached retrievals are already
+		// exclusively owned.
+		frames = cloneFrames(frames)
+	}
+	return frames, st, err
 }
 
 // SegmentTagged is Segment with a caller-supplied cache tag. A non-empty
@@ -71,6 +89,11 @@ func (r *Retriever) Segment(stream string, sf format.StorageFormat, cf format.Co
 // filtered retrievals cacheable, so repeated queries hit on every cascade
 // stage, not just the unfiltered first scan. An empty tag with a non-nil
 // predicate bypasses the cache.
+//
+// SegmentTagged is the zero-copy fast path: delivered frames may be
+// shared with the retrieval cache and with concurrent readers, and must
+// be treated as read-only (see the frame package's contract). Callers
+// that need to mutate frames use Segment, which delivers owned copies.
 func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, idx int, within func(pts int) bool, tag string) ([]*frame.Frame, Stats, error) {
 	if !sf.Satisfies(cf) {
 		return nil, Stats{}, fmt.Errorf("retrieve: %v cannot supply %v (R1)", sf, cf)
@@ -89,7 +112,8 @@ func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf for
 		cached, g, ok := r.Cache.get(key)
 		if ok {
 			// A hit skips the disk read, decode and conversion entirely;
-			// only the delivery count is accounted.
+			// only the delivery count is accounted. The cached set itself
+			// is delivered, shared across hits — zero copies.
 			return cached, Stats{FramesDelivered: int64(len(cached))}, nil
 		}
 		gen = g
@@ -110,7 +134,14 @@ func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf for
 			return nil, st, err
 		}
 		keep := encodedKeep(enc, cf.Fidelity.Sampling, within)
-		got, cst, err := enc.DecodeSampled(func(i int) bool { return keep[i] })
+		keepFn := func(i int) bool { return keep[i] }
+		var got []*frame.Frame
+		var cst codec.Stats
+		if r.DecodePool != nil && r.DecodePool.Workers() > 1 {
+			got, cst, err = enc.DecodeSampledParallel(keepFn, r.DecodePool.Batch())
+		} else {
+			got, cst, err = enc.DecodeSampled(keepFn)
+		}
 		if err != nil {
 			return nil, st, err
 		}
@@ -119,27 +150,79 @@ func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf for
 		st.FramesDecoded = cst.Frames
 		st.VirtualSeconds += profile.DecodeSeconds(cst, cst.BytesFlate)
 	}
-	// Fidelity conversion to the consumption format.
-	var pixels int64
-	tw, th := vidsim.Dims(cf.Fidelity.Res)
-	out := make([]*frame.Frame, 0, len(frames))
-	for _, f := range frames {
-		pixels += int64(f.NumPixels())
-		g := f.Downscale(tw, th)
-		if cf.Fidelity.Crop != format.Crop100 {
-			g = g.CropCenter(cf.Fidelity.Crop.Fraction())
-		}
-		out = append(out, g)
-	}
-	if cf.Fidelity.Quality < sf.Fidelity.Quality {
-		codec.ApplyQuality(out, cf.Fidelity.Quality)
-	}
+	out, pixels := convertFidelity(frames, sf, cf)
+	// The virtual clock still accounts the conversion scan (the simulated
+	// hardware's transform stage is unchanged); only the physical copies
+	// are elided on the identity path, keeping stats and artifacts
+	// byte-identical to the pre-pooling engine.
 	st.VirtualSeconds += profile.TransformSeconds(pixels)
 	st.FramesDelivered = int64(len(out))
 	if cacheable {
 		r.Cache.put(key, out, gen)
 	}
 	return out, st, nil
+}
+
+// convertFidelity converts decoded frames to the consumption fidelity,
+// returning the delivered set and the source pixels scanned. Three paths,
+// fastest first: when the consumption fidelity matches the stored frames
+// (same dimensions, no crop) the decoded frames are delivered as-is —
+// zero copies, the identity fast path; when only a downscale is needed,
+// output planes are carved from one arena batch; the general
+// downscale+crop path allocates per frame. A quality downgrade quantises
+// in place: every branch delivers frames this retrieval exclusively owns
+// (decoder arenas or fresh conversions), never cache- or caller-visible
+// memory.
+func convertFidelity(frames []*frame.Frame, sf format.StorageFormat, cf format.ConsumptionFormat) ([]*frame.Frame, int64) {
+	var pixels int64
+	for _, f := range frames {
+		pixels += int64(f.NumPixels())
+	}
+	tw, th := vidsim.Dims(cf.Fidelity.Res)
+	if len(frames) > 0 {
+		// Downscale clamps to the source dimensions (upscaling is not
+		// supported); apply the same clamp up front so the arena batch
+		// gets the dimensions the per-frame path would produce.
+		tw = min(tw, frames[0].W)
+		th = min(th, frames[0].H)
+	}
+	var out []*frame.Frame
+	switch {
+	case len(frames) == 0:
+		out = make([]*frame.Frame, 0)
+	case cf.Fidelity.Crop == format.Crop100 && tw == frames[0].W && th == frames[0].H:
+		// Identity: the stored resolution already is the consumption
+		// resolution. Deliver the decoded frames themselves — zero copies.
+		out = frames
+	case cf.Fidelity.Crop == format.Crop100:
+		batch := frame.NewBatch(tw, th, len(frames))
+		for i, f := range frames {
+			f.DownscaleInto(batch[i])
+		}
+		out = batch
+	default:
+		out = make([]*frame.Frame, 0, len(frames))
+		for _, f := range frames {
+			g := f.Downscale(tw, th)
+			g = g.CropCenter(cf.Fidelity.Crop.Fraction())
+			out = append(out, g)
+		}
+	}
+	if cf.Fidelity.Quality < sf.Fidelity.Quality {
+		codec.ApplyQuality(out, cf.Fidelity.Quality)
+	}
+	return out, pixels
+}
+
+// cloneFrames deep-copies a delivered frame set — the defensive copy the
+// owned-delivery boundary (Segment, Range) makes when the set is shared
+// with the cache.
+func cloneFrames(frames []*frame.Frame) []*frame.Frame {
+	out := make([]*frame.Frame, len(frames))
+	for i, f := range frames {
+		out[i] = f.Clone()
+	}
+	return out
 }
 
 // rawKeep composes the consumption sampling pattern with the cascade filter
@@ -154,21 +237,29 @@ func rawKeep(s format.Sampling, within func(int) bool) func(int) bool {
 }
 
 // encodedKeep marks the stored positions to deliver: the nearest stored
-// frames realising the consumption sampling, filtered by within.
+// frames realising the consumption sampling, filtered by within. It walks
+// the container's PTS table in place (PTSAt) rather than materialising a
+// fresh []int per retrieval.
 func encodedKeep(enc *codec.Encoded, s format.Sampling, within func(int) bool) []bool {
-	pts := enc.PTSList()
 	keep := make([]bool, enc.N)
-	for _, pos := range codec.SelectPositions(pts, s) {
-		if within == nil || within(pts[pos]) {
+	for _, pos := range codec.SelectPositionsFunc(enc.N, enc.PTSAt, s) {
+		if within == nil || within(enc.PTSAt(pos)) {
 			keep[pos] = true
 		}
 	}
 	return keep
 }
 
-// Range retrieves segments [seg0, seg1) and concatenates the frames.
+// Range retrieves segments [seg0, seg1) and concatenates the frames. Like
+// Segment, it is an owned-delivery boundary: when a cache is configured
+// the concatenated set is defensively copied, so callers may mutate it
+// without corrupting cached segments.
 func (r *Retriever) Range(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, seg0, seg1 int, within func(pts int) bool) ([]*frame.Frame, Stats, error) {
-	return r.RangeTagged(stream, sf, cf, seg0, seg1, within, "")
+	frames, st, err := r.RangeTagged(stream, sf, cf, seg0, seg1, within, "")
+	if err == nil && r.Cache != nil && within == nil {
+		frames = cloneFrames(frames)
+	}
+	return frames, st, err
 }
 
 // RangeTagged is Range with a cache tag for the within predicate (see

@@ -656,9 +656,11 @@ func (q QueryResult) Detections() []query.Result {
 // stage, every span — observes one immutable segment set even while
 // ingest and the erosion daemon run concurrently. Epoch spans execute
 // concurrently on a worker pool (one span's operators consume while
-// another span still retrieves), and within each span every stage fans its
-// segment retrievals across the same pool width; results merge in segment
-// order, so the output is identical to fully sequential execution.
+// another span still retrieves), within each span every stage fans its
+// segment retrievals across the same pool width, and each retrieval fans
+// its segment's independent GOPs across the engine's decode pool; results
+// merge in segment (and GOP position) order, so the output is identical
+// to fully sequential execution.
 func (s *Server) Query(stream string, cascade query.Cascade, opNames []string, acc float64, seg0, seg1 int) (QueryResult, error) {
 	snap, err := s.Snapshot()
 	if err != nil {
