@@ -3,7 +3,7 @@
 GO ?= go
 
 # Packages with concurrent paths, exercised under the race detector.
-RACE_PKGS := ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/...
+RACE_PKGS := ./internal/api/... ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/...
 
 # The retrieval fast path's headline benchmarks: the series tracked in
 # BENCH_PR4.json (ns/op, allocs/op, MB/s) so later PRs can spot
@@ -13,12 +13,12 @@ BENCH_REGEX := 'BenchmarkRetrieveSegment|BenchmarkRetrieveSparse|BenchmarkDecode
 
 # The live-serving and storage core: covered with a minimum gate so the
 # concurrency machinery (manifest commits, snapshot release, daemon
-# lifecycle, tier demotion, shard recovery) cannot silently lose its
-# tests.
-COVER_PKGS := ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier
+# lifecycle, tier demotion, shard recovery, HTTP admission control)
+# cannot silently lose its tests.
+COVER_PKGS := ./internal/api ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier
 COVER_MIN := 80
 
-.PHONY: build test race bench bench-json bench-smoke lint fmt vet cover fuzz all
+.PHONY: build test race bench bench-json bench-smoke lint fmt vet cover fuzz load-smoke all
 
 all: build lint test
 
@@ -63,13 +63,32 @@ cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
 	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) '/^total:/ { \
 		sub(/%/, "", $$3); \
-		printf "coverage (server+ingest+erode+kvstore+tier): %s%% (minimum %s%%)\n", $$3, min; \
+		printf "coverage (api+server+ingest+erode+kvstore+tier): %s%% (minimum %s%%)\n", $$3, min; \
 		if ($$3 + 0 < min) { print "FAIL: coverage below minimum"; exit 1 } }'
 
 # A short deterministic-input fuzz pass over configuration persistence:
 # FromBytes must never panic, and accepted inputs must round-trip.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzConfigRoundTrip -fuzztime 10s ./internal/core/
+
+# End-to-end over the wire: a real `vstore api` server (own process, fresh
+# store, small profiling clip) under a 5-second mixed query/ingest load
+# from 8 concurrent vload clients. vload exits non-zero on any hard error
+# (429s are admission control, not errors), and the server must drain
+# cleanly on SIGTERM.
+LOAD_SMOKE_PORT ?= 18377
+load-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$srvpid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/vstore" ./cmd/vstore; \
+	$(GO) build -o "$$tmp/vload" ./cmd/vload; \
+	"$$tmp/vstore" configure -db "$$tmp/db" -clip 120 >/dev/null; \
+	"$$tmp/vstore" api -db "$$tmp/db" -listen 127.0.0.1:$(LOAD_SMOKE_PORT) -max-inflight 4 -max-queue 8 & \
+	srvpid=$$!; \
+	"$$tmp/vload" -addr http://127.0.0.1:$(LOAD_SMOKE_PORT) -clients 8 -duration 5s -seed-segments 2; \
+	kill -TERM $$srvpid; \
+	wait $$srvpid
 
 lint: vet fmt
 

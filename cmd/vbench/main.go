@@ -7,7 +7,7 @@
 //	vbench [-clip frames] [-segments n] [-dir path] <artifact>
 //
 // Artifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13
-// fig14 sfconfig speedup tiering fastpath focus all
+// fig14 sfconfig speedup tiering fastpath httpserve focus all
 package main
 
 import (
@@ -33,7 +33,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vbench [flags] <artifact>\nartifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13 fig14 sfconfig speedup tiering fastpath focus all\n")
+		fmt.Fprintf(os.Stderr, "usage: vbench [flags] <artifact>\nartifacts: fig3a fig3b fig4 fig5 fig6 table3 table4 fig11 fig12 fig13 fig14 sfconfig speedup tiering fastpath httpserve focus all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -229,6 +229,29 @@ func run(artifact string) error {
 				return err
 			}
 			fmt.Print(experiments.RenderFastPath(res))
+			return nil
+		}},
+		{"httpserve", func() error {
+			wd := *dir
+			if wd == "" {
+				var err error
+				wd, err = os.MkdirTemp("", "vbench-httpserve-*")
+				if err != nil {
+					return err
+				}
+				defer os.RemoveAll(wd)
+			}
+			// Several segments make the streaming latency visible; honour
+			// an explicit -segments whatever it is.
+			n := *segments
+			if !flagPassed("segments") {
+				n = 6
+			}
+			res, err := experiments.HTTPServe(env, wd, "jackson", n)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderHTTPServe(res))
 			return nil
 		}},
 		{"sfconfig", func() error {

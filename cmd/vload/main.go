@@ -1,0 +1,208 @@
+// Command vload is the HTTP load generator: N concurrent clients fire a
+// mixed query/ingest workload at a running `vstore api` server and report
+// latency percentiles (p50/p95/p99), throughput, and the admission
+// controller's rejection rate. It is the harness behind `make load-smoke`
+// and the quickest way to watch the 429 path engage under saturation.
+//
+// Usage:
+//
+//	vload -addr http://127.0.0.1:8080 [-clients 8] [-duration 5s] [-stream cam]
+//	      [-scene jackson] [-seed-segments 2] [-query B] [-accuracy 0.9]
+//	      [-chunk 1] [-ingest-every 8] [-timeout 30s]
+//
+// Every client loops until the duration elapses: mostly chunked streaming
+// queries over the stream's committed range, with every ingest-every'th
+// operation appending one fresh segment instead (0 disables ingest).
+// Rejections (HTTP 429) back off by the server's Retry-After hint and are
+// reported separately — they are the admission control working, not
+// errors. Any other failure fails the run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+var (
+	addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the vstore api server")
+	clients  = flag.Int("clients", 8, "concurrent client goroutines")
+	duration = flag.Duration("duration", 5*time.Second, "how long to sustain the load")
+	stream   = flag.String("stream", "cam", "stream to query and ingest into")
+	scene    = flag.String("scene", "jackson", "scene ingested into the stream")
+	seedSegs = flag.Int("seed-segments", 2, "segments to ingest up-front if the stream is shorter")
+	queryN   = flag.String("query", "B", "cascade: A (Diff+S-NN+NN) or B (Motion+License+OCR)")
+	accuracy = flag.Float64("accuracy", 0.9, "target operator accuracy")
+	chunk    = flag.Int("chunk", 1, "segments per NDJSON chunk (0 = whole range per request)")
+	ingestN  = flag.Int("ingest-every", 8, "every Nth operation is an ingest (0 = queries only)")
+	timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+)
+
+// op is one completed operation's record.
+type op struct {
+	kind     string // "query" or "ingest"
+	latency  time.Duration
+	rejected bool
+	err      error
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cl := api.NewClient(*addr)
+	ctx := context.Background()
+
+	// Wait for the server to come up: load-smoke starts `vstore api` and
+	// vload in quick succession.
+	var healthErr error
+	for i := 0; i < 50; i++ {
+		h, err := cl.Healthz(ctx)
+		if err == nil && h.OK {
+			healthErr = nil
+			break
+		}
+		healthErr = err
+		time.Sleep(200 * time.Millisecond)
+	}
+	if healthErr != nil {
+		return fmt.Errorf("server not healthy at %s: %v", *addr, healthErr)
+	}
+	// Seed the stream so queries have footage from the first request.
+	streams, err := cl.Streams(ctx)
+	if err != nil {
+		return err
+	}
+	if have := streams[*stream].Segments; have < *seedSegs {
+		if _, err := cl.Ingest(ctx, api.IngestRequest{
+			Stream: *stream, Scene: *scene, Segments: *seedSegs - have,
+		}); err != nil {
+			return fmt.Errorf("seed ingest: %w", err)
+		}
+	}
+
+	fmt.Printf("vload: %d clients, %s, stream %q (query %s, chunk %d, ingest every %d)\n",
+		*clients, *duration, *stream, *queryN, *chunk, *ingestN)
+	results := make([][]op, *clients)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			for i := 0; time.Now().Before(deadline); i++ {
+				results[c] = append(results[c], doOp(cl, rng, c, i))
+			}
+		}()
+	}
+	wg.Wait()
+
+	return report(results)
+}
+
+// doOp runs one operation — a streamed query, or an ingest on every
+// ingest-every'th turn — and records its outcome. A 429 backs off by the
+// server's Retry-After hint so a saturated server is probed, not hammered.
+func doOp(cl *api.Client, rng *rand.Rand, client, iter int) op {
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	kind := "query"
+	if *ingestN > 0 && iter%*ingestN == *ingestN-1 {
+		kind = "ingest"
+	}
+	t0 := time.Now()
+	var err error
+	if kind == "ingest" {
+		_, err = cl.Ingest(ctx, api.IngestRequest{Stream: *stream, Scene: *scene, Segments: 1})
+	} else {
+		_, _, err = cl.Query(ctx, api.QueryRequest{
+			Stream:   *stream,
+			Query:    *queryN,
+			Accuracy: *accuracy,
+			Chunk:    *chunk,
+		})
+	}
+	o := op{kind: kind, latency: time.Since(t0)}
+	if err != nil {
+		if api.IsRejected(err) {
+			o.rejected = true
+			if se, ok := err.(*api.StatusError); ok && se.RetryAfter > 0 {
+				// Jittered backoff around the server's hint.
+				time.Sleep(se.RetryAfter/2 + time.Duration(rng.Int63n(int64(se.RetryAfter))))
+			}
+		} else {
+			o.err = err
+		}
+	}
+	return o
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func report(results [][]op) error {
+	var (
+		lat      = map[string][]time.Duration{}
+		rejected int
+		total    int
+		firstErr error
+		errCount int
+	)
+	for _, ops := range results {
+		for _, o := range ops {
+			total++
+			switch {
+			case o.err != nil:
+				errCount++
+				if firstErr == nil {
+					firstErr = o.err
+				}
+			case o.rejected:
+				rejected++
+			default:
+				lat[o.kind] = append(lat[o.kind], o.latency)
+			}
+		}
+	}
+	for kind, ds := range lat {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		fmt.Printf("%-7s %5d ok  p50 %8.1fms  p95 %8.1fms  p99 %8.1fms  max %8.1fms\n",
+			kind, len(ds),
+			float64(percentile(ds, 0.50).Microseconds())/1000,
+			float64(percentile(ds, 0.95).Microseconds())/1000,
+			float64(percentile(ds, 0.99).Microseconds())/1000,
+			float64(ds[len(ds)-1].Microseconds())/1000)
+	}
+	rate := 0.0
+	if total > 0 {
+		rate = float64(rejected) / float64(total) * 100
+	}
+	fmt.Printf("total %d ops, %d rejected (%.1f%% — admission control), %d errors\n",
+		total, rejected, rate, errCount)
+	if errCount > 0 {
+		return fmt.Errorf("%d operations failed; first: %w", errCount, firstErr)
+	}
+	if total == 0 {
+		return fmt.Errorf("no operations completed")
+	}
+	return nil
+}

@@ -1,6 +1,6 @@
 // Command vstore is the store's operational CLI: derive a configuration,
 // ingest streams under it, run queries, apply age-based erosion, serve
-// live traffic, and report store statistics.
+// live traffic (in-process or over HTTP), and report store statistics.
 //
 // Usage:
 //
@@ -11,18 +11,24 @@
 //	vstore erode     -db DIR -scene NAME [-today D]
 //	vstore serve     -db DIR [-streams A,B] [-segments N] [-queries N] [-query A|B] [-erode-interval D]
 //	                 [-shards N] [-fast-bytes N] [-demote-after D]
+//	vstore api       -db DIR [-listen :8080] [-max-inflight N] [-max-queue N] [-query-timeout D]
+//	                 [-erode-interval D] [-today D] [-shards N] [-fast-bytes N] [-demote-after D]
 //	vstore stats     -db DIR
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/erode"
 	"repro/internal/experiments"
@@ -51,6 +57,8 @@ func main() {
 		err = cmdErode(args)
 	case "serve":
 		err = cmdServe(args)
+	case "api":
+		err = cmdAPI(args)
 	case "stats":
 		err = cmdStats(args)
 	default:
@@ -63,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: vstore <configure|ingest|query|erode|serve|stats> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: vstore <configure|ingest|query|erode|serve|api|stats> [flags]`)
 	os.Exit(2)
 }
 
@@ -181,11 +189,9 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	cascade := query.QueryA()
-	names := []string{"Diff", "S-NN", "NN"}
-	if *q == "B" {
-		cascade = query.QueryB()
-		names = []string{"Motion", "License", "OCR"}
+	cascade, names, err := query.ByName(*q)
+	if err != nil {
+		return err
 	}
 	var binding query.Binding
 	for _, name := range names {
@@ -201,7 +207,7 @@ func cmdQuery(args []string) error {
 	}
 	defer closeStore()
 	eng := query.Engine{Store: store}
-	res, err := eng.Run(*scene, cascade, binding, *from, *to)
+	res, err := eng.Run(context.Background(), *scene, cascade, binding, *from, *to)
 	if err != nil {
 		return err
 	}
@@ -254,6 +260,40 @@ func cmdErode(args []string) error {
 	return nil
 }
 
+// openConfiguredServer is the shared serve/api opening sequence: resolve
+// the shard count before the store opens (layout is a creation-time
+// property, read from the saved configuration when the flag is silent —
+// an existing on-disk layout wins over both), open the tiered engine,
+// and install the saved configuration on a fresh store. The caller owns
+// srv.Close().
+func openConfiguredServer(db string, shards int, fastBytes int64, demoteAfter int) (*server.Server, error) {
+	if shards == 0 {
+		if cfg, err := core.Load(configPath(db)); err == nil {
+			shards = cfg.Runtime.Shards
+		}
+	}
+	srv, err := server.OpenWith(db, server.Options{
+		Shards:          shards,
+		FastTierBytes:   fastBytes,
+		DemoteAfterDays: demoteAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if srv.Current() == nil {
+		cfg, err := core.Load(configPath(db))
+		if err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("load configuration first (vstore configure): %w", err)
+		}
+		if err := srv.Reconfigure(cfg); err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	return srv, nil
+}
+
 // cmdServe runs the store as a live engine: every named scene ingests
 // through a streaming pipeline while concurrent queries answer over
 // snapshot-isolated views and (optionally) the background erosion daemon
@@ -273,38 +313,14 @@ func cmdServe(args []string) error {
 	demoteAfter := fs.Int("demote-after", 0, "demote segments to the cold tier after this many days (0 = configured/off)")
 	fs.Parse(args)
 
-	// The shard count must be known before the store is opened (layout
-	// is a creation-time property), so the configured Runtime.Shards is
-	// read from the saved configuration when the flag is silent — an
-	// existing on-disk layout wins over both.
-	if *shards == 0 {
-		if cfg, err := core.Load(configPath(*db)); err == nil {
-			*shards = cfg.Runtime.Shards
-		}
-	}
-	srv, err := server.OpenWith(*db, server.Options{
-		Shards:          *shards,
-		FastTierBytes:   *fastBytes,
-		DemoteAfterDays: *demoteAfter,
-	})
+	srv, err := openConfiguredServer(*db, *shards, *fastBytes, *demoteAfter)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	if srv.Current() == nil {
-		cfg, err := core.Load(configPath(*db))
-		if err != nil {
-			return fmt.Errorf("load configuration first (vstore configure): %w", err)
-		}
-		if err := srv.Reconfigure(cfg); err != nil {
-			return err
-		}
-	}
-	cascade := query.QueryA()
-	names := []string{"Diff", "S-NN", "NN"}
-	if *q == "B" {
-		cascade = query.QueryB()
-		names = []string{"Motion", "License", "OCR"}
+	cascade, names, err := query.ByName(*q)
+	if err != nil {
+		return err
 	}
 
 	if *erodeEvery > 0 {
@@ -375,7 +391,7 @@ func cmdServe(args []string) error {
 				ran++
 				seq := ran
 				qmu.Unlock()
-				res, err := srv.Query(stream, cascade, names, *acc, 0, hi)
+				res, err := srv.Query(context.Background(), stream, cascade, names, *acc, 0, hi)
 				if err != nil {
 					fmt.Printf("  query %d on %s: %v\n", seq, stream, err)
 					continue
@@ -442,5 +458,61 @@ func cmdStats(args []string) error {
 		fmt.Printf("configuration: %d consumers, %d storage formats, erosion k=%.2f\n",
 			len(cfg.Derivation.Choices), len(cfg.Derivation.SFs), cfg.Erosion.K)
 	}
+	return nil
+}
+
+// cmdAPI serves the store over HTTP — the network counterpart of serve:
+// the full lifecycle (query/ingest/erode/demote/compact/stats) behind
+// internal/api's admission-controlled endpoints, draining gracefully on
+// SIGINT/SIGTERM.
+func cmdAPI(args []string) error {
+	fs := flag.NewFlagSet("api", flag.ExitOnError)
+	db := fs.String("db", "vstore-db", "store directory")
+	listen := fs.String("listen", ":8080", "listen address")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrently executing requests (0 = 2x GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "max requests waiting for a slot before 429 (0 = max-inflight)")
+	queryTimeout := fs.Duration("query-timeout", 0, "server-side cap per query (0 = none)")
+	erodeEvery := fs.Duration("erode-interval", 0, "erosion daemon pass interval (0 = no daemon)")
+	today := fs.Int("today", 1, "current day index for the erosion daemon's age function")
+	shards := fs.Int("shards", 0, "per-tier kvstore shards for fresh stores (0 = engine default)")
+	fastBytes := fs.Int64("fast-bytes", 0, "fast disk tier byte budget (0 = configured/unbudgeted)")
+	demoteAfter := fs.Int("demote-after", 0, "demote segments to the cold tier after this many days (0 = configured/off)")
+	fs.Parse(args)
+
+	srv, err := openConfiguredServer(*db, *shards, *fastBytes, *demoteAfter)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if *erodeEvery > 0 {
+		if _, err := srv.StartErosionDaemon(*erodeEvery, nil, server.AgeByToday(func() int { return *today })); err != nil {
+			return err
+		}
+		defer srv.StopErosionDaemon()
+	}
+
+	as := api.New(srv, api.Limits{
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		QueryTimeout: *queryTimeout,
+	})
+	addr, err := as.Start(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vstore api listening on %s (db %s)\n", addr, *db)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining: waiting for in-flight requests...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := as.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	// srv.Close (deferred) stops the daemon and live streams after the
+	// HTTP surface is quiet.
+	fmt.Println("drained; closing store")
 	return nil
 }

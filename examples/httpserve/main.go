@@ -1,0 +1,156 @@
+// Httpserve demonstrates the store as a network service: a vstore HTTP
+// API server on a loopback port, with a Go client driving the full
+// lifecycle over the wire — ingest, streamed NDJSON queries (results
+// flowing chunk by chunk while later segments still decode), lifecycle
+// passes, stats — and the admission controller answering 429 when more
+// clients arrive than the server is provisioned for.
+//
+//	go run ./examples/httpserve
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/profile"
+	"repro/internal/server"
+	"repro/internal/vidsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "httpserve-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. A configured store. (Small profiling clip: this is a demo.)
+	busy, err := vidsim.DatasetByName("jackson")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := profile.New(busy)
+	prof.ClipFrames = 120
+	var consumers []core.Consumer
+	for _, op := range []ops.Operator{ops.Motion{}, ops.License{}, ops.OCR{}} {
+		consumers = append(consumers, core.Consumer{Op: op, Target: 0.9, Prof: prof})
+	}
+	cfg, err := core.Configure(consumers, core.Options{StorageProfiler: prof})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Runtime.CacheBytes = 32 << 20
+	srv, err := server.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Reconfigure(cfg); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Serve it over HTTP: 2 execution slots, 2 waiting-room seats —
+	// deliberately small so the walkthrough can show a 429.
+	as := api.New(srv, api.Limits{MaxInFlight: 2, MaxQueue: 2})
+	addr, err := as.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := "http://" + addr.String()
+	fmt.Printf("serving on %s\n\n", base)
+	cl := api.NewClient(base)
+	ctx := context.Background()
+
+	// 3. Ingest over the wire.
+	ing, err := cl.Ingest(ctx, api.IngestRequest{Stream: "cam", Scene: "jackson", Segments: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d segments over HTTP (%.1f KB, %.2f CPU-s)\n\n",
+		ing.Segments, float64(ing.Bytes)/1024, ing.CPUSeconds)
+
+	// 4. A streamed query: chunks arrive as they are produced.
+	fmt.Println("streaming query B (Motion+License+OCR), one segment per chunk:")
+	sum, err := cl.QueryStream(ctx, api.QueryRequest{Stream: "cam", Query: "B", Chunk: 1},
+		func(ch api.QueryChunk) error {
+			fmt.Printf("  segments [%d,%d): %d detections at %.0fx realtime\n",
+				ch.Seg0, ch.Seg1, len(ch.Detections), ch.Speed)
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  done: %d chunks over %d segments in %.1fms\n\n", sum.Chunks, sum.Segments, sum.WallMs)
+
+	// 5. Saturate the admission controller: two slow ingests occupy both
+	// execution slots (the gate is shared by queries and ingest), then a
+	// burst of queries arrives — the waiting room holds 2, the overflow
+	// gets 429 + Retry-After instead of piling up.
+	var holders sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		holders.Add(1)
+		go func() {
+			defer holders.Done()
+			if _, err := cl.Ingest(ctx, api.IngestRequest{Stream: "cam", Scene: "jackson", Segments: 2}); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond) // let the holders take both slots
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	served, rejected := 0, 0
+	var hint time.Duration
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := cl.Query(ctx, api.QueryRequest{Stream: "cam", Query: "B"})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				served++
+			case api.IsRejected(err):
+				rejected++
+				if se, ok := err.(*api.StatusError); ok {
+					hint = se.RetryAfter
+				}
+			default:
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+	holders.Wait()
+	fmt.Printf("8 query clients vs a saturated 2-slot/2-seat server: %d served, %d got 429 (Retry-After %s)\n\n",
+		served, rejected, hint)
+
+	// 6. Lifecycle and stats over the wire.
+	if _, err := cl.Demote(ctx, 1); err != nil {
+		log.Fatal(err)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := st.API["query"]
+	fmt.Printf("stats: store %d keys; query endpoint: %d requests, %d rejections, avg %.1fms\n\n",
+		st.Store.Keys, q.Requests, q.Rejections, q.AvgMs)
+
+	// 7. Graceful drain.
+	shutdownCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := as.Shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained and shut down cleanly")
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -71,7 +72,7 @@ func main() {
 		fmt.Printf("%-8s consumes %-24s from %v\n", name, cf.Fidelity, sf)
 	}
 	eng := query.Engine{Store: store}
-	res, err := eng.Run("dashcam", query.QueryB(), binding, 0, segments)
+	res, err := eng.Run(context.Background(), "dashcam", query.QueryB(), binding, 0, segments)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -128,7 +129,7 @@ func main() {
 		}
 		for name := range streams {
 			if n := srv.SegmentsOf(name); n > 0 {
-				res, err := srv.Query(name, cascade, names, 0.9, 0, n)
+				res, err := srv.Query(context.Background(), name, cascade, names, 0.9, 0, n)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -146,18 +147,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	before, err := srv.QueryAt(snap, "cam0", cascade, names, 0.9, 0, snap.Segments("cam0"))
+	before, err := srv.QueryAt(context.Background(), snap, "cam0", cascade, names, 0.9, 0, snap.Segments("cam0"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := daemon.RunPass(); err != nil {
 		log.Fatal(err)
 	}
-	held, err := srv.QueryAt(snap, "cam0", cascade, names, 0.9, 0, snap.Segments("cam0"))
+	held, err := srv.QueryAt(context.Background(), snap, "cam0", cascade, names, 0.9, 0, snap.Segments("cam0"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fresh, err := srv.Query("cam0", cascade, names, 0.9, 0, srv.SegmentsOf("cam0"))
+	fresh, err := srv.Query(context.Background(), "cam0", cascade, names, 0.9, 0, srv.SegmentsOf("cam0"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -75,7 +76,7 @@ func main() {
 			}
 			binding = append(binding, query.StageBinding{CF: cf, SF: sf})
 		}
-		res, err := eng.Run("jackson", query.QueryA(), binding, 0, segments)
+		res, err := eng.Run(context.Background(), "jackson", query.QueryA(), binding, 0, segments)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func main() {
 		cf, sf, _ := cfg.BindingFor(name, 0.7)
 		binding = append(binding, query.StageBinding{CF: cf, SF: sf})
 	}
-	res, err := eng.Run("jackson", query.QueryA(), binding, 0, segments)
+	res, err := eng.Run(context.Background(), "jackson", query.QueryA(), binding, 0, segments)
 	if err != nil {
 		log.Fatal(err)
 	}

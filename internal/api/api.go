@@ -1,0 +1,572 @@
+// Package api is the store's network surface: a stdlib net/http server
+// exposing the full serving lifecycle — streamed NDJSON queries pinned to
+// a snapshot, batch ingest, lifecycle passes (erode/demote/compact) and
+// statistics — with the production hygiene a store "serving heavy traffic
+// from millions of users" (ROADMAP) needs from day one:
+//
+//   - admission control: at most MaxInFlight queries execute on the shared
+//     pool at once, at most MaxQueue more wait; overflow is answered with
+//     429 + Retry-After instead of an unbounded goroutine pileup;
+//   - cancellation: every request's context threads through query
+//     execution (Server.Query's contract), so a disconnected client stops
+//     consuming the pool between per-segment batches;
+//   - graceful drain: Shutdown stops accepting, lets in-flight requests
+//     finish (their snapshots release on return), then cancels stragglers
+//     past the deadline;
+//   - observability: per-endpoint request/rejection/error/in-flight and
+//     latency counters, surfaced in /v1/stats next to the store's own.
+//
+// Endpoints (all JSON; query responses are NDJSON):
+//
+//	POST /v1/query    run a cascade, results streamed chunk-by-chunk
+//	POST /v1/ingest   append segments of a scene to a stream
+//	GET  /v1/stats    store + API counters
+//	GET  /v1/streams  known streams and live-pipeline state
+//	POST /v1/erode    one erosion pass over every stream
+//	POST /v1/demote   one fast→cold demotion pass
+//	POST /v1/compact  compact every shard of both tiers
+//	GET  /healthz     liveness (reports draining during shutdown)
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/vidsim"
+)
+
+// Limits are the admission-control and timeout knobs. The zero value
+// selects working defaults.
+type Limits struct {
+	// MaxInFlight bounds admitted requests executing concurrently on the
+	// shared pool (queries and ingests alike). Zero selects
+	// 2×GOMAXPROCS; negative means 1.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; one more
+	// and the server answers 429. Zero selects MaxInFlight; negative
+	// means no waiting room (immediate 429 when saturated).
+	MaxQueue int
+	// QueryTimeout caps each query server-side. Zero means no cap; a
+	// request's timeout_ms can only tighten it.
+	QueryTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses. Zero selects 1s.
+	RetryAfter time.Duration
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxInFlight == 0 {
+		l.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if l.MaxInFlight < 1 {
+		l.MaxInFlight = 1
+	}
+	if l.MaxQueue == 0 {
+		l.MaxQueue = l.MaxInFlight
+	}
+	if l.MaxQueue < 0 {
+		l.MaxQueue = 0
+	}
+	if l.RetryAfter <= 0 {
+		l.RetryAfter = time.Second
+	}
+	return l
+}
+
+// gate is the admission controller: a semaphore of execution slots plus a
+// bounded count of waiters. Acquisition is fair enough for a store — the
+// Go runtime's channel queue is FIFO — and rejection is O(1), never a
+// goroutine parked forever.
+type gate struct {
+	sem      chan struct{}
+	mu       sync.Mutex
+	queued   int
+	maxQueue int
+}
+
+func newGate(maxInFlight, maxQueue int) *gate {
+	return &gate{sem: make(chan struct{}, maxInFlight), maxQueue: maxQueue}
+}
+
+// acquire admits the caller, waiting in the bounded queue if the in-flight
+// limit is reached. It returns a release func on admission; rejected=true
+// when the queue was full (the 429 path); neither when ctx ended first.
+func (g *gate) acquire(ctx context.Context) (release func(), rejected bool) {
+	select {
+	case g.sem <- struct{}{}:
+		return func() { <-g.sem }, false
+	default:
+	}
+	g.mu.Lock()
+	if g.queued >= g.maxQueue {
+		g.mu.Unlock()
+		return nil, true
+	}
+	g.queued++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.queued--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.sem <- struct{}{}:
+		return func() { <-g.sem }, false
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// endpointMetrics is one endpoint's counter set (see EndpointStats).
+type endpointMetrics struct {
+	requests   atomic.Int64
+	rejections atomic.Int64
+	errors     atomic.Int64
+	inFlight   atomic.Int64
+	latencyNs  atomic.Int64
+	maxNs      atomic.Int64
+}
+
+func (m *endpointMetrics) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	m.latencyNs.Add(ns)
+	for {
+		cur := m.maxNs.Load()
+		if ns <= cur || m.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+func (m *endpointMetrics) stats() EndpointStats {
+	st := EndpointStats{
+		Requests:   m.requests.Load(),
+		Rejections: m.rejections.Load(),
+		Errors:     m.errors.Load(),
+		InFlight:   m.inFlight.Load(),
+		MaxMs:      float64(m.maxNs.Load()) / 1e6,
+	}
+	if st.Requests > 0 {
+		st.AvgMs = float64(m.latencyNs.Load()) / float64(st.Requests) / 1e6
+	}
+	return st
+}
+
+// Server serves one store over HTTP. Create with New, start with Start (or
+// mount Handler yourself), stop with Shutdown. The underlying
+// server.Server's lifecycle stays the caller's: Shutdown drains HTTP
+// traffic; closing the store (which stops daemons and live streams) comes
+// after.
+type Server struct {
+	store   *server.Server
+	lim     Limits
+	gate    *gate
+	mux     *http.ServeMux
+	metrics map[string]*endpointMetrics
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	draining   atomic.Bool
+
+	httpSrv  *http.Server
+	lis      net.Listener
+	serveErr chan error
+}
+
+// New wraps the store in an HTTP API server with the given limits.
+func New(store *server.Server, lim Limits) *Server {
+	s := &Server{
+		store:   store,
+		lim:     lim.withDefaults(),
+		mux:     http.NewServeMux(),
+		metrics: map[string]*endpointMetrics{},
+	}
+	s.gate = newGate(s.lim.MaxInFlight, s.lim.MaxQueue)
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.route("query", "POST /v1/query", s.handleQuery)
+	s.route("ingest", "POST /v1/ingest", s.handleIngest)
+	s.route("stats", "GET /v1/stats", s.handleStats)
+	s.route("streams", "GET /v1/streams", s.handleStreams)
+	s.route("erode", "POST /v1/erode", s.handleErode)
+	s.route("demote", "POST /v1/demote", s.handleDemote)
+	s.route("compact", "POST /v1/compact", s.handleCompact)
+	s.route("healthz", "GET /healthz", s.handleHealthz)
+	return s
+}
+
+// route mounts one instrumented endpoint: request/in-flight/latency
+// accounting, the 503 drain gate, and error counting by status code.
+func (s *Server) route(name, pattern string, fn http.HandlerFunc) {
+	m := &endpointMetrics{}
+	s.metrics[name] = m
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && name != "healthz" {
+			http.Error(w, "server draining", http.StatusServiceUnavailable)
+			return
+		}
+		m.requests.Add(1)
+		m.inFlight.Add(1)
+		t0 := time.Now()
+		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+		// Deferred, not sequential: a panicking handler (recovered by
+		// net/http per connection) must not leak an in-flight count or
+		// skip its accounting.
+		defer func() {
+			m.inFlight.Add(-1)
+			m.observe(time.Since(t0))
+			switch {
+			case cw.status == http.StatusTooManyRequests:
+				m.rejections.Add(1)
+			case cw.status >= 500 || cw.midStreamErr:
+				m.errors.Add(1)
+			}
+		}()
+		fn(cw, r)
+	})
+}
+
+// countingWriter captures the response status (and mid-stream query
+// failures, which arrive after the 200 header) for the metrics wrapper.
+type countingWriter struct {
+	http.ResponseWriter
+	status       int
+	midStreamErr bool
+}
+
+func (w *countingWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so NDJSON lines reach the
+// client as they are produced.
+func (w *countingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Handler returns the routed, instrumented handler — for mounting under a
+// caller-owned http.Server or a test mux. Requests served this way do not
+// observe Shutdown's context cancellation (they still observe the drain
+// flag); prefer Start for the full lifecycle.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and serves
+// in the background until Shutdown. It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.lis = lis
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		BaseContext:       func(net.Listener) context.Context { return s.baseCtx },
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.serveErr = make(chan error, 1)
+	go func() { s.serveErr <- s.httpSrv.Serve(lis) }()
+	return lis.Addr(), nil
+}
+
+// Shutdown drains the server gracefully: new requests are refused (503,
+// and the listener closes), in-flight requests — queries mid-stream
+// included — run to completion and release their snapshots. If ctx
+// expires first, the remaining requests' contexts are canceled, which
+// Server.Query observes between segment batches, and the connections are
+// closed. Safe to call once; the store itself is closed by the caller
+// afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.httpSrv == nil {
+		s.cancelBase()
+		return nil
+	}
+	err := s.httpSrv.Shutdown(ctx)
+	// Cancel the base context either way: on clean drain every request
+	// has returned and this is a no-op; on deadline it aborts stragglers
+	// so their pool work stops promptly.
+	s.cancelBase()
+	if err != nil {
+		_ = s.httpSrv.Close()
+	}
+	if serveErr := <-s.serveErr; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// readJSON decodes the request body into v, answering 400 on malformed
+// input. An empty body decodes to the zero value.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) reject(w http.ResponseWriter) {
+	// Clamp to >= 1s: a sub-second hint would round to "Retry-After: 0"
+	// and clients would hammer the already-saturated server.
+	secs := int(s.lim.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, "server saturated: in-flight and queue limits reached", http.StatusTooManyRequests)
+}
+
+// slotDenied handles a gate wait that ended without admission or
+// rejection: the context died. A vanished client gets nothing; a
+// server-side deadline (query timeout, drain) is answered 503 so the
+// still-connected client sees an error status rather than an empty 200.
+func slotDenied(w http.ResponseWriter, r *http.Request) {
+	if r.Context().Err() == nil {
+		http.Error(w, "timed out waiting for an execution slot", http.StatusServiceUnavailable)
+	}
+}
+
+// handleQuery streams one query as NDJSON. The request is admitted
+// through the gate (429 on overflow), pinned to one snapshot for its
+// whole life, and executed chunk-by-chunk so results flow before the full
+// span finishes decoding. Client disconnection or timeout cancels the
+// execution between per-segment batches.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Stream == "" {
+		http.Error(w, "missing stream", http.StatusBadRequest)
+		return
+	}
+	cascade, names, err := query.ByName(orDefault(req.Query, "A"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.From < 0 || (req.To != 0 && req.To < req.From) || req.Chunk < 0 {
+		http.Error(w, "invalid segment range", http.StatusBadRequest)
+		return
+	}
+	acc := req.Accuracy
+	if acc == 0 {
+		acc = 0.9
+	}
+
+	ctx := r.Context()
+	timeout := s.lim.QueryTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	release, rejected := s.gate.acquire(ctx)
+	if rejected {
+		s.reject(w)
+		return
+	}
+	if release == nil {
+		slotDenied(w, r)
+		return
+	}
+	defer release()
+
+	snap, err := s.store.Snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer snap.Release()
+	from, to := req.From, req.To
+	if to == 0 {
+		to = snap.Segments(req.Stream)
+	}
+	if from > to {
+		from = to
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	emit := func(line QueryLine) {
+		_ = enc.Encode(line)
+		flush()
+	}
+
+	step := req.Chunk
+	if step <= 0 {
+		step = to - from
+	}
+	t0 := time.Now()
+	chunks := 0
+	for lo := from; lo < to; lo += step {
+		hi := min(lo+step, to)
+		res, err := s.store.QueryAt(ctx, snap, req.Stream, cascade, names, acc, lo, hi)
+		if err != nil {
+			// Client-driven terminations (disconnect, timeout) are not
+			// server errors.
+			if cw, ok := w.(*countingWriter); ok &&
+				!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				cw.midStreamErr = true
+			}
+			emit(QueryLine{Error: err.Error()})
+			return
+		}
+		c := ChunkFromResult(lo, hi, res)
+		emit(QueryLine{Chunk: &c})
+		chunks++
+	}
+	emit(QueryLine{Done: &QuerySummary{
+		Chunks:   chunks,
+		Segments: to - from,
+		WallMs:   float64(time.Since(t0).Nanoseconds()) / 1e6,
+	}})
+}
+
+// handleIngest appends segments of a scene to a stream — the batch
+// counterpart of a live pipeline, sharing the query gate so mixed
+// query/ingest load is admitted against one in-flight budget.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Stream == "" {
+		http.Error(w, "missing stream", http.StatusBadRequest)
+		return
+	}
+	if req.Segments <= 0 {
+		http.Error(w, "segments must be positive", http.StatusBadRequest)
+		return
+	}
+	sc, err := vidsim.DatasetByName(orDefault(req.Scene, req.Stream))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	release, rejected := s.gate.acquire(r.Context())
+	if rejected {
+		s.reject(w)
+		return
+	}
+	if release == nil {
+		slotDenied(w, r)
+		return
+	}
+	defer release()
+	t0 := time.Now()
+	st, err := s.store.Ingest(sc, req.Stream, req.Segments)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := IngestResponse{
+		Segments:   st.Segments,
+		CPUSeconds: st.CPUSeconds,
+		WallMs:     float64(time.Since(t0).Nanoseconds()) / 1e6,
+	}
+	for _, one := range st.PerSF {
+		resp.Bytes += one.Bytes
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{Store: s.store.Stats(), API: map[string]EndpointStats{}}
+	for name, m := range s.metrics {
+		resp.API[name] = m.stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	live := s.store.LiveStreams()
+	resp := StreamsResponse{Streams: map[string]StreamInfo{}}
+	for name, n := range s.store.StreamSegments() {
+		info := StreamInfo{Segments: n}
+		if ls, ok := live[name]; ok {
+			info.Live = true
+			info.Submitted, info.Ingested, info.Failed, info.Queued =
+				ls.Submitted, ls.Ingested, ls.Failed, ls.Queued
+		}
+		resp.Streams[name] = info
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleErode(w http.ResponseWriter, r *http.Request) {
+	var req ErodeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	n, err := s.store.ErodePass(server.AgeByToday(func() int { return req.Today }))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, ErodeResponse{Eroded: n})
+}
+
+func (s *Server) handleDemote(w http.ResponseWriter, r *http.Request) {
+	var req ErodeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	n, err := s.store.DemotePass(server.AgeByToday(func() int { return req.Today }))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, DemoteResponse{Demoted: n})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Compact(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompactResponse{OK: true})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Draining: s.draining.Load()})
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is the Go client of the HTTP API — what cmd/vload and
+// examples/httpserve drive. The zero HTTP client has no global timeout:
+// streamed queries run as long as the server allows; bound them with the
+// context (or QueryRequest.TimeoutMs).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client; nil selects a default with no
+	// timeout (streaming responses outlive any fixed one).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// StatusError is a non-2xx response. Callers distinguish admission
+// rejections via Code == http.StatusTooManyRequests and back off by
+// RetryAfter.
+type StatusError struct {
+	Code       int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("api: HTTP %d: %s", e.Code, e.Msg)
+}
+
+// IsRejected reports whether err is the admission controller's 429.
+func IsRejected(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusTooManyRequests
+}
+
+func statusError(resp *http.Response) *StatusError {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	se := &StatusError{Code: resp.StatusCode, Msg: string(bytes.TrimSpace(body))}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
+}
+
+// do issues one JSON request; out nil skips decoding the response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// QueryStream runs one query, invoking fn for every chunk as it arrives
+// off the wire — results flow while later segments are still decoding
+// server-side. It returns the summary trailer on success.
+func (c *Client) QueryStream(ctx context.Context, req QueryRequest, fn func(QueryChunk) error) (QuerySummary, error) {
+	var sum QuerySummary
+	b, err := json.Marshal(req)
+	if err != nil {
+		return sum, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/query", bytes.NewReader(b))
+	if err != nil {
+		return sum, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return sum, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sum, statusError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // detection lists can be long
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ql QueryLine
+		if err := json.Unmarshal(line, &ql); err != nil {
+			return sum, fmt.Errorf("api: malformed response line: %w", err)
+		}
+		switch {
+		case ql.Error != "":
+			return sum, fmt.Errorf("api: query failed: %s", ql.Error)
+		case ql.Chunk != nil:
+			if fn != nil {
+				if err := fn(*ql.Chunk); err != nil {
+					return sum, err
+				}
+			}
+		case ql.Done != nil:
+			return *ql.Done, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sum, err
+	}
+	return sum, fmt.Errorf("api: query stream ended without a summary")
+}
+
+// Query runs one query and collects every chunk.
+func (c *Client) Query(ctx context.Context, req QueryRequest) ([]QueryChunk, QuerySummary, error) {
+	var chunks []QueryChunk
+	sum, err := c.QueryStream(ctx, req, func(ch QueryChunk) error {
+		chunks = append(chunks, ch)
+		return nil
+	})
+	return chunks, sum, err
+}
+
+// Ingest appends segments of a scene to a stream.
+func (c *Client) Ingest(ctx context.Context, req IngestRequest) (IngestResponse, error) {
+	var resp IngestResponse
+	err := c.do(ctx, http.MethodPost, "/v1/ingest", req, &resp)
+	return resp, err
+}
+
+// Stats fetches the store and API counters.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var resp StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp)
+	return resp, err
+}
+
+// Streams fetches every known stream's serving state.
+func (c *Client) Streams(ctx context.Context) (map[string]StreamInfo, error) {
+	var resp StreamsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/streams", nil, &resp)
+	return resp.Streams, err
+}
+
+// Erode runs one erosion pass at the given day index.
+func (c *Client) Erode(ctx context.Context, today int) (int, error) {
+	var resp ErodeResponse
+	err := c.do(ctx, http.MethodPost, "/v1/erode", ErodeRequest{Today: today}, &resp)
+	return resp.Eroded, err
+}
+
+// Demote runs one fast→cold demotion pass at the given day index.
+func (c *Client) Demote(ctx context.Context, today int) (int, error) {
+	var resp DemoteResponse
+	err := c.do(ctx, http.MethodPost, "/v1/demote", ErodeRequest{Today: today}, &resp)
+	return resp.Demoted, err
+}
+
+// Compact compacts every shard of both tiers.
+func (c *Client) Compact(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/compact", struct{}{}, nil)
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) (HealthResponse, error) {
+	var resp HealthResponse
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &resp)
+	return resp, err
+}

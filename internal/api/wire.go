@@ -1,0 +1,165 @@
+// Wire types of the HTTP API: the JSON bodies both the server handlers
+// and the Go client marshal. The query response is NDJSON — one QueryLine
+// per line — so a long span starts flowing before it finishes decoding.
+
+package api
+
+import (
+	"repro/internal/kvstore"
+	"repro/internal/server"
+)
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	Stream string `json:"stream"`
+	// Query names the cascade: "A" (Diff+S-NN+NN) or "B"
+	// (Motion+License+OCR). Empty selects "A".
+	Query string `json:"query,omitempty"`
+	// Accuracy is the target operator accuracy; zero selects 0.9.
+	Accuracy float64 `json:"accuracy,omitempty"`
+	From     int     `json:"from"`
+	// To is one past the last segment; zero selects the snapshot's full
+	// committed range at admission time.
+	To int `json:"to,omitempty"`
+	// Chunk is how many segments each NDJSON line covers. Zero runs the
+	// whole range as one chunk — the exact in-process Server.Query
+	// execution, byte-identical results guaranteed. A positive chunk
+	// streams incrementally: each chunk is executed independently against
+	// the request's one pinned snapshot (stateful first-stage operators
+	// reset at chunk boundaries, exactly as the in-process path resets
+	// them at configuration-epoch boundaries).
+	Chunk int `json:"chunk,omitempty"`
+	// TimeoutMs bounds the query server-side; zero defers to the server's
+	// configured default. The smaller of the two wins.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Detection is one operator detection on the wire.
+type Detection struct {
+	PTS   int     `json:"pts"`
+	Label string  `json:"label"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+}
+
+// QueryChunk is one executed chunk of a streamed query: segments
+// [Seg0, Seg1) of the pinned snapshot.
+type QueryChunk struct {
+	Seg0           int         `json:"seg0"`
+	Seg1           int         `json:"seg1"`
+	Detections     []Detection `json:"detections"`
+	FinalPTS       []int       `json:"final_pts"`
+	VideoSeconds   float64     `json:"video_seconds"`
+	VirtualSeconds float64     `json:"virtual_seconds"`
+	Speed          float64     `json:"speed"`
+}
+
+// QuerySummary is the trailer line closing a successful query stream.
+type QuerySummary struct {
+	Chunks   int     `json:"chunks"`
+	Segments int     `json:"segments"` // segments covered: to - from
+	WallMs   float64 `json:"wall_ms"`
+}
+
+// QueryLine is one NDJSON line of a query response: exactly one field is
+// set — a chunk, the final summary, or a mid-stream error (errors after
+// the 200 header cannot change the status code, so they travel in-band).
+type QueryLine struct {
+	Chunk *QueryChunk   `json:"chunk,omitempty"`
+	Done  *QuerySummary `json:"done,omitempty"`
+	Error string        `json:"error,omitempty"`
+}
+
+// ChunkFromResult flattens an in-process QueryResult into the wire chunk
+// covering [seg0, seg1) — per-epoch spans merged in order. Tests and the
+// vbench artifact reuse it to prove the over-HTTP results byte-identical
+// to the in-process path.
+func ChunkFromResult(seg0, seg1 int, res server.QueryResult) QueryChunk {
+	c := QueryChunk{Seg0: seg0, Seg1: seg1, Detections: []Detection{}, FinalPTS: []int{}}
+	for _, r := range res.Results {
+		for _, d := range r.Detections {
+			c.Detections = append(c.Detections, Detection{PTS: d.PTS, Label: d.Label, X: d.X, Y: d.Y})
+		}
+		c.FinalPTS = append(c.FinalPTS, r.FinalPTS...)
+		c.VideoSeconds += r.VideoSeconds
+		c.VirtualSeconds += r.VirtualSeconds
+	}
+	c.Speed = res.Speed()
+	return c
+}
+
+// IngestRequest is the body of POST /v1/ingest: append Segments segments
+// of the named scene to the stream (scene empty = the stream's name).
+type IngestRequest struct {
+	Stream   string `json:"stream"`
+	Scene    string `json:"scene,omitempty"`
+	Segments int    `json:"segments"`
+}
+
+// IngestResponse reports one batch ingest.
+type IngestResponse struct {
+	Segments   int     `json:"segments"`
+	Bytes      int64   `json:"bytes"`
+	CPUSeconds float64 `json:"cpu_seconds"`
+	WallMs     float64 `json:"wall_ms"`
+}
+
+// ErodeRequest is the body of POST /v1/erode and /v1/demote: Today is the
+// current day index driving the age function (segment age = today -
+// segment's day).
+type ErodeRequest struct {
+	Today int `json:"today"`
+}
+
+// ErodeResponse reports one erosion pass.
+type ErodeResponse struct {
+	Eroded int `json:"eroded"`
+}
+
+// DemoteResponse reports one demotion pass.
+type DemoteResponse struct {
+	Demoted int `json:"demoted"`
+}
+
+// CompactResponse reports a compaction.
+type CompactResponse struct {
+	OK bool `json:"ok"`
+}
+
+// EndpointStats is one endpoint's admission and latency counters.
+type EndpointStats struct {
+	Requests   int64   `json:"requests"`
+	Rejections int64   `json:"rejections"` // 429s: admission-control overflow
+	Errors     int64   `json:"errors"`     // 5xx responses and mid-stream failures
+	InFlight   int64   `json:"in_flight"`
+	AvgMs      float64 `json:"avg_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+// StatsResponse is the body of GET /v1/stats: the store's counters plus
+// the API layer's per-endpoint admission/latency counters.
+type StatsResponse struct {
+	Store kvstore.Stats            `json:"store"`
+	API   map[string]EndpointStats `json:"api"`
+}
+
+// StreamInfo is one stream's serving state.
+type StreamInfo struct {
+	Segments  int   `json:"segments"`
+	Live      bool  `json:"live"` // a streaming-ingest pipeline is running
+	Submitted int64 `json:"submitted,omitempty"`
+	Ingested  int64 `json:"ingested,omitempty"`
+	Failed    int64 `json:"failed,omitempty"`
+	Queued    int   `json:"queued,omitempty"`
+}
+
+// StreamsResponse is the body of GET /v1/streams.
+type StreamsResponse struct {
+	Streams map[string]StreamInfo `json:"streams"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining,omitempty"`
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -168,7 +169,7 @@ func Fig11(e *Env, dir string, nSegments int, accuracies []float64) (*Fig11Resul
 		}
 		eng := query.Engine{Store: store}
 		for _, j := range jobs {
-			r, err := eng.Run(ds.Scene, cascade, j.bind, 0, nSegments)
+			r, err := eng.Run(context.Background(), ds.Scene, cascade, j.bind, 0, nSegments)
 			if err != nil {
 				kv.Close()
 				return nil, fmt.Errorf("%s %s@%.2f: %w", ds.Scene, j.conf, j.acc, err)

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/vidsim"
+)
+
+// HTTPServeResult compares the in-process query path with the same query
+// over the HTTP API on a loopback socket: the wire tax (JSON encoding,
+// HTTP framing, an extra copy) on cold and cache-warm runs, plus the
+// invariant that matters — detections byte-identical across transports.
+type HTTPServeResult struct {
+	Scene    string
+	Segments int
+
+	InProcColdSec float64 // in-process Server.Query, cache cold
+	InProcWarmSec float64 // in-process, retrieval cache warm
+	HTTPColdSec   float64 // over HTTP, server cache cold
+	HTTPWarmSec   float64 // over HTTP, server cache warm
+	HTTPChunkSec  float64 // over HTTP, warm, streamed segment-by-segment
+	FirstChunkSec float64 // time to FIRST chunk of the streamed query
+
+	Identical bool // HTTP results byte-identical to in-process
+}
+
+// HTTPServe ingests nSegments of the scene into a fresh store under dir,
+// serves it on a loopback port, and times query B in-process vs over the
+// wire. Each timing keeps the best of three rounds.
+func HTTPServe(e *Env, dir, scene string, nSegments int) (HTTPServeResult, error) {
+	res := HTTPServeResult{Scene: scene, Segments: nSegments}
+	sc, err := vidsim.DatasetByName(scene)
+	if err != nil {
+		return res, err
+	}
+	s, err := server.Open(dir)
+	if err != nil {
+		return res, err
+	}
+	defer s.Close()
+	p := e.Profiler(scene)
+	var consumers []core.Consumer
+	for _, op := range []ops.Operator{ops.Motion{}, ops.License{}, ops.OCR{}} {
+		consumers = append(consumers, core.Consumer{Op: op, Target: 0.9, Prof: p})
+	}
+	cfg, err := core.Configure(consumers, core.Options{StorageProfiler: p})
+	if err != nil {
+		return res, err
+	}
+	if err := s.Reconfigure(cfg); err != nil {
+		return res, err
+	}
+	if _, err := s.Ingest(sc, scene, nSegments); err != nil {
+		return res, err
+	}
+
+	as := api.New(s, api.Limits{})
+	addr, err := as.Start("127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = as.Shutdown(ctx)
+	}()
+	cl := api.NewClient("http://" + addr.String())
+	ctx := context.Background()
+	cascade, names, err := query.ByName("B")
+	if err != nil {
+		return res, err
+	}
+
+	const rounds = 3
+	best := func(fn func() error) (float64, error) {
+		b := -1.0
+		for i := 0; i < rounds; i++ {
+			t0 := time.Now()
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(t0).Seconds(); b < 0 || d < b {
+				b = d
+			}
+		}
+		return b, nil
+	}
+	var inProc server.QueryResult
+	inProcRun := func() error {
+		var err error
+		inProc, err = s.Query(ctx, scene, cascade, names, 0.9, 0, nSegments)
+		return err
+	}
+	var httpChunks []api.QueryChunk
+	httpRun := func(chunk int) func() error {
+		return func() error {
+			var err error
+			httpChunks, _, err = cl.Query(ctx, api.QueryRequest{Stream: scene, Query: "B", Chunk: chunk})
+			return err
+		}
+	}
+
+	// Cold = cache disabled; warm = cache enabled and pre-populated by the
+	// first round (best-of-3 then measures hits).
+	s.SetCacheBudget(0)
+	if res.InProcColdSec, err = best(inProcRun); err != nil {
+		return res, err
+	}
+	if res.HTTPColdSec, err = best(httpRun(0)); err != nil {
+		return res, err
+	}
+	s.SetCacheBudget(1 << 30)
+	if res.InProcWarmSec, err = best(inProcRun); err != nil {
+		return res, err
+	}
+	if res.HTTPWarmSec, err = best(httpRun(0)); err != nil {
+		return res, err
+	}
+
+	// Byte-identity across the transports, on the warm runs just taken.
+	want := fmt.Sprintf("%+v", api.ChunkFromResult(0, nSegments, inProc))
+	got := ""
+	if len(httpChunks) == 1 {
+		got = fmt.Sprintf("%+v", httpChunks[0])
+	}
+	res.Identical = got == want
+
+	// Streamed segment-by-segment: total wall plus time-to-first-chunk
+	// (the latency a consumer waits before results start flowing), both
+	// taken from the same best round so first <= total by construction.
+	res.HTTPChunkSec = -1
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		first := -1.0
+		if _, err := cl.QueryStream(ctx, api.QueryRequest{Stream: scene, Query: "B", Chunk: 1},
+			func(api.QueryChunk) error {
+				if first < 0 {
+					first = time.Since(t0).Seconds()
+				}
+				return nil
+			}); err != nil {
+			return res, err
+		}
+		if total := time.Since(t0).Seconds(); res.HTTPChunkSec < 0 || total < res.HTTPChunkSec {
+			res.HTTPChunkSec, res.FirstChunkSec = total, first
+		}
+	}
+	return res, nil
+}
+
+// RenderHTTPServe formats the artifact.
+func RenderHTTPServe(r HTTPServeResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP serving: in-process vs over-the-wire query latency (%s, %d segments)\n",
+		r.Scene, r.Segments)
+	fmt.Fprintf(&b, "%-34s %10s %10s %8s\n", "path", "cold", "warm", "wire tax")
+	row := func(name string, cold, warm, base float64) {
+		tax := "-"
+		if base > 0 && warm > 0 {
+			tax = fmt.Sprintf("%+.0f%%", (warm/base-1)*100)
+		}
+		coldS := "-"
+		if cold > 0 {
+			coldS = fmt.Sprintf("%8.1fms", cold*1e3)
+		}
+		fmt.Fprintf(&b, "%-34s %10s %8.1fms %8s\n", name, coldS, warm*1e3, tax)
+	}
+	row("in-process Server.Query", r.InProcColdSec, r.InProcWarmSec, r.InProcWarmSec)
+	row("HTTP /v1/query (one chunk)", r.HTTPColdSec, r.HTTPWarmSec, r.InProcWarmSec)
+	row("HTTP /v1/query (per-segment NDJSON)", -1, r.HTTPChunkSec, r.InProcWarmSec)
+	fmt.Fprintf(&b, "first streamed chunk after %.1fms (of %.1fms total)\n",
+		r.FirstChunkSec*1e3, r.HTTPChunkSec*1e3)
+	if r.Identical {
+		fmt.Fprintf(&b, "results byte-identical across transports: yes\n")
+	} else {
+		fmt.Fprintf(&b, "results byte-identical across transports: NO — INVESTIGATE\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTTPServeSmoke(t *testing.T) {
+	e := NewEnv(120)
+	res, err := HTTPServe(e, t.TempDir(), "jackson", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("over-HTTP query output differs from the in-process path")
+	}
+	if res.InProcColdSec <= 0 || res.HTTPColdSec <= 0 || res.HTTPWarmSec <= 0 ||
+		res.HTTPChunkSec <= 0 || res.FirstChunkSec <= 0 {
+		t.Fatalf("non-positive wall times: %+v", res)
+	}
+	if res.FirstChunkSec > res.HTTPChunkSec {
+		t.Fatalf("first chunk (%f) after the whole stream (%f)", res.FirstChunkSec, res.HTTPChunkSec)
+	}
+	out := RenderHTTPServe(res)
+	for _, want := range []string{"in-process", "HTTP /v1/query", "first streamed chunk", "byte-identical across transports: yes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -78,7 +79,7 @@ func Speedup(e *Env, dir, scene string, nSegments, workers int, cacheBytes int64
 		}
 		for i := 0; i < n; i++ {
 			t0 := time.Now()
-			r, err := s.Query(scene, query.QueryA(), opNames, 0.9, 0, nSegments)
+			r, err := s.Query(context.Background(), scene, query.QueryA(), opNames, 0.9, 0, nSegments)
 			if err != nil {
 				return 0, out, err
 			}

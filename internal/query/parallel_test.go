@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -66,7 +67,7 @@ func TestParallelRetrievalMatchesSequential(t *testing.T) {
 	}
 
 	seq := Engine{Store: store, Workers: 1}
-	ref, err := seq.Run("jackson", QueryA(), binding, 0, 3)
+	ref, err := seq.Run(context.Background(), "jackson", QueryA(), binding, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestParallelRetrievalMatchesSequential(t *testing.T) {
 				par := Engine{Store: store, Workers: workers, Cache: cache}
 				// Two passes: the second exercises cache hits when enabled.
 				for pass := 0; pass < 2; pass++ {
-					got, err := par.Run("jackson", QueryA(), binding, 0, 3)
+					got, err := par.Run(context.Background(), "jackson", QueryA(), binding, 0, 3)
 					if err != nil {
 						t.Fatalf("pooling=%v workers=%d cache=%v pass=%d: %v", pooling, workers, cache != nil, pass, err)
 					}

@@ -6,6 +6,7 @@
 package query
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -44,6 +45,18 @@ func QueryA() Cascade {
 // filters still frames, License spots plate regions, OCR reads characters.
 func QueryB() Cascade {
 	return Cascade{Name: "B (Motion+License+OCR)", Stages: []Stage{{ops.Motion{}}, {ops.License{}}, {ops.OCR{}}}}
+}
+
+// ByName resolves the named standard cascade and its operator names — the
+// shared lookup behind the CLI's and the HTTP API's -query/"query" knob.
+func ByName(name string) (Cascade, []string, error) {
+	switch name {
+	case "A", "a":
+		return QueryA(), []string{"Diff", "S-NN", "NN"}, nil
+	case "B", "b":
+		return QueryB(), []string{"Motion", "License", "OCR"}, nil
+	}
+	return Cascade{}, nil, fmt.Errorf("query: unknown cascade %q (want A or B)", name)
 }
 
 // StageBinding tells a stage which consumption format to consume and which
@@ -108,8 +121,15 @@ type Engine struct {
 }
 
 // Run executes the cascade over segments [seg0, seg1) of the stream using
-// the given binding (one entry per stage).
-func (e *Engine) Run(stream string, c Cascade, b Binding, seg0, seg1 int) (Result, error) {
+// the given binding (one entry per stage). ctx cancels the run between
+// per-segment retrieval batches: a canceled query stops scheduling decode
+// work promptly — segments already decoding finish, nothing further
+// starts — and Run returns ctx.Err(). Pass context.Background() for an
+// uncancellable run; nil is treated the same.
+func (e *Engine) Run(ctx context.Context, stream string, c Cascade, b Binding, seg0, seg1 int) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(b) != len(c.Stages) {
 		return Result{}, fmt.Errorf("query: binding has %d stages, cascade %d", len(b), len(c.Stages))
 	}
@@ -134,8 +154,14 @@ func (e *Engine) Run(stream string, c Cascade, b Binding, seg0, seg1 int) (Resul
 	var within func(pts int) bool
 	var tag string
 	for si, stage := range c.Stages {
-		frames, rst, err := e.retrieveRange(&r, stream, b[si].SF, b[si].CF, seg0, seg1, within, tag)
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		frames, rst, err := e.retrieveRange(ctx, &r, stream, b[si].SF, b[si].CF, seg0, seg1, within, tag)
 		if err != nil {
+			if ctx.Err() != nil {
+				return res, ctx.Err()
+			}
 			return res, fmt.Errorf("query: stage %s: %w", stage.Op.Name(), err)
 		}
 		out, ost := runStage(stage.Op, frames, b[si].CF.Fidelity, e.Workers)
@@ -178,10 +204,13 @@ func (e *Engine) Run(stream string, c Cascade, b Binding, seg0, seg1 int) (Resul
 // same fold the sequential retrieve.Range performs, so results (including
 // the order-sensitive float accumulation of virtual seconds) are identical.
 // Missing (eroded) segments are skipped exactly as in the sequential path.
-func (e *Engine) retrieveRange(r *retrieve.Retriever, stream string, sf format.StorageFormat, cf format.ConsumptionFormat, seg0, seg1 int, within func(pts int) bool, tag string) ([]*frame.Frame, retrieve.Stats, error) {
+// ctx is checked between per-segment batches (before each sequential
+// retrieval, and before each pooled segment task starts): cancellation
+// stops further decode work promptly and surfaces as ctx.Err().
+func (e *Engine) retrieveRange(ctx context.Context, r *retrieve.Retriever, stream string, sf format.StorageFormat, cf format.ConsumptionFormat, seg0, seg1 int, within func(pts int) bool, tag string) ([]*frame.Frame, retrieve.Stats, error) {
 	n := seg1 - seg0
 	if e.Workers == 1 || n <= 1 {
-		return r.RangeTagged(stream, sf, cf, seg0, seg1, within, tag)
+		return r.RangeTagged(ctx, stream, sf, cf, seg0, seg1, within, tag)
 	}
 	type segResult struct {
 		frames []*frame.Frame
@@ -194,10 +223,19 @@ func (e *Engine) retrieveRange(r *retrieve.Retriever, stream string, sf format.S
 		idx := seg0 + i
 		slot := &results[i]
 		pool.Go(func() {
+			// A canceled query abandons queued segment tasks before their
+			// decode starts; in-flight decodes run to completion.
+			if err := ctx.Err(); err != nil {
+				slot.err = err
+				return
+			}
 			slot.frames, slot.st, slot.err = r.SegmentTagged(stream, sf, cf, idx, within, tag)
 		})
 	}
 	pool.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, retrieve.Stats{}, err
+	}
 	var all []*frame.Frame
 	var total retrieve.Stats
 	for i := range results {

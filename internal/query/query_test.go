@@ -3,6 +3,7 @@
 package query
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/format"
@@ -74,7 +75,7 @@ func TestQueryAEndToEnd(t *testing.T) {
 		{CF: format.ConsumptionFormat{Fidelity: format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 400, Sampling: s16}}, SF: sfs[0]},
 	}
 	eng := Engine{Store: store}
-	res, err := eng.Run("jackson", QueryA(), binding, 0, 2)
+	res, err := eng.Run(context.Background(), "jackson", QueryA(), binding, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestQueryBEndToEnd(t *testing.T) {
 		{CF: cf(720, s12), SF: sfs[0]},
 	}
 	eng := Engine{Store: store}
-	res, err := eng.Run("dashcam", QueryB(), binding, 0, 2)
+	res, err := eng.Run(context.Background(), "dashcam", QueryB(), binding, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestQueryBEndToEnd(t *testing.T) {
 func TestBindingMismatch(t *testing.T) {
 	store := newStore(t)
 	eng := Engine{Store: store}
-	if _, err := eng.Run("x", QueryA(), Binding{}, 0, 1); err == nil {
+	if _, err := eng.Run(context.Background(), "x", QueryA(), Binding{}, 0, 1); err == nil {
 		t.Fatal("mismatched binding accepted")
 	}
 }
@@ -144,7 +145,7 @@ func TestR1ViolationSurfaces(t *testing.T) {
 		{CF: format.ConsumptionFormat{Fidelity: fullFid()}, SF: sfs[0]},
 	}
 	eng := Engine{Store: store}
-	if _, err := eng.Run("jackson", QueryA(), binding, 0, 1); err == nil {
+	if _, err := eng.Run(context.Background(), "jackson", QueryA(), binding, 0, 1); err == nil {
 		t.Fatal("R1 violation not detected")
 	}
 }
@@ -167,11 +168,11 @@ func TestLowerFidelityFasterQuery(t *testing.T) {
 		{CF: format.ConsumptionFormat{Fidelity: cheapFid}, SF: sfs[1]},
 	}
 	eng := Engine{Store: store}
-	r1, err := eng.Run("jackson", QueryA(), rich, 0, 2)
+	r1, err := eng.Run(context.Background(), "jackson", QueryA(), rich, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := eng.Run("jackson", QueryA(), cheap, 0, 2)
+	r2, err := eng.Run(context.Background(), "jackson", QueryA(), cheap, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,10 +52,14 @@ type Cache struct {
 	hits      int64
 	misses    int64
 	evictions int64
-	// gen is bumped by Invalidate. put drops inserts whose retrieval began
-	// before the bump, so an in-flight retrieval racing an erosion cannot
-	// repopulate the cache with pre-erosion frames.
-	gen int64
+	// gens holds one invalidation generation per stream, bumped by
+	// Invalidate(stream). put drops fills whose retrieval began before the
+	// bump, so an in-flight retrieval racing an erosion cannot repopulate
+	// the cache with pre-erosion frames — while fills for OTHER streams,
+	// whose segments the erosion never touched, land unharmed. (A single
+	// global generation here would make one stream's erosion daemon starve
+	// every other stream's cache fills under live multi-stream serving.)
+	gens map[string]int64
 }
 
 // NewCache returns a cache bounded by budgetBytes of frame data. A budget
@@ -69,6 +73,7 @@ func NewCache(budgetBytes int64) *Cache {
 		budget:  budgetBytes,
 		ll:      list.New(),
 		entries: make(map[string]*list.Element),
+		gens:    make(map[string]int64),
 	}
 }
 
@@ -77,49 +82,63 @@ func cacheKey(stream string, sf format.StorageFormat, cf format.ConsumptionForma
 }
 
 // get returns the cached frames for key, marking the entry most recently
-// used. Misses are counted here, so only cacheable lookups count. The
-// returned generation must accompany the put that fills the miss.
-func (c *Cache) get(key string) ([]*frame.Frame, int64, bool) {
+// used. Misses are counted here, so only cacheable lookups count. stream is
+// the key's stream: the returned generation is the stream's, and must
+// accompany the put that fills the miss.
+func (c *Cache) get(stream, key string) ([]*frame.Frame, int64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
-		return nil, c.gen, false
+		return nil, c.gens[stream], false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).frames, c.gen, true
+	return el.Value.(*cacheEntry).frames, c.gens[stream], true
 }
 
 // put inserts (or refreshes) the frames under key and evicts least recently
 // used entries until the byte budget holds. An entry larger than the whole
-// budget is not cached. gen is the generation get returned when the miss
-// was observed: if Invalidate ran in between, the retrieval may predate a
-// deletion and is silently dropped.
-func (c *Cache) put(key string, frames []*frame.Frame, gen int64) {
+// budget is never cached — inserts AND refreshes: a refresh that grew past
+// the budget additionally drops the resident entry, since the two
+// deliveries disagree and the new one cannot be held. gen is the stream's
+// generation get returned when the miss was observed: if Invalidate ran on
+// this stream in between, the retrieval may predate a deletion and is
+// silently dropped; other streams' invalidations never drop this fill.
+func (c *Cache) put(stream, key string, frames []*frame.Frame, gen int64) {
 	var bytes int64
 	for _, f := range frames {
 		bytes += int64(f.Bytes())
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if gen != c.gen {
+	if gen != c.gens[stream] {
 		return
 	}
-	if el, ok := c.entries[key]; ok {
+	el, ok := c.entries[key]
+	if bytes > c.budget {
+		if ok {
+			c.removeLocked(el)
+			c.evictions++
+		}
+		return
+	}
+	if ok {
 		ent := el.Value.(*cacheEntry)
 		c.bytes += bytes - ent.bytes
 		ent.frames, ent.bytes = frames, bytes
 		c.ll.MoveToFront(el)
 	} else {
-		if bytes > c.budget {
-			return
-		}
 		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, frames: frames, bytes: bytes})
 		c.bytes += bytes
 	}
-	for c.bytes > c.budget && c.ll.Len() > 1 {
+	// Same semantics as Resize: evict down to the budget, the last entry
+	// included. (An earlier Len() > 1 guard here let one oversized refresh
+	// pin Bytes > Budget forever.) The loop can never evict the entry just
+	// written: it sits at the front, and once it is the only entry left,
+	// bytes <= budget guarantees the loop has terminated.
+	for c.bytes > c.budget && c.ll.Len() > 0 {
 		c.evictOldest()
 	}
 }
@@ -130,11 +149,17 @@ func (c *Cache) evictOldest() {
 	if el == nil {
 		return
 	}
+	c.removeLocked(el)
+	c.evictions++
+}
+
+// removeLocked unlinks one entry from the list, the map and the byte
+// account. Caller holds mu.
+func (c *Cache) removeLocked(el *list.Element) {
 	ent := el.Value.(*cacheEntry)
 	c.ll.Remove(el)
 	delete(c.entries, ent.key)
 	c.bytes -= ent.bytes
-	c.evictions++
 }
 
 // Resize changes the byte budget, evicting as needed to honour a smaller
@@ -148,31 +173,33 @@ func (c *Cache) Resize(budgetBytes int64) {
 	}
 }
 
-// Invalidate drops every cached segment of the stream, in any format. Used
-// after erosion or deletion changes what the store would return.
+// Invalidate drops every cached segment of the stream, in any format, and
+// bumps the stream's generation so in-flight fills for it are dropped at
+// put. Used after erosion or deletion changes what the store would return.
+// Other streams are untouched: their entries stay resident and their
+// in-flight fills still land.
 func (c *Cache) Invalidate(stream string) {
 	prefix := stream + "/"
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.gen++
+	c.gens[stream]++
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
 		ent := el.Value.(*cacheEntry)
 		if len(ent.key) > len(prefix) && ent.key[:len(prefix)] == prefix {
-			c.ll.Remove(el)
-			delete(c.entries, ent.key)
-			c.bytes -= ent.bytes
+			c.removeLocked(el)
 		}
 		el = next
 	}
 }
 
-// generation returns the current invalidation generation: the token a
-// direct put must carry, observed before the retrieval it caches began.
-func (c *Cache) generation() int64 {
+// generation returns the stream's current invalidation generation: the
+// token a direct put must carry, observed before the retrieval it caches
+// began.
+func (c *Cache) generation(stream string) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.gen
+	return c.gens[stream]
 }
 
 // Stats returns a snapshot of the cache counters. A nil cache reports

@@ -1,0 +1,113 @@
+package retrieve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// checkCacheInvariants asserts the structural invariants every operation
+// sequence must preserve: the byte budget holds, the byte account matches
+// the resident entries, and the list and map agree.
+func checkCacheInvariants(t *testing.T, c *Cache, step string) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bytes > c.budget {
+		t.Fatalf("%s: Bytes %d > Budget %d", step, c.bytes, c.budget)
+	}
+	if c.ll.Len() != len(c.entries) {
+		t.Fatalf("%s: list has %d entries, map %d", step, c.ll.Len(), len(c.entries))
+	}
+	var sum int64
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		if got, ok := c.entries[ent.key]; !ok || got != el {
+			t.Fatalf("%s: list entry %q not in map", step, ent.key)
+		}
+		sum += ent.bytes
+	}
+	if sum != c.bytes {
+		t.Fatalf("%s: accounted %d bytes, entries hold %d", step, c.bytes, sum)
+	}
+}
+
+// TestCachePropertyBudgetAndInvalidation drives the cache with random
+// put / refresh / invalidate / resize / in-flight-fill sequences and
+// asserts after every operation that Bytes <= Budget (the invariant the
+// oversized-refresh bug broke), the byte accounting is exact, and that a
+// stream's invalidation never drops another stream's in-flight fill (the
+// invariant the global generation broke).
+func TestCachePropertyBudgetAndInvalidation(t *testing.T) {
+	streams := []string{"a", "b", "c"}
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			unit := framesBytes(testFrames(1, 16, 16))
+			c := NewCache(int64(4+rng.Intn(8)) * unit)
+
+			// In-flight fills: miss observed (generation captured), put not
+			// yet issued — the state an Invalidate races against.
+			type fill struct {
+				stream, key string
+				gen         int64
+				invalidated bool // Invalidate(stream) ran after the miss
+			}
+			var fills []fill
+
+			key := func(stream string, idx int) string { return fmt.Sprintf("%s/%d", stream, idx) }
+			const ops = 400
+			for op := 0; op < ops; op++ {
+				stream := streams[rng.Intn(len(streams))]
+				k := key(stream, rng.Intn(6))
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // direct put/refresh, occasionally oversized
+					n := 1 + rng.Intn(4)
+					if rng.Intn(8) == 0 {
+						n = 64 // deliberately larger than any budget above
+					}
+					c.put(stream, k, testFrames(n, 16, 16), c.generation(stream))
+				case 4, 5: // begin an in-flight fill (observe the miss)
+					_, gen, ok := c.get(stream, k)
+					if !ok {
+						fills = append(fills, fill{stream: stream, key: k, gen: gen})
+					}
+				case 6: // complete a random in-flight fill
+					if len(fills) == 0 {
+						continue
+					}
+					i := rng.Intn(len(fills))
+					f := fills[i]
+					fills = append(fills[:i], fills[i+1:]...)
+					_, _, before := c.get(f.stream, f.key)
+					c.put(f.stream, f.key, testFrames(1, 16, 16), f.gen)
+					_, _, resident := c.get(f.stream, f.key)
+					if f.invalidated && !before && resident {
+						t.Fatalf("op %d: fill for %s observed before Invalidate(%s) landed",
+							op, f.key, f.stream)
+					}
+					// A non-invalidated fill must land unless the cache
+					// evicted it for capacity — with 1-unit fills and a
+					// >=4-unit budget the freshly-used entry survives.
+					if !f.invalidated && !resident {
+						t.Fatalf("op %d: fill for %s dropped without an Invalidate(%s) — "+
+							"cross-stream invalidation starved it", op, f.key, f.stream)
+					}
+				case 7: // erosion: invalidate one stream
+					c.Invalidate(stream)
+					for i := range fills {
+						if fills[i].stream == stream {
+							fills[i].invalidated = true
+						}
+					}
+				case 8: // operator resize
+					c.Resize(int64(1+rng.Intn(10)) * unit)
+				case 9: // plain lookup traffic
+					c.get(stream, k)
+				}
+				checkCacheInvariants(t, c, fmt.Sprintf("op %d", op))
+			}
+		})
+	}
+}

@@ -35,24 +35,24 @@ func TestCacheLRUEviction(t *testing.T) {
 	per := framesBytes(seg)
 	c := NewCache(3 * per) // room for exactly three segments
 	for i := 0; i < 3; i++ {
-		c.put(fmt.Sprintf("s/%d", i), testFrames(2, 32, 32), c.generation())
+		c.put("s", fmt.Sprintf("s/%d", i), testFrames(2, 32, 32), c.generation("s"))
 	}
 	if st := c.Stats(); st.Entries != 3 || st.Evictions != 0 || st.Bytes != 3*per {
 		t.Fatalf("after 3 puts: %+v", st)
 	}
 	// Touch entry 0 so entry 1 is the LRU victim.
-	if _, _, ok := c.get("s/0"); !ok {
+	if _, _, ok := c.get("s", "s/0"); !ok {
 		t.Fatal("entry 0 missing")
 	}
-	c.put("s/3", testFrames(2, 32, 32), c.generation())
+	c.put("s", "s/3", testFrames(2, 32, 32), c.generation("s"))
 	st := c.Stats()
 	if st.Entries != 3 || st.Evictions != 1 || st.Bytes > st.Budget {
 		t.Fatalf("after eviction: %+v", st)
 	}
-	if _, _, ok := c.get("s/1"); ok {
+	if _, _, ok := c.get("s", "s/1"); ok {
 		t.Fatal("LRU entry 1 survived eviction")
 	}
-	if _, _, ok := c.get("s/0"); !ok {
+	if _, _, ok := c.get("s", "s/0"); !ok {
 		t.Fatal("recently used entry 0 was evicted")
 	}
 }
@@ -61,7 +61,7 @@ func TestCacheByteBudgetHeld(t *testing.T) {
 	per := framesBytes(testFrames(1, 64, 64))
 	c := NewCache(5*per + per/2)
 	for i := 0; i < 20; i++ {
-		c.put(fmt.Sprintf("s/%d", i), testFrames(1, 64, 64), c.generation())
+		c.put("s", fmt.Sprintf("s/%d", i), testFrames(1, 64, 64), c.generation("s"))
 		if st := c.Stats(); st.Bytes > st.Budget {
 			t.Fatalf("budget exceeded at put %d: %+v", i, st)
 		}
@@ -75,13 +75,70 @@ func TestCacheByteBudgetHeld(t *testing.T) {
 func TestCacheOversizedEntryNotCached(t *testing.T) {
 	small := testFrames(1, 16, 16)
 	c := NewCache(framesBytes(small))
-	c.put("big", testFrames(8, 64, 64), c.generation())
+	c.put("s", "big", testFrames(8, 64, 64), c.generation("s"))
 	if st := c.Stats(); st.Entries != 0 {
 		t.Fatalf("oversized entry cached: %+v", st)
 	}
-	c.put("small", small, c.generation())
+	c.put("s", "small", small, c.generation("s"))
 	if st := c.Stats(); st.Entries != 1 {
 		t.Fatalf("small entry rejected: %+v", st)
+	}
+}
+
+// TestCacheOversizedRefreshRejected is the budget regression: refreshing
+// an EXISTING key with frames larger than the whole budget used to skip
+// the oversize reject (insert-only) and then could not evict the last
+// entry (the loop stopped at Len() > 1), pinning Bytes > Budget forever.
+// An oversize refresh must leave the cache within budget, with the stale
+// resident entry dropped rather than served.
+func TestCacheOversizedRefreshRejected(t *testing.T) {
+	small := testFrames(1, 16, 16)
+	c := NewCache(2 * framesBytes(small))
+	c.put("s", "s/0", small, c.generation("s"))
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("seed entry missing: %+v", st)
+	}
+	// Refresh the same key with an over-budget frame set.
+	c.put("s", "s/0", testFrames(8, 64, 64), c.generation("s"))
+	st := c.Stats()
+	if st.Bytes > st.Budget {
+		t.Fatalf("oversized refresh pinned the cache over budget: %+v", st)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("oversized refresh left a resident entry: %+v", st)
+	}
+	// The cache still works afterwards.
+	c.put("s", "s/0", testFrames(1, 16, 16), c.generation("s"))
+	if st := c.Stats(); st.Entries != 1 || st.Bytes > st.Budget {
+		t.Fatalf("cache unusable after oversized refresh: %+v", st)
+	}
+}
+
+// TestCacheInvalidateIsStreamScoped is the cross-stream regression: the
+// generation used to be global, so eroding stream A dropped every
+// in-flight fill for streams B, C, … — a periodic erosion daemon would
+// starve the whole cache. A fill for B whose miss was observed before
+// Invalidate(A) must still land; a fill for A must still be dropped.
+func TestCacheInvalidateIsStreamScoped(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.put("a", "a/0", testFrames(1, 16, 16), c.generation("a"))
+	c.put("b", "b/0", testFrames(1, 16, 16), c.generation("b"))
+
+	// Two fills in flight — one per stream — when A is eroded.
+	_, genA, _ := c.get("a", "a/1")
+	_, genB, _ := c.get("b", "b/1")
+	c.Invalidate("a")
+
+	if _, _, ok := c.get("b", "b/0"); !ok {
+		t.Fatal("invalidating a dropped b's resident entry")
+	}
+	c.put("a", "a/1", testFrames(1, 16, 16), genA)
+	if _, _, ok := c.get("a", "a/1"); ok {
+		t.Fatal("stale fill for the invalidated stream landed")
+	}
+	c.put("b", "b/1", testFrames(1, 16, 16), genB)
+	if _, _, ok := c.get("b", "b/1"); !ok {
+		t.Fatal("cross-stream fill dropped by another stream's invalidation")
 	}
 }
 
@@ -89,16 +146,16 @@ func TestCacheResizeAndInvalidate(t *testing.T) {
 	per := framesBytes(testFrames(1, 32, 32))
 	c := NewCache(4 * per)
 	for i := 0; i < 4; i++ {
-		c.put(fmt.Sprintf("cam/%d", i), testFrames(1, 32, 32), c.generation())
+		c.put("cam", fmt.Sprintf("cam/%d", i), testFrames(1, 32, 32), c.generation("cam"))
 	}
-	c.put("other/0", testFrames(1, 32, 32), c.generation()) // evicts one cam entry
+	c.put("other", "other/0", testFrames(1, 32, 32), c.generation("other")) // evicts one cam entry
 	c.Resize(2 * per)
 	if st := c.Stats(); st.Bytes > 2*per {
 		t.Fatalf("resize did not evict: %+v", st)
 	}
 	c.Invalidate("cam")
 	for i := 0; i < 4; i++ {
-		if _, _, ok := c.get(fmt.Sprintf("cam/%d", i)); ok {
+		if _, _, ok := c.get("cam", fmt.Sprintf("cam/%d", i)); ok {
 			t.Fatalf("cam/%d survived invalidation", i)
 		}
 	}
@@ -109,13 +166,13 @@ func TestCacheResizeAndInvalidate(t *testing.T) {
 // with pre-invalidation frames.
 func TestCacheStalePutDropped(t *testing.T) {
 	c := NewCache(1 << 20)
-	gen := c.generation() // miss observed here...
-	c.Invalidate("cam")   // ...erosion invalidates while retrieval is in flight
-	c.put("cam/0", testFrames(1, 16, 16), gen)
+	gen := c.generation("cam") // miss observed here...
+	c.Invalidate("cam")        // ...erosion invalidates while retrieval is in flight
+	c.put("cam", "cam/0", testFrames(1, 16, 16), gen)
 	if st := c.Stats(); st.Entries != 0 {
 		t.Fatalf("stale put survived invalidation: %+v", st)
 	}
-	c.put("cam/0", testFrames(1, 16, 16), c.generation())
+	c.put("cam", "cam/0", testFrames(1, 16, 16), c.generation("cam"))
 	if st := c.Stats(); st.Entries != 1 {
 		t.Fatalf("fresh put rejected: %+v", st)
 	}
@@ -127,13 +184,13 @@ func TestCacheStalePutDropped(t *testing.T) {
 // hit/miss counters surface after a daemon pass.
 func TestCacheInvalidateCountsMisses(t *testing.T) {
 	c := NewCache(1 << 20)
-	c.put("cam/0", testFrames(1, 16, 16), c.generation())
-	if _, _, ok := c.get("cam/0"); !ok {
+	c.put("cam", "cam/0", testFrames(1, 16, 16), c.generation("cam"))
+	if _, _, ok := c.get("cam", "cam/0"); !ok {
 		t.Fatal("warm entry missing")
 	}
 	before := c.Stats()
 	c.Invalidate("cam") // one erosion-daemon pass
-	if _, _, ok := c.get("cam/0"); ok {
+	if _, _, ok := c.get("cam", "cam/0"); ok {
 		t.Fatal("eroded stream served from cache")
 	}
 	after := c.Stats()
@@ -142,10 +199,10 @@ func TestCacheInvalidateCountsMisses(t *testing.T) {
 	}
 	// Repeated passes keep advancing the generation: each drops the puts
 	// of retrievals that began before it.
-	gen := c.generation()
+	gen := c.generation("cam")
 	c.Invalidate("cam")
 	c.Invalidate("cam")
-	c.put("cam/0", testFrames(1, 16, 16), gen)
+	c.put("cam", "cam/0", testFrames(1, 16, 16), gen)
 	if st := c.Stats(); st.Entries != 0 {
 		t.Fatalf("put from before two passes survived: %+v", st)
 	}

@@ -5,6 +5,7 @@
 package retrieve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -109,7 +110,7 @@ func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf for
 	var gen int64
 	if cacheable {
 		key = cacheKey(stream, sf, cf, idx) + "#" + tag
-		cached, g, ok := r.Cache.get(key)
+		cached, g, ok := r.Cache.get(stream, key)
 		if ok {
 			// A hit skips the disk read, decode and conversion entirely;
 			// only the delivery count is accounted. The cached set itself
@@ -158,7 +159,7 @@ func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf for
 	st.VirtualSeconds += profile.TransformSeconds(pixels)
 	st.FramesDelivered = int64(len(out))
 	if cacheable {
-		r.Cache.put(key, out, gen)
+		r.Cache.put(stream, key, out, gen)
 	}
 	return out, st, nil
 }
@@ -255,7 +256,7 @@ func encodedKeep(enc *codec.Encoded, s format.Sampling, within func(int) bool) [
 // the concatenated set is defensively copied, so callers may mutate it
 // without corrupting cached segments.
 func (r *Retriever) Range(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, seg0, seg1 int, within func(pts int) bool) ([]*frame.Frame, Stats, error) {
-	frames, st, err := r.RangeTagged(stream, sf, cf, seg0, seg1, within, "")
+	frames, st, err := r.RangeTagged(context.Background(), stream, sf, cf, seg0, seg1, within, "")
 	if err == nil && r.Cache != nil && within == nil {
 		frames = cloneFrames(frames)
 	}
@@ -265,10 +266,15 @@ func (r *Retriever) Range(stream string, sf format.StorageFormat, cf format.Cons
 // RangeTagged is Range with a cache tag for the within predicate (see
 // SegmentTagged). It owns the sequential fold — skip eroded segments,
 // accumulate stats in segment order — that parallel retrievers replicate.
-func (r *Retriever) RangeTagged(stream string, sf format.StorageFormat, cf format.ConsumptionFormat, seg0, seg1 int, within func(pts int) bool, tag string) ([]*frame.Frame, Stats, error) {
+// ctx is checked between segments: a canceled range retrieval stops
+// before its next segment's decode and returns ctx.Err().
+func (r *Retriever) RangeTagged(ctx context.Context, stream string, sf format.StorageFormat, cf format.ConsumptionFormat, seg0, seg1 int, within func(pts int) bool, tag string) ([]*frame.Frame, Stats, error) {
 	var all []*frame.Frame
 	var total Stats
 	for idx := seg0; idx < seg1; idx++ {
+		if err := ctx.Err(); err != nil {
+			return nil, total, err
+		}
 		frames, st, err := r.SegmentTagged(stream, sf, cf, idx, within, tag)
 		total.Add(st)
 		if errors.Is(err, segment.ErrNotFound) {

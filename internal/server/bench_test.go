@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"os"
 	"sync"
 	"testing"
@@ -64,13 +65,13 @@ func benchQuery(b *testing.B, workers int, cacheBytes int64) {
 	opNames := []string{"Diff", "S-NN", "NN"}
 	if cacheBytes > 0 {
 		// Warm pass so the steady state being measured is the cached one.
-		if _, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
+		if _, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
+		if _, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,7 +141,7 @@ func BenchmarkTieredQuery(b *testing.B) {
 	opNames := []string{"Diff", "S-NN", "NN"}
 	run := func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
+			if _, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -160,7 +161,7 @@ func BenchmarkTieredQuery(b *testing.B) {
 	}
 	b.Run("cold-hit", run)
 	s.SetCacheBudget(1 << 30)
-	if _, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
+	if _, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
 		b.Fatal(err) // warm pass: the measured steady state is cached
 	}
 	b.Run("cached", run)
@@ -204,7 +205,7 @@ func BenchmarkQueryDuringIngest(b *testing.B) {
 	opNames := []string{"Diff", "S-NN", "NN"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
+		if _, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
 			b.Fatal(err)
 		}
 	}

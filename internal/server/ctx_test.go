@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/vidsim"
+)
+
+// TestQueryContextCancellation pins the cancellation contract the HTTP API
+// layer depends on: a canceled (or deadline-expired) context makes
+// Query/QueryAt return the context error promptly instead of decoding the
+// rest of the span on the shared pool.
+func TestQueryContextCancellation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Reconfigure(pressureConfig(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := vidsim.DatasetByName("jackson")
+	if _, err := s.Ingest(sc, "cam", 2); err != nil {
+		t.Fatal(err)
+	}
+	cascade, names := motionCascade()
+
+	// Already-canceled context: rejected before any retrieval runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Query(ctx, "cam", cascade, names, 0.9, 0, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query returned %v, want context.Canceled", err)
+	}
+
+	// Expired deadline: same contract, DeadlineExceeded.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := s.Query(dctx, "cam", cascade, names, 0.9, 0, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired query returned %v, want context.DeadlineExceeded", err)
+	}
+
+	// Cancellation must not leak the snapshot pin.
+	if st := s.Stats(); st.ActiveSnapshots != 0 {
+		t.Fatalf("canceled queries left %d active snapshots", st.ActiveSnapshots)
+	}
+
+	// A live context still works, through QueryAt too.
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	if _, err := s.QueryAt(context.Background(), snap, "cam", cascade, names, 0.9, 0, 2); err != nil {
+		t.Fatalf("background-context query: %v", err)
+	}
+	// nil is tolerated as context.Background (retrofit convenience).
+	if _, err := s.QueryAt(nil, snap, "cam", cascade, names, 0.9, 0, 2); err != nil {
+		t.Fatalf("nil-context query: %v", err)
+	}
+}

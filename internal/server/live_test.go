@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"path/filepath"
 	"reflect"
 	"sync"
@@ -113,7 +114,7 @@ func TestSnapshotIsolationUnderErosion(t *testing.T) {
 		t.Fatal(err)
 	}
 	cascade, names := motionCascade()
-	ref, err := s.Query("cam", cascade, names, 0.9, 0, 3)
+	ref, err := s.Query(context.Background(), "cam", cascade, names, 0.9, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestSnapshotIsolationUnderErosion(t *testing.T) {
 		t.Fatal("erosion pass with pressure deleted nothing")
 	}
 	// The held snapshot still reads the full pre-erosion set.
-	held, err := s.QueryAt(snap, "cam", cascade, names, 0.9, 0, 3)
+	held, err := s.QueryAt(context.Background(), snap, "cam", cascade, names, 0.9, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestSnapshotIsolationUnderErosion(t *testing.T) {
 
 	// A fresh snapshot observes the post-erosion set: strictly fewer
 	// frames reach the first stage than the pre-erosion reference.
-	post, err := s.Query("cam", cascade, names, 0.9, 0, 3)
+	post, err := s.Query(context.Background(), "cam", cascade, names, 0.9, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestErosionDaemonInvalidatesCache(t *testing.T) {
 	}
 	cascade, names := motionCascade()
 	runQuery := func() QueryResult {
-		res, err := s.Query("cam", cascade, names, 0.9, 0, 3)
+		res, err := s.Query(context.Background(), "cam", cascade, names, 0.9, 0, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -276,7 +277,7 @@ func TestLiveStreamLifecycle(t *testing.T) {
 		t.Fatalf("live stats = %+v", st)
 	}
 	cascade, names := motionCascade()
-	res, err := s.Query("cam", cascade, names, 0.9, 0, 2)
+	res, err := s.Query(context.Background(), "cam", cascade, names, 0.9, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestLiveStreamLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	res2, err := s2.Query("cam", cascade, names, 0.9, 0, 2)
+	res2, err := s2.Query(context.Background(), "cam", cascade, names, 0.9, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestOpenReconcilesBareIngest(t *testing.T) {
 		t.Fatalf("SegmentsOf after append = %d, want 3", got)
 	}
 	cascade, names := motionCascade()
-	res, err := s.Query("cam", cascade, names, 0.9, 0, 3)
+	res, err := s.Query(context.Background(), "cam", cascade, names, 0.9, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -476,7 +477,7 @@ func TestLiveConcurrentServe(t *testing.T) {
 					snap.Release()
 					continue
 				}
-				res, err := s.QueryAt(snap, stream, cascade, names, 0.9, 0, n)
+				res, err := s.QueryAt(context.Background(), snap, stream, cascade, names, 0.9, 0, n)
 				if err != nil {
 					t.Errorf("live query: %v", err)
 					snap.Release()
@@ -521,7 +522,7 @@ func TestLiveConcurrentServe(t *testing.T) {
 		t.Fatal("no queries completed during the live phase")
 	}
 	for i, ob := range observations {
-		again, err := s.QueryAt(ob.snap, ob.stream, cascade, names, 0.9, 0, ob.n)
+		again, err := s.QueryAt(context.Background(), ob.snap, ob.stream, cascade, names, 0.9, 0, ob.n)
 		if err != nil {
 			t.Fatalf("quiescent re-run %d: %v", i, err)
 		}

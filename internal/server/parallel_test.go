@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -48,7 +49,7 @@ func TestParallelQueryDeterminism(t *testing.T) {
 	opNames := []string{"Diff", "S-NN", "NN"}
 
 	s.QueryWorkers = -1 // force sequential: the reference output
-	ref, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, 4)
+	ref, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestParallelQueryDeterminism(t *testing.T) {
 	}
 	for _, workers := range []int{1, 2, 8} {
 		s.QueryWorkers = workers
-		got, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, 4)
+		got, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 4)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -86,7 +87,7 @@ func TestQueryCacheHitsAndDeterminism(t *testing.T) {
 	s := setupQueryServer(t)
 	opNames := []string{"Diff", "S-NN", "NN"}
 
-	cold, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, 4)
+	cold, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestQueryCacheHitsAndDeterminism(t *testing.T) {
 	}
 
 	s.SetCacheBudget(1 << 30)
-	warmup, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, 4)
+	warmup, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestQueryCacheHitsAndDeterminism(t *testing.T) {
 	if cs.Misses == 0 || cs.Bytes == 0 {
 		t.Fatalf("cold cached query populated nothing: %+v", cs)
 	}
-	warm, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, 4)
+	warm, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestParallelSpeedupMulticore(t *testing.T) {
 		best := time.Duration(1<<63 - 1)
 		for i := 0; i < 3; i++ {
 			t0 := time.Now()
-			if _, err := s.Query("cam", query.QueryA(), opNames, 0.9, 0, 4); err != nil {
+			if _, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 4); err != nil {
 				t.Fatal(err)
 			}
 			if d := time.Since(t0); d < best {

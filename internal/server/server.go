@@ -30,6 +30,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -571,6 +572,19 @@ func (s *Server) SegmentsOf(stream string) int {
 	return s.next[stream]
 }
 
+// StreamSegments returns every known stream with its committed segment
+// count — live pipelines and batch-ingested streams alike. The HTTP API's
+// /v1/streams endpoint serves this.
+func (s *Server) StreamSegments() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.next))
+	for name, n := range s.next {
+		out[name] = n
+	}
+	return out
+}
+
 // bindingFor resolves one cascade stage for an epoch: the CF comes from the
 // CURRENT configuration (operators always run at the latest derived
 // consumption formats); the SF is the epoch's cheapest format with
@@ -661,21 +675,32 @@ func (q QueryResult) Detections() []query.Result {
 // its segment's independent GOPs across the engine's decode pool; results
 // merge in segment (and GOP position) order, so the output is identical
 // to fully sequential execution.
-func (s *Server) Query(stream string, cascade query.Cascade, opNames []string, acc float64, seg0, seg1 int) (QueryResult, error) {
+//
+// ctx bounds the query: cancellation (a remote client disconnecting, a
+// deadline expiring) is observed between per-segment retrieval batches, so
+// an abandoned query stops consuming the shared pool promptly and returns
+// ctx.Err() — the contract the HTTP API layer depends on. nil is treated
+// as context.Background().
+func (s *Server) Query(ctx context.Context, stream string, cascade query.Cascade, opNames []string, acc float64, seg0, seg1 int) (QueryResult, error) {
 	snap, err := s.Snapshot()
 	if err != nil {
 		return QueryResult{}, err
 	}
 	defer snap.Release()
-	return s.QueryAt(snap, stream, cascade, opNames, acc, seg0, seg1)
+	return s.QueryAt(ctx, snap, stream, cascade, opNames, acc, seg0, seg1)
 }
 
 // QueryAt runs the query against an explicitly held snapshot (see
 // Snapshot). Callers that hold a snapshot across several queries get
 // repeatable reads: segments eroded after the snapshot remain readable
 // until the snapshot is released, and segments ingested after it stay
-// invisible.
-func (s *Server) QueryAt(snap *Snapshot, stream string, cascade query.Cascade, opNames []string, acc float64, seg0, seg1 int) (QueryResult, error) {
+// invisible. Cancellation follows Query's contract: ctx is checked between
+// spans and between per-segment batches, and a canceled query returns
+// ctx.Err() promptly.
+func (s *Server) QueryAt(ctx context.Context, snap *Snapshot, stream string, cascade query.Cascade, opNames []string, acc float64, seg0, seg1 int) (QueryResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	epochs := snap.epochs
 	if len(epochs) == 0 {
 		return QueryResult{}, errors.New("server: no configuration installed")
@@ -734,17 +759,25 @@ func (s *Server) QueryAt(snap *Snapshot, stream string, cascade query.Cascade, o
 		for i := range spans {
 			i := i
 			pool.Go(func() {
-				results[i], errs[i] = eng.Run(stream, cascade, bindings[i], spans[i].lo, spans[i].hi)
+				results[i], errs[i] = eng.Run(ctx, stream, cascade, bindings[i], spans[i].lo, spans[i].hi)
 			})
 		}
 		pool.Wait()
 	} else {
 		for i := range spans {
-			results[i], errs[i] = eng.Run(stream, cascade, bindings[i], spans[i].lo, spans[i].hi)
+			if err := ctx.Err(); err != nil {
+				return QueryResult{}, err
+			}
+			results[i], errs[i] = eng.Run(ctx, stream, cascade, bindings[i], spans[i].lo, spans[i].hi)
 			if errs[i] != nil {
 				break
 			}
 		}
+	}
+	// A canceled query reports the cancellation, not whichever span error
+	// the abandonment happened to produce first.
+	if err := ctx.Err(); err != nil {
+		return QueryResult{}, err
 	}
 	var out QueryResult
 	for i := range spans {

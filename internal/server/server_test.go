@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestServerLifecycle(t *testing.T) {
 	if st.Segments != 2 || s.SegmentsOf("cam") != 2 {
 		t.Fatalf("segments: %d / %d", st.Segments, s.SegmentsOf("cam"))
 	}
-	res, err := s.Query("cam", query.QueryA(), []string{"Diff", "S-NN", "NN"}, 0.9, 0, 2)
+	res, err := s.Query(context.Background(), "cam", query.QueryA(), []string{"Diff", "S-NN", "NN"}, 0.9, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestServerPersistsAcrossReopen(t *testing.T) {
 	if s2.SegmentsOf("cam") != 2 {
 		t.Fatalf("position after reopen+ingest: %d", s2.SegmentsOf("cam"))
 	}
-	if _, err := s2.Query("cam", query.Cascade{Name: "m", Stages: []query.Stage{{Op: ops.Motion{}}}},
+	if _, err := s2.Query(context.Background(), "cam", query.Cascade{Name: "m", Stages: []query.Stage{{Op: ops.Motion{}}}},
 		[]string{"Motion"}, 0.8, 0, 2); err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestEpochTransition(t *testing.T) {
 	}
 	// A query across the boundary must split into two spans and succeed.
 	colorCascade := query.Cascade{Name: "color", Stages: []query.Stage{{Op: ops.Color{}}}}
-	res, err := s.Query("cam", colorCascade, []string{"Color"}, 0.9, 0, 4)
+	res, err := s.Query(context.Background(), "cam", colorCascade, []string{"Color"}, 0.9, 0, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestQueryUnknownConsumer(t *testing.T) {
 	if _, err := s.Ingest(sc, "cam", 1); err != nil {
 		t.Fatal(err)
 	}
-	_, err = s.Query("cam", query.QueryB(), []string{"Motion", "License", "OCR"}, 0.8, 0, 1)
+	_, err = s.Query(context.Background(), "cam", query.QueryB(), []string{"Motion", "License", "OCR"}, 0.8, 0, 1)
 	if err == nil || !strings.Contains(err.Error(), "no consumer") {
 		t.Fatalf("unknown consumer: %v", err)
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -73,7 +74,7 @@ func TestTierPlacementAndDemotionLifecycle(t *testing.T) {
 		t.Fatalf("tier bytes not split: %+v", st)
 	}
 	cascade, names := motionCascade()
-	ref, err := s.Query("cam", cascade, names, 0.9, 0, segments)
+	ref, err := s.Query(context.Background(), "cam", cascade, names, 0.9, 0, segments)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestTierPlacementAndDemotionLifecycle(t *testing.T) {
 		t.Fatalf("post-demotion stats: %+v", st)
 	}
 	assertOneTierPerKey(t, s)
-	mixed, err := s.Query("cam", cascade, names, 0.9, 0, segments)
+	mixed, err := s.Query(context.Background(), "cam", cascade, names, 0.9, 0, segments)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestTierPlacementAndDemotionLifecycle(t *testing.T) {
 	if st = s.Stats(); st.FastSegments != 0 || st.ColdSegments != (fastSFs+coldSFs)*segments {
 		t.Fatalf("full demotion left %+v", st)
 	}
-	cold, err := s.Query("cam", cascade, names, 0.9, 0, segments)
+	cold, err := s.Query(context.Background(), "cam", cascade, names, 0.9, 0, segments)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestTierPlacementAndDemotionLifecycle(t *testing.T) {
 	if st := s2.Stats(); st.FastSegments != 0 || st.ColdSegments != (fastSFs+coldSFs)*segments {
 		t.Fatalf("tiers lost across reopen: %+v", st)
 	}
-	again, err := s2.Query("cam", cascade, names, 0.9, 0, segments)
+	again, err := s2.Query(context.Background(), "cam", cascade, names, 0.9, 0, segments)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestCrashRecoveryMidTierMigration(t *testing.T) {
 		t.Fatal(err)
 	}
 	cascade, names := motionCascade()
-	ref, err := s.Query("cam", cascade, names, 0.9, 0, 3)
+	ref, err := s.Query(context.Background(), "cam", cascade, names, 0.9, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestCrashRecoveryMidTierMigration(t *testing.T) {
 	if ms.ColdLive == 0 {
 		t.Fatal("completed migration not visible in any tier accounting")
 	}
-	got, err := s2.Query("cam", cascade, names, 0.9, 0, 3)
+	got, err := s2.Query(context.Background(), "cam", cascade, names, 0.9, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestShardDeterminism(t *testing.T) {
 		if _, err := s.Ingest(sc, "cam", 3); err != nil {
 			t.Fatal(err)
 		}
-		res, err := s.Query("cam", query.QueryA(), cascade, 0.9, 0, 3)
+		res, err := s.Query(context.Background(), "cam", query.QueryA(), cascade, 0.9, 0, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -392,7 +393,7 @@ func TestTieredConcurrentServe(t *testing.T) {
 					snap.Release()
 					continue
 				}
-				res, err := s.QueryAt(snap, stream, cascade, names, 0.9, 0, n)
+				res, err := s.QueryAt(context.Background(), snap, stream, cascade, names, 0.9, 0, n)
 				if err != nil {
 					t.Errorf("live query: %v", err)
 					snap.Release()
@@ -432,7 +433,7 @@ func TestTieredConcurrentServe(t *testing.T) {
 		t.Fatal("no queries completed during the live phase")
 	}
 	for i, ob := range observations {
-		again, err := s.QueryAt(ob.snap, ob.stream, cascade, names, 0.9, 0, ob.n)
+		again, err := s.QueryAt(context.Background(), ob.snap, ob.stream, cascade, names, 0.9, 0, ob.n)
 		if err != nil {
 			t.Fatalf("quiescent re-run %d: %v", i, err)
 		}
