@@ -3,22 +3,31 @@
 GO ?= go
 
 # Packages with concurrent paths, exercised under the race detector.
-RACE_PKGS := ./internal/api/... ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/...
+RACE_PKGS := ./internal/api/... ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/... ./internal/sub/...
 
 # The retrieval fast path's headline benchmarks: the series tracked in
 # BENCH_PR4.json (ns/op, allocs/op, MB/s) so later PRs can spot
 # regressions.
-BENCH_PKGS := ./internal/retrieve/ ./internal/codec/ ./internal/server/
-BENCH_REGEX := 'BenchmarkRetrieveSegment|BenchmarkRetrieveSparse|BenchmarkDecodeSampled|BenchmarkEncodeGOPs|Benchmark(Tiered)?Query'
+BENCH_PKGS := ./internal/retrieve/ ./internal/codec/ ./internal/server/ ./internal/sub/
+BENCH_REGEX := 'BenchmarkRetrieveSegment|BenchmarkRetrieveSparse|BenchmarkDecodeSampled|BenchmarkEncodeGOPs|Benchmark(Tiered)?Query|BenchmarkSubscribePush'
+
+# The standing-query subsystem's own trajectory artifact: commit-to-push
+# latency and allocs/op for the push path, kept separate from the
+# retrieval series in BENCH_PR4.json.
+SUB_BENCH_PKGS := ./internal/sub/
+SUB_BENCH_REGEX := 'BenchmarkSubscribePush'
 
 # The live-serving and storage core: covered with a minimum gate so the
 # concurrency machinery (manifest commits, snapshot release, daemon
-# lifecycle, tier demotion, shard recovery, HTTP admission control)
-# cannot silently lose its tests.
-COVER_PKGS := ./internal/api ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier
+# lifecycle, tier demotion, shard recovery, HTTP admission control,
+# standing-query push) cannot silently lose its tests.
+COVER_PKGS := ./internal/api ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier ./internal/sub
 COVER_MIN := 80
 
-.PHONY: build test race bench bench-json bench-smoke lint fmt vet cover fuzz load-smoke all
+# Fuzzing budget: 10s locally keeps the loop fast, nightly CI raises it.
+FUZZTIME ?= 10s
+
+.PHONY: build test race bench bench-json bench-json-sub bench-smoke lint fmt vet staticcheck vulncheck cover fuzz soak load-smoke all
 
 all: build lint test
 
@@ -47,6 +56,13 @@ bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_PR4.json -field after < bench.out.tmp
 	@rm -f bench.out.tmp
 
+# The standing-query series: BenchmarkSubscribePush only, into its own
+# artifact so the retrieval trajectory above stays uncontaminated.
+bench-json-sub:
+	$(GO) test -run '^$$' -bench $(SUB_BENCH_REGEX) -benchmem $(SUB_BENCH_PKGS) > bench.sub.tmp
+	$(GO) run ./cmd/benchjson -o BENCH_PR6.json -field after < bench.sub.tmp
+	@rm -f bench.sub.tmp
+
 # One iteration of every benchmark in the fast-path packages: keeps
 # benchmark code compiling and running in CI without the measurement cost.
 bench-smoke:
@@ -63,20 +79,30 @@ cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
 	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) '/^total:/ { \
 		sub(/%/, "", $$3); \
-		printf "coverage (api+server+ingest+erode+kvstore+tier): %s%% (minimum %s%%)\n", $$3, min; \
+		printf "coverage (api+server+ingest+erode+kvstore+tier+sub): %s%% (minimum %s%%)\n", $$3, min; \
 		if ($$3 + 0 < min) { print "FAIL: coverage below minimum"; exit 1 } }'
 
 # A short deterministic-input fuzz pass over configuration persistence:
 # FromBytes must never panic, and accepted inputs must round-trip.
+# Nightly CI runs this with FUZZTIME=5m.
 fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzConfigRoundTrip -fuzztime 10s ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzConfigRoundTrip -fuzztime $(FUZZTIME) ./internal/core/
+
+# The subscription soak under the race detector: a live pipeline feeds
+# segments for VSTORE_SOAK (default a few hundred ms; nightly CI runs 60s)
+# while a subscriber must see every commit exactly once, in order.
+SOAKTIME ?= 2s
+soak:
+	VSTORE_SOAK=$(SOAKTIME) $(GO) test -race -run TestSubscribeSoak -timeout 30m -v ./internal/sub/
 
 # End-to-end over the wire: a real `vstore api` server (own process, fresh
 # store, small profiling clip) under a 5-second mixed query/ingest load
-# from 8 concurrent vload clients. vload exits non-zero on any hard error
-# (429s are admission control, not errors), and the server must drain
-# cleanly on SIGTERM.
-LOAD_SMOKE_PORT ?= 18377
+# from 8 concurrent vload clients, while a standing subscription held for
+# the whole run must see every committed segment exactly once, in commit
+# order, with zero drops. The server picks its own port (-listen :0) and
+# vload reads it from the startup line, so parallel CI jobs cannot
+# collide. vload exits non-zero on any hard error (429s are admission
+# control, not errors), and the server must drain cleanly on SIGTERM.
 load-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
@@ -84,16 +110,44 @@ load-smoke:
 	$(GO) build -o "$$tmp/vstore" ./cmd/vstore; \
 	$(GO) build -o "$$tmp/vload" ./cmd/vload; \
 	"$$tmp/vstore" configure -db "$$tmp/db" -clip 120 >/dev/null; \
-	"$$tmp/vstore" api -db "$$tmp/db" -listen 127.0.0.1:$(LOAD_SMOKE_PORT) -max-inflight 4 -max-queue 8 & \
+	"$$tmp/vstore" api -db "$$tmp/db" -listen 127.0.0.1:0 -max-inflight 4 -max-queue 8 > "$$tmp/server.log" & \
 	srvpid=$$!; \
-	"$$tmp/vload" -addr http://127.0.0.1:$(LOAD_SMOKE_PORT) -clients 8 -duration 5s -seed-segments 2; \
+	addr=""; \
+	for i in $$(seq 1 50); do \
+		addr=$$(sed -n 's/^vstore api listening on \([^ ]*\).*/\1/p' "$$tmp/server.log"); \
+		[ -n "$$addr" ] && break; \
+		sleep 0.2; \
+	done; \
+	if [ -z "$$addr" ]; then \
+		echo "FAIL: server never reported its listen address"; \
+		cat "$$tmp/server.log"; exit 1; \
+	fi; \
+	"$$tmp/vload" -addr "http://$$addr" -clients 8 -duration 5s -seed-segments 2 -subscribe; \
 	kill -TERM $$srvpid; \
 	wait $$srvpid
 
-lint: vet fmt
+lint: vet fmt staticcheck vulncheck
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. The binaries are not vendored and must not
+# be network-installed from this Makefile: CI installs pinned versions
+# (see .github/workflows/ci.yml) before invoking these targets, and a
+# machine without them skips with a notice instead of failing.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs the pinned version)"; \
+	fi
+
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs the pinned version)"; \
+	fi
 
 fmt:
 	@out=$$(gofmt -l .); \

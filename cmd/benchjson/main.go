@@ -26,13 +26,15 @@ import (
 	"strings"
 )
 
-// Metrics is one benchmark's parsed result row.
+// Metrics is one benchmark's parsed result row. Custom b.ReportMetric
+// units (e.g. commit-to-push-ns/op) land in Extra keyed by unit.
 type Metrics struct {
-	Iterations  int64    `json:"iterations"`
-	NsPerOp     float64  `json:"ns_per_op"`
-	MBPerSec    *float64 `json:"mb_per_s,omitempty"`
-	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerSec    *float64           `json:"mb_per_s,omitempty"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -124,6 +126,13 @@ func parse(f *os.File) (map[string]Metrics, error) {
 			case "allocs/op":
 				if v, err := strconv.ParseInt(rest[i], 10, 64); err == nil {
 					met.AllocsPerOp = &v
+				}
+			default:
+				if v, err := strconv.ParseFloat(rest[i], 64); err == nil {
+					if met.Extra == nil {
+						met.Extra = map[string]float64{}
+					}
+					met.Extra[rest[i+1]] = v
 				}
 			}
 		}

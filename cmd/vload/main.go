@@ -43,6 +43,7 @@ var (
 	chunk    = flag.Int("chunk", 1, "segments per NDJSON chunk (0 = whole range per request)")
 	ingestN  = flag.Int("ingest-every", 8, "every Nth operation is an ingest (0 = queries only)")
 	timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	subFlag  = flag.Bool("subscribe", false, "hold a standing subscription for the whole run and fail on any dropped, duplicated, or out-of-order notification")
 )
 
 // op is one completed operation's record.
@@ -93,8 +94,19 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("vload: %d clients, %s, stream %q (query %s, chunk %d, ingest every %d)\n",
-		*clients, *duration, *stream, *queryN, *chunk, *ingestN)
+	// The standing subscription registers BEFORE the load starts: nothing
+	// commits between its ack and the base segment count read below, so
+	// the notifications it must receive are exactly [base, final).
+	var sub *subscriber
+	if *subFlag {
+		var err error
+		if sub, err = startSubscriber(ctx, cl); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("vload: %d clients, %s, stream %q (query %s, chunk %d, ingest every %d, subscribe %v)\n",
+		*clients, *duration, *stream, *queryN, *chunk, *ingestN, *subFlag)
 	results := make([][]op, *clients)
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -111,7 +123,131 @@ func run() error {
 	}
 	wg.Wait()
 
+	if sub != nil {
+		if err := sub.finish(ctx, cl); err != nil {
+			return fmt.Errorf("subscription verification: %w", err)
+		}
+	}
 	return report(results)
+}
+
+// subscriber is the standing-query verifier: one subscription held across
+// the whole run, whose notification stream must be exactly the segments
+// committed while it was live — no drops, no duplicates, no reordering.
+type subscriber struct {
+	id   string
+	base int // committed segments when the subscription began
+
+	mu     sync.Mutex
+	chunks []api.QueryChunk
+	seqs   []int64
+
+	done chan subOutcome
+}
+
+type subOutcome struct {
+	sum api.SubSummary
+	err error
+}
+
+func startSubscriber(ctx context.Context, cl *api.Client) (*subscriber, error) {
+	s := &subscriber{done: make(chan subOutcome, 1)}
+	acks := make(chan api.SubAck, 1)
+	go func() {
+		sum, err := cl.Subscribe(ctx, api.SubscribeRequest{
+			Stream: *stream, Query: *queryN, Accuracy: *accuracy, Buffer: 256,
+		}, func(ev api.SubEvent) error {
+			switch {
+			case ev.Ack != nil:
+				acks <- *ev.Ack
+			case ev.Chunk != nil:
+				if ev.Dropped != 0 {
+					return fmt.Errorf("notification reports %d drops", ev.Dropped)
+				}
+				s.mu.Lock()
+				s.chunks = append(s.chunks, *ev.Chunk)
+				s.seqs = append(s.seqs, ev.Seq)
+				s.mu.Unlock()
+			}
+			return nil
+		})
+		s.done <- subOutcome{sum, err}
+	}()
+	select {
+	case ack := <-acks:
+		s.id = ack.ID
+	case out := <-s.done:
+		return nil, fmt.Errorf("subscribe: %w", out.err)
+	case <-time.After(*timeout):
+		return nil, fmt.Errorf("subscribe: no ack within %s", *timeout)
+	}
+	streams, err := cl.Streams(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.base = streams[*stream].Segments
+	return s, nil
+}
+
+// finish waits for every committed segment's notification, detaches, and
+// verifies the stream: the summary must report zero drops, the sequence
+// numbers must be strictly increasing (arrival order is commit order), and
+// the notified segment set must be exactly [base, final) with each index
+// seen once. Concurrent HTTP ingest can COMMIT out of index order, so set
+// equality — not index contiguity of arrival — is the correctness bar.
+func (s *subscriber) finish(ctx context.Context, cl *api.Client) error {
+	streams, err := cl.Streams(ctx)
+	if err != nil {
+		return err
+	}
+	final := streams[*stream].Segments
+	expected := final - s.base
+	deadline := time.Now().Add(*timeout)
+	for {
+		s.mu.Lock()
+		n := len(s.chunks)
+		s.mu.Unlock()
+		if n >= expected {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("received %d of %d notifications within %s", n, expected, *timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	found, err := cl.Unsubscribe(ctx, s.id)
+	if err != nil || !found {
+		return fmt.Errorf("unsubscribe: found=%v err=%v", found, err)
+	}
+	out := <-s.done
+	if out.err != nil {
+		return fmt.Errorf("subscription stream ended abnormally: %w", out.err)
+	}
+	if out.sum.Reason != "unsubscribed" || out.sum.Dropped != 0 {
+		return fmt.Errorf("summary = %+v, want a clean unsubscribe with zero drops", out.sum)
+	}
+	if len(s.chunks) != expected || out.sum.Delivered != int64(expected) {
+		return fmt.Errorf("delivered %d notifications (summary %d), want %d", len(s.chunks), out.sum.Delivered, expected)
+	}
+	seen := make(map[int]bool, expected)
+	for i, ch := range s.chunks {
+		if i > 0 && s.seqs[i] <= s.seqs[i-1] {
+			return fmt.Errorf("notification %d out of order: seq %d after %d", i, s.seqs[i], s.seqs[i-1])
+		}
+		if ch.Seg1 != ch.Seg0+1 {
+			return fmt.Errorf("notification %d spans [%d,%d), want one segment", i, ch.Seg0, ch.Seg1)
+		}
+		if ch.Seg0 < s.base || ch.Seg0 >= final {
+			return fmt.Errorf("notification %d for segment %d outside [%d,%d)", i, ch.Seg0, s.base, final)
+		}
+		if seen[ch.Seg0] {
+			return fmt.Errorf("segment %d notified twice", ch.Seg0)
+		}
+		seen[ch.Seg0] = true
+	}
+	fmt.Printf("subscribe: %d notifications verified — segments [%d,%d) exactly once, in commit order, zero drops\n",
+		expected, s.base, final)
+	return nil
 }
 
 // doOp runs one operation — a streamed query, or an ingest on every

@@ -11,7 +11,7 @@
 //	vstore erode     -db DIR -scene NAME [-today D]
 //	vstore serve     -db DIR [-streams A,B] [-segments N] [-queries N] [-query A|B] [-erode-interval D]
 //	                 [-shards N] [-fast-bytes N] [-demote-after D]
-//	vstore api       -db DIR [-listen :8080] [-max-inflight N] [-max-queue N] [-query-timeout D]
+//	vstore api       -db DIR [-listen :8080] [-max-inflight N] [-max-queue N] [-max-subs N] [-query-timeout D]
 //	                 [-erode-interval D] [-today D] [-shards N] [-fast-bytes N] [-demote-after D]
 //	vstore stats     -db DIR
 package main
@@ -471,6 +471,7 @@ func cmdAPI(args []string) error {
 	listen := fs.String("listen", ":8080", "listen address")
 	maxInFlight := fs.Int("max-inflight", 0, "max concurrently executing requests (0 = 2x GOMAXPROCS)")
 	maxQueue := fs.Int("max-queue", 0, "max requests waiting for a slot before 429 (0 = max-inflight)")
+	maxSubs := fs.Int("max-subs", 0, "max concurrent standing-query subscriptions before 429 (0 = default)")
 	queryTimeout := fs.Duration("query-timeout", 0, "server-side cap per query (0 = none)")
 	erodeEvery := fs.Duration("erode-interval", 0, "erosion daemon pass interval (0 = no daemon)")
 	today := fs.Int("today", 1, "current day index for the erosion daemon's age function")
@@ -492,9 +493,10 @@ func cmdAPI(args []string) error {
 	}
 
 	as := api.New(srv, api.Limits{
-		MaxInFlight:  *maxInFlight,
-		MaxQueue:     *maxQueue,
-		QueryTimeout: *queryTimeout,
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		MaxSubscriptions: *maxSubs,
+		QueryTimeout:     *queryTimeout,
 	})
 	addr, err := as.Start(*listen)
 	if err != nil {

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/query"
 	"repro/internal/server"
+	"repro/internal/sub"
 	"repro/internal/vidsim"
 )
 
@@ -63,6 +64,15 @@ type Limits struct {
 	QueryTimeout time.Duration
 	// RetryAfter is the hint sent with 429 responses. Zero selects 1s.
 	RetryAfter time.Duration
+	// MaxSubscriptions bounds concurrently active standing queries
+	// (POST /v1/subscribe); overflow is answered 429. Subscriptions are
+	// long-lived, so they are admitted against this dedicated budget, not
+	// the per-request gate. Zero selects the hub default; negative
+	// disables subscriptions.
+	MaxSubscriptions int
+	// Webhook tunes rule-alert delivery (queue depth, retry budget,
+	// backoff). The zero value selects the hub defaults.
+	Webhook sub.WebhookOptions
 }
 
 func (l Limits) withDefaults() Limits {
@@ -172,6 +182,7 @@ type Server struct {
 	store   *server.Server
 	lim     Limits
 	gate    *gate
+	hub     *sub.Hub
 	mux     *http.ServeMux
 	metrics map[string]*endpointMetrics
 
@@ -193,9 +204,16 @@ func New(store *server.Server, lim Limits) *Server {
 		metrics: map[string]*endpointMetrics{},
 	}
 	s.gate = newGate(s.lim.MaxInFlight, s.lim.MaxQueue)
+	s.hub = sub.NewHub(store, sub.HubOptions{
+		MaxSubscriptions: s.lim.MaxSubscriptions,
+		Webhook:          s.lim.Webhook,
+	})
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.route("query", "POST /v1/query", s.handleQuery)
 	s.route("ingest", "POST /v1/ingest", s.handleIngest)
+	s.route("subscribe", "POST /v1/subscribe", s.handleSubscribe)
+	s.route("unsubscribe", "POST /v1/unsubscribe", s.handleUnsubscribe)
+	s.route("subs", "GET /v1/subs", s.handleSubs)
 	s.route("stats", "GET /v1/stats", s.handleStats)
 	s.route("streams", "GET /v1/streams", s.handleStreams)
 	s.route("erode", "POST /v1/erode", s.handleErode)
@@ -282,14 +300,19 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 }
 
 // Shutdown drains the server gracefully: new requests are refused (503,
-// and the listener closes), in-flight requests — queries mid-stream
-// included — run to completion and release their snapshots. If ctx
-// expires first, the remaining requests' contexts are canceled, which
-// Server.Query observes between segment batches, and the connections are
-// closed. Safe to call once; the store itself is closed by the caller
-// afterwards.
+// and the listener closes), standing subscriptions finish their in-flight
+// push and close with a "draining" trailer, and in-flight requests —
+// queries mid-stream included — run to completion and release their
+// snapshots. If ctx expires first, the remaining requests' contexts are
+// canceled, which Server.Query observes between segment batches, and the
+// connections are closed. Safe to call once; the store itself is closed
+// by the caller afterwards.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Subscriptions never return on their own, so the hub must close
+	// before httpSrv.Shutdown can drain: each subscribe handler sees its
+	// push channel close, writes its trailer line, and returns.
+	s.hub.Close()
 	if s.httpSrv == nil {
 		s.cancelBase()
 		return nil
@@ -508,6 +531,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, m := range s.metrics {
 		resp.API[name] = m.stats()
 	}
+	hs := s.hub.Stats()
+	resp.Subs = &hs
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -5,11 +5,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/sub"
 )
 
 // Client is the Go client of the HTTP API — what cmd/vload and
@@ -53,6 +56,40 @@ func (e *StatusError) Error() string {
 func IsRejected(err error) bool {
 	se, ok := err.(*StatusError)
 	return ok && se.Code == http.StatusTooManyRequests
+}
+
+// StreamError is an NDJSON stream that ended abnormally after the 200
+// header: either the server reported an in-band error line (Msg) or the
+// connection ended before the summary trailer (Truncated) — a killed
+// server, a dropped proxy, a partially-written response. Callers that
+// count hard errors (cmd/vload) must treat both as failures; before this
+// type existed a truncated stream was indistinguishable from other
+// failures and an in-band error could not be told apart from transport
+// errors.
+type StreamError struct {
+	Msg       string // the server's in-band error line ("" when truncated)
+	Truncated bool   // the stream ended without its summary trailer
+}
+
+func (e *StreamError) Error() string {
+	if e.Truncated {
+		return "api: stream truncated before its summary trailer"
+	}
+	return fmt.Sprintf("api: stream failed: %s", e.Msg)
+}
+
+// IsTruncated reports whether err is a stream that ended without its
+// summary trailer.
+func IsTruncated(err error) bool {
+	var se *StreamError
+	return errors.As(err, &se) && se.Truncated
+}
+
+// IsStreamError reports whether err is an abnormal stream end (in-band
+// server error or truncation), as opposed to a transport or status error.
+func IsStreamError(err error) bool {
+	var se *StreamError
+	return errors.As(err, &se)
 }
 
 func statusError(resp *http.Response) *StatusError {
@@ -132,7 +169,7 @@ func (c *Client) QueryStream(ctx context.Context, req QueryRequest, fn func(Quer
 		}
 		switch {
 		case ql.Error != "":
-			return sum, fmt.Errorf("api: query failed: %s", ql.Error)
+			return sum, &StreamError{Msg: ql.Error}
 		case ql.Chunk != nil:
 			if fn != nil {
 				if err := fn(*ql.Chunk); err != nil {
@@ -146,7 +183,7 @@ func (c *Client) QueryStream(ctx context.Context, req QueryRequest, fn func(Quer
 	if err := sc.Err(); err != nil {
 		return sum, err
 	}
-	return sum, fmt.Errorf("api: query stream ended without a summary")
+	return sum, &StreamError{Truncated: true}
 }
 
 // Query runs one query and collects every chunk.
@@ -157,6 +194,87 @@ func (c *Client) Query(ctx context.Context, req QueryRequest) ([]QueryChunk, Que
 		return nil
 	})
 	return chunks, sum, err
+}
+
+// SubEvent is one parsed line of a subscription stream: exactly one of
+// Ack, Chunk, or Alert is set. Chunk and Alert events carry the commit
+// Seq; chunk events also carry the cumulative Dropped count.
+type SubEvent struct {
+	Ack     *SubAck
+	Seq     int64
+	Dropped int64
+	Chunk   *QueryChunk
+	Alert   *sub.Alert
+}
+
+// Subscribe registers a standing query and invokes fn for every pushed
+// line — the ack first, then one chunk per committed segment (plus any
+// rule alerts) — until the subscription ends. A clean end (unsubscribe,
+// server drain) returns the summary trailer; an abnormal end (lag
+// disconnect, evaluation failure, truncation) returns a *StreamError.
+// Cancel ctx to drop the subscription client-side.
+func (c *Client) Subscribe(ctx context.Context, req SubscribeRequest, fn func(SubEvent) error) (SubSummary, error) {
+	var sum SubSummary
+	b, err := json.Marshal(req)
+	if err != nil {
+		return sum, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/subscribe", bytes.NewReader(b))
+	if err != nil {
+		return sum, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return sum, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sum, statusError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sl SubLine
+		if err := json.Unmarshal(line, &sl); err != nil {
+			return sum, fmt.Errorf("api: malformed subscription line: %w", err)
+		}
+		switch {
+		case sl.Error != "":
+			return sum, &StreamError{Msg: sl.Error}
+		case sl.Done != nil:
+			return *sl.Done, nil
+		default:
+			if fn != nil {
+				ev := SubEvent{Ack: sl.Ack, Seq: sl.Seq, Dropped: sl.Dropped, Chunk: sl.Chunk, Alert: sl.Alert}
+				if err := fn(ev); err != nil {
+					return sum, err
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sum, err
+	}
+	return sum, &StreamError{Truncated: true}
+}
+
+// Unsubscribe ends a subscription by ID, reporting whether it was live.
+func (c *Client) Unsubscribe(ctx context.Context, id string) (bool, error) {
+	var resp UnsubscribeResponse
+	err := c.do(ctx, http.MethodPost, "/v1/unsubscribe", UnsubscribeRequest{ID: id}, &resp)
+	return resp.Found, err
+}
+
+// Subs lists the live subscriptions with their counters.
+func (c *Client) Subs(ctx context.Context) (SubsResponse, error) {
+	var resp SubsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/subs", nil, &resp)
+	return resp, err
 }
 
 // Ingest appends segments of a scene to a stream.

@@ -1,0 +1,149 @@
+// Standing-query endpoints: POST /v1/subscribe holds a long-lived
+// chunked-NDJSON connection pushing one chunk per committed segment of the
+// subscribed stream, POST /v1/unsubscribe ends a subscription by ID, and
+// GET /v1/subs lists the live ones. See internal/sub for the evaluation
+// machinery; the handler here only translates pushes to wire lines.
+
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"repro/internal/sub"
+)
+
+// handleSubscribe registers a standing query and streams its pushes until
+// the client disconnects, unsubscribes, lags out, or the server drains.
+// Subscriptions are admitted against the dedicated MaxSubscriptions
+// budget (429 on overflow), not the per-request gate: they are long-lived
+// and must not starve one-shot queries of execution slots.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req SubscribeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Stream == "" {
+		http.Error(w, "missing stream", http.StatusBadRequest)
+		return
+	}
+	policy, err := sub.ParsePolicy(req.Policy)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rules := make([]sub.Rule, len(req.Rules))
+	for i, rs := range req.Rules {
+		if rs.Webhook != "" && !strings.HasPrefix(rs.Webhook, "http://") && !strings.HasPrefix(rs.Webhook, "https://") {
+			http.Error(w, "rule webhook must be an http(s) URL", http.StatusBadRequest)
+			return
+		}
+		rules[i] = sub.Rule{
+			Label:          rs.Label,
+			MinCount:       rs.MinCount,
+			WindowSegments: rs.WindowSegments,
+			Webhook:        rs.Webhook,
+		}
+	}
+
+	sn, err := s.hub.Subscribe(sub.Request{
+		Stream:   req.Stream,
+		Query:    orDefault(req.Query, "A"),
+		Accuracy: req.Accuracy,
+		Buffer:   req.Buffer,
+		Policy:   policy,
+		Rules:    rules,
+	})
+	switch {
+	case errors.Is(err, sub.ErrLimit):
+		s.reject(w)
+		return
+	case errors.Is(err, sub.ErrClosed):
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Always detach on return: a vanished client must stop its evaluator
+	// promptly, not when the hub next drains. Idempotent for the paths
+	// that already ended the subscription.
+	defer s.hub.Unsubscribe(sn.ID())
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	emit := func(line SubLine) {
+		_ = enc.Encode(line)
+		flush()
+	}
+	emit(SubLine{Ack: &SubAck{ID: sn.ID(), Stream: req.Stream}})
+
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			// Client gone; nothing left to write.
+			return
+		case p, ok := <-sn.Out():
+			if !ok {
+				st := sn.Stats()
+				summary := SubSummary{Delivered: st.Delivered, Dropped: st.Dropped}
+				switch endErr := sn.Err(); {
+				case endErr == nil:
+					summary.Reason = "unsubscribed"
+					emit(SubLine{Done: &summary})
+				case errors.Is(endErr, sub.ErrClosed):
+					summary.Reason = "draining"
+					emit(SubLine{Done: &summary})
+				case errors.Is(endErr, sub.ErrLagged):
+					// Client-caused: in-band error, but not a server error
+					// for the metrics.
+					emit(SubLine{Error: endErr.Error()})
+				default:
+					if cw, ok := w.(*countingWriter); ok {
+						cw.midStreamErr = true
+					}
+					emit(SubLine{Error: endErr.Error()})
+				}
+				return
+			}
+			c := ChunkFromResult(p.Seg0, p.Seg1, p.Result)
+			emit(SubLine{Seq: p.Seq, Dropped: p.Dropped, Chunk: &c})
+			for i := range p.Alerts {
+				emit(SubLine{Seq: p.Seq, Alert: &p.Alerts[i]})
+			}
+		}
+	}
+}
+
+// handleUnsubscribe ends one subscription by ID; its connection receives
+// the "unsubscribed" trailer.
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	var req UnsubscribeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.ID == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, UnsubscribeResponse{Found: s.hub.Unsubscribe(req.ID)})
+}
+
+// handleSubs lists the live subscriptions with their counters.
+func (s *Server) handleSubs(w http.ResponseWriter, r *http.Request) {
+	st := s.hub.Stats()
+	resp := SubsResponse{Active: st.Active, Subs: st.Subs}
+	if resp.Subs == nil {
+		resp.Subs = []sub.Stats{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -7,6 +7,7 @@ package api
 import (
 	"repro/internal/kvstore"
 	"repro/internal/server"
+	"repro/internal/sub"
 )
 
 // QueryRequest is the body of POST /v1/query.
@@ -88,6 +89,84 @@ func ChunkFromResult(seg0, seg1 int, res server.QueryResult) QueryChunk {
 	return c
 }
 
+// SubscribeRequest is the body of POST /v1/subscribe: register a standing
+// query over one stream. The response is a long-lived chunked NDJSON
+// stream of SubLine — an ack, then one chunk per committed segment.
+type SubscribeRequest struct {
+	Stream string `json:"stream"`
+	// Query names the cascade, exactly as in QueryRequest.
+	Query string `json:"query,omitempty"`
+	// Accuracy is the target operator accuracy; zero selects 0.9.
+	Accuracy float64 `json:"accuracy,omitempty"`
+	// Buffer is the pending-commit queue depth decoupling this subscriber
+	// from ingest; zero selects the hub default.
+	Buffer int `json:"buffer,omitempty"`
+	// Policy is the slow-consumer policy: "disconnect" (default — the
+	// stream ends with an in-band error once the buffer overflows, so
+	// what is delivered is always gap-free) or "drop" (overflowing
+	// segments are skipped and counted; see SubLine.Dropped).
+	Policy string `json:"policy,omitempty"`
+	// Rules are optional alert predicates evaluated on every pushed chunk.
+	Rules []RuleSpec `json:"rules,omitempty"`
+}
+
+// RuleSpec is one alert predicate: fire when detections matching Label
+// across the last WindowSegments chunks reach MinCount; deliver to
+// Webhook (buffered, bounded retry) when set.
+type RuleSpec struct {
+	Label          string `json:"label,omitempty"`
+	MinCount       int    `json:"min_count"`
+	WindowSegments int    `json:"window_segments,omitempty"`
+	Webhook        string `json:"webhook,omitempty"`
+}
+
+// SubAck is the first line of a subscription stream.
+type SubAck struct {
+	ID     string `json:"id"`
+	Stream string `json:"stream"`
+}
+
+// SubSummary is the trailer line of a cleanly ended subscription stream.
+type SubSummary struct {
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+	// Reason is why the stream ended: "unsubscribed" or "draining".
+	// Abnormal ends (lag disconnect, evaluation failure) travel as an
+	// in-band Error line instead.
+	Reason string `json:"reason,omitempty"`
+}
+
+// SubLine is one NDJSON line of a subscription stream. Chunk lines carry
+// Seq (the store's commit sequence, strictly increasing) and the
+// cumulative Dropped count; the embedded chunk itself is byte-identical
+// to the same span's chunk from a historical POST /v1/query.
+type SubLine struct {
+	Ack     *SubAck     `json:"ack,omitempty"`
+	Seq     int64       `json:"seq,omitempty"`
+	Dropped int64       `json:"dropped,omitempty"`
+	Chunk   *QueryChunk `json:"chunk,omitempty"`
+	Alert   *sub.Alert  `json:"alert,omitempty"`
+	Done    *SubSummary `json:"done,omitempty"`
+	Error   string      `json:"error,omitempty"`
+}
+
+// UnsubscribeRequest is the body of POST /v1/unsubscribe.
+type UnsubscribeRequest struct {
+	ID string `json:"id"`
+}
+
+// UnsubscribeResponse reports whether the subscription was live.
+type UnsubscribeResponse struct {
+	Found bool `json:"found"`
+}
+
+// SubsResponse is the body of GET /v1/subs: every live subscription's
+// counters.
+type SubsResponse struct {
+	Active int         `json:"active"`
+	Subs   []sub.Stats `json:"subs"`
+}
+
 // IngestRequest is the body of POST /v1/ingest: append Segments segments
 // of the named scene to the stream (scene empty = the stream's name).
 type IngestRequest struct {
@@ -136,11 +215,13 @@ type EndpointStats struct {
 	MaxMs      float64 `json:"max_ms"`
 }
 
-// StatsResponse is the body of GET /v1/stats: the store's counters plus
-// the API layer's per-endpoint admission/latency counters.
+// StatsResponse is the body of GET /v1/stats: the store's counters, the
+// API layer's per-endpoint admission/latency counters, and the standing-
+// query hub's per-subscription counters.
 type StatsResponse struct {
 	Store kvstore.Stats            `json:"store"`
 	API   map[string]EndpointStats `json:"api"`
+	Subs  *sub.HubStats            `json:"subs,omitempty"`
 }
 
 // StreamInfo is one stream's serving state.

@@ -62,6 +62,17 @@ type ManifestStats struct {
 	PendingDeletes  int   // removed segments awaiting snapshot release
 }
 
+// Commit describes one committed segment becoming visible: every replica
+// of (Stream, Idx) — one per storage format — commits in a single atomic
+// step, and Seq is the commit's position in the manifest's total commit
+// order (1-based, strictly increasing, never reused). Erosion removes
+// segments without ever emitting a Commit.
+type Commit struct {
+	Stream string
+	Idx    int
+	Seq    int64
+}
+
 // Manifest tracks the committed segment set with copy-on-write versioning.
 // All methods are safe for concurrent use.
 type Manifest struct {
@@ -74,6 +85,13 @@ type Manifest struct {
 	active  map[int64]int // refcount of snapshots per version
 	taken   int64
 	pending []pendingDelete
+
+	// Commit notification: listeners run inside the commit critical
+	// section, so notification order IS commit order and a listener
+	// registered between two commits sees exactly the later one.
+	listeners  map[int]func(Commit)
+	nextListen int
+	commitSeq  int64
 }
 
 // NewManifest returns an empty manifest. deleter physically deletes one
@@ -133,6 +151,65 @@ func (m *Manifest) commit(refs []Ref, tiers []tier.ID) {
 			m.tiers[r] = t
 		}
 	}
+	m.notifyLocked(refs)
+}
+
+// notifyLocked emits one Commit per distinct (stream, idx) of the batch to
+// every listener, in ref order. Caller holds mu — the commit's visibility
+// and its notification are one atomic step, so a snapshot taken after a
+// listener observes Commit N always contains segment N. Caller-batch
+// commits span one segment in practice, so the dedup scan is tiny.
+func (m *Manifest) notifyLocked(refs []Ref) {
+	for i, r := range refs {
+		seen := false
+		for _, prev := range refs[:i] {
+			if prev.Stream == r.Stream && prev.Idx == r.Idx {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		m.commitSeq++
+		c := Commit{Stream: r.Stream, Idx: r.Idx, Seq: m.commitSeq}
+		for _, fn := range m.listeners {
+			fn(c)
+		}
+	}
+}
+
+// SubscribeCommits registers fn to observe every future segment commit,
+// returning a cancel func. fn runs synchronously inside the commit's
+// critical section: it observes commits exactly once, in commit order,
+// atomically with the segments becoming visible — a subscriber registered
+// mid-ingest sees precisely the commits that happen after registration.
+// fn MUST be fast and non-blocking (hand off to a bounded channel) and
+// MUST NOT call back into the manifest, or ingest would stall or deadlock.
+// Cancellation is also atomic: once cancel returns, fn never runs again.
+func (m *Manifest) SubscribeCommits(fn func(Commit)) (cancel func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.listeners == nil {
+		m.listeners = make(map[int]func(Commit))
+	}
+	id := m.nextListen
+	m.nextListen++
+	m.listeners[id] = fn
+	return func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		delete(m.listeners, id)
+	}
+}
+
+// CommitSeq reports the sequence number of the most recent commit (0
+// before any). A subscriber pairs it with SubscribeCommits to know where
+// its observed suffix begins.
+func (m *Manifest) CommitSeq() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commitSeq
 }
 
 // SetTier records a committed replica's disk tier — what a demotion pass

@@ -1,0 +1,193 @@
+package segment
+
+import (
+	"sync"
+	"testing"
+)
+
+// collector records every Commit a listener observes.
+type collector struct {
+	mu sync.Mutex
+	cs []Commit
+}
+
+func (c *collector) fn(commit Commit) {
+	c.mu.Lock()
+	c.cs = append(c.cs, commit)
+	c.mu.Unlock()
+}
+
+func (c *collector) commits() []Commit {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Commit(nil), c.cs...)
+}
+
+// assertExactlyOnceInOrder demands the fundamental delivery contract: Seq
+// strictly increasing and no (stream, idx) observed twice.
+func assertExactlyOnceInOrder(t *testing.T, cs []Commit) {
+	t.Helper()
+	seen := map[[2]any]bool{}
+	for i, c := range cs {
+		if i > 0 && c.Seq <= cs[i-1].Seq {
+			t.Fatalf("commit %d: seq %d after seq %d", i, c.Seq, cs[i-1].Seq)
+		}
+		k := [2]any{c.Stream, c.Idx}
+		if seen[k] {
+			t.Fatalf("segment %s/%d observed twice", c.Stream, c.Idx)
+		}
+		seen[k] = true
+	}
+}
+
+// TestCommitNotifyExactlyOnce: every committed segment notifies each
+// listener exactly once, in commit order, with replicas of one segment
+// (multi-format batches) collapsed into a single Commit.
+func TestCommitNotifyExactlyOnce(t *testing.T) {
+	var del recordingDeleter
+	m := NewManifest(del.delete)
+	var c collector
+	cancel := m.SubscribeCommits(c.fn)
+	defer cancel()
+
+	// One batch, two replicas of segment 0 (distinct storage formats) plus
+	// segment 1: two Commits, not three.
+	m.Commit(
+		Ref{Stream: "cam", SFKey: "sf0", Idx: 0},
+		Ref{Stream: "cam", SFKey: "sf1", Idx: 0},
+		ref("cam", 1),
+	)
+	m.Commit(ref("other", 0))
+	got := c.commits()
+	want := []Commit{
+		{Stream: "cam", Idx: 0, Seq: 1},
+		{Stream: "cam", Idx: 1, Seq: 2},
+		{Stream: "other", Idx: 0, Seq: 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("commits = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("commit %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if m.CommitSeq() != 3 {
+		t.Fatalf("CommitSeq = %d", m.CommitSeq())
+	}
+
+	// Removal (erosion) never emits a Commit.
+	if err := m.Remove(ref("cam", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.commits()) != 3 {
+		t.Fatal("Remove emitted a commit notification")
+	}
+
+	// Cancellation is atomic: once cancel returns, fn never runs again,
+	// but the sequence keeps advancing for later subscribers.
+	cancel()
+	m.Commit(ref("cam", 2))
+	if len(c.commits()) != 3 {
+		t.Fatal("cancelled listener still notified")
+	}
+	if m.CommitSeq() != 4 {
+		t.Fatalf("CommitSeq after cancelled listener = %d", m.CommitSeq())
+	}
+}
+
+// TestCommitNotifyMidIngestRegistration: a listener registered between two
+// commits observes exactly the commits that happen after registration — a
+// contiguous suffix, nothing from before, nothing skipped.
+func TestCommitNotifyMidIngestRegistration(t *testing.T) {
+	var del recordingDeleter
+	m := NewManifest(del.delete)
+	const total = 50
+	registerAt := int64(0)
+	var c collector
+	var cancel func()
+	var reg sync.Once
+
+	// The committer registers the listener itself halfway through its
+	// stream: CommitSeq read + SubscribeCommits with no commit in between
+	// pins exactly where the observed suffix must begin.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			if i == total/2 {
+				reg.Do(func() {
+					registerAt = m.CommitSeq()
+					cancel = m.SubscribeCommits(c.fn)
+				})
+			}
+			m.Commit(ref("cam", i))
+		}
+	}()
+	<-done
+	defer cancel()
+
+	got := c.commits()
+	assertExactlyOnceInOrder(t, got)
+	if len(got) != int(total-registerAt) {
+		t.Fatalf("observed %d commits, want the %d after registration", len(got), total-registerAt)
+	}
+	for i, commit := range got {
+		if want := registerAt + int64(i) + 1; commit.Seq != want {
+			t.Fatalf("suffix commit %d has seq %d, want %d (not contiguous)", i, commit.Seq, want)
+		}
+	}
+}
+
+// TestCommitNotifyConcurrentErosion is the race-focused contract test: two
+// committers and a concurrent remover (standing in for the erosion daemon)
+// hammer the manifest while a listener records. Every committed segment is
+// observed exactly once, Seq is strictly increasing across both streams,
+// and per-stream notification order is per-stream commit order.
+func TestCommitNotifyConcurrentErosion(t *testing.T) {
+	var del recordingDeleter
+	m := NewManifest(del.delete)
+	var c collector
+	cancel := m.SubscribeCommits(c.fn)
+	defer cancel()
+
+	const perStream = 100
+	var wg sync.WaitGroup
+	for _, stream := range []string{"cam0", "cam1"} {
+		stream := stream
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perStream; i++ {
+				m.Commit(ref(stream, i))
+			}
+		}()
+	}
+	// The remover erodes already-committed prefixes while commits continue.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perStream/2; i++ {
+			_ = m.Remove(ref("cam0", i))
+			_ = m.Remove(ref("cam1", i))
+		}
+	}()
+	wg.Wait()
+
+	got := c.commits()
+	assertExactlyOnceInOrder(t, got)
+	if len(got) != 2*perStream {
+		t.Fatalf("observed %d commits, want %d", len(got), 2*perStream)
+	}
+	// Per-stream order: idx in submission order for each committer.
+	next := map[string]int{}
+	for _, commit := range got {
+		if commit.Idx != next[commit.Stream] {
+			t.Fatalf("stream %s notified idx %d, want %d", commit.Stream, commit.Idx, next[commit.Stream])
+		}
+		next[commit.Stream]++
+	}
+	if m.CommitSeq() != 2*perStream {
+		t.Fatalf("CommitSeq = %d", m.CommitSeq())
+	}
+}

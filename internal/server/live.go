@@ -55,6 +55,17 @@ func (sn *Snapshot) Segments(stream string) int { return sn.lens[stream] }
 // idempotent.
 func (sn *Snapshot) Release() { sn.ms.Release() }
 
+// SubscribeCommits registers fn to observe every segment commit from this
+// point on — the hook standing queries hang off. fn runs inside the
+// manifest's commit step (atomic with visibility: a snapshot taken after
+// fn observes a commit always contains that segment), so it must be fast,
+// non-blocking, and must not call back into the server or manifest; hand
+// the Commit off to a bounded channel. The returned cancel is idempotent
+// in effect: after it returns, fn never runs again.
+func (s *Server) SubscribeCommits(fn func(segment.Commit)) (cancel func()) {
+	return s.manifest.SubscribeCommits(fn)
+}
+
 // manifestSet adapts the manifest to erosion's SegmentSet: enumeration
 // sees only committed segments (never a replica an earlier pass already
 // removed but whose records a snapshot still pins), and deletion is

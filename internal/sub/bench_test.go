@@ -1,0 +1,67 @@
+package sub_test
+
+import (
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/sub"
+	"repro/internal/vidsim"
+)
+
+// BenchmarkSubscribePush measures the standing-query push path end to
+// end: each iteration commits one freshly ingested segment and the
+// subscriber receives its evaluated chunk. The wall time per op is
+// dominated by the transcode; the commit-to-push-ns metric isolates what
+// the subsystem adds — commit notification, queueing, snapshot-pinned
+// evaluation, and delivery.
+func BenchmarkSubscribePush(b *testing.B) {
+	dir, err := os.MkdirTemp("", "sub-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Reconfigure(testConfig(b)); err != nil {
+		b.Fatal(err)
+	}
+	sc, err := vidsim.DatasetByName("jackson")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hub := sub.NewHub(srv, sub.HubOptions{})
+	defer hub.Close()
+	sn, err := hub.Subscribe(sub.Request{Stream: "cam", Query: testQuery, Buffer: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var latencyNs, delivered int64
+	go func() {
+		for p := range sn.Out() {
+			atomic.AddInt64(&latencyNs, time.Since(p.Enqueued).Nanoseconds())
+			atomic.AddInt64(&delivered, 1)
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Ingest(sc, "cam", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for atomic.LoadInt64(&delivered) < int64(b.N) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(atomic.LoadInt64(&latencyNs))/float64(b.N), "commit-to-push-ns/op")
+	if !hub.Unsubscribe(sn.ID()) {
+		b.Fatalf("subscriber died mid-benchmark: %v", sn.Err())
+	}
+}

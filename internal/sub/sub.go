@@ -1,0 +1,569 @@
+// Package sub is the standing-query subsystem: a client registers a query
+// once and the store evaluates it incrementally — only over newly
+// committed segments, as each stream's ingest pipeline commits them —
+// pushing result chunks instead of being polled.
+//
+// The design keeps push strictly off the ingest path:
+//
+//   - the Hub registers ONE commit listener with the server's segment
+//     manifest; the listener runs inside the commit step (so it observes
+//     commits exactly once, in commit order, atomically with visibility)
+//     and does nothing but a non-blocking send into each matching
+//     subscriber's bounded pending queue — ingest never waits on a
+//     subscriber;
+//   - each subscription owns an evaluator goroutine that drains its
+//     pending queue, pins a fresh server snapshot per commit, and reuses
+//     the exact historical query path (Server.QueryAt over [idx, idx+1)),
+//     so every pushed chunk is byte-identical to a post-hoc query over the
+//     same span;
+//   - a slow consumer fills its own pending queue and hits its configured
+//     policy: PolicyDisconnect (default) ends the subscription with
+//     ErrLagged — the client re-subscribes and backfills with a historical
+//     query — while PolicyDrop skips the segment and counts the gap
+//     (surfaced as Push.Dropped so the consumer can detect it). Ingest
+//     backpressure is never an outcome.
+//
+// Predicate rules ("≥ N car detections in the last W segments") ride on
+// the evaluator: each pushed chunk updates a per-rule sliding window, and
+// a window crossing its threshold emits an Alert on the push and, when the
+// rule names a webhook, enqueues a buffered, bounded-retry delivery (see
+// webhook.go).
+package sub
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/segment"
+	"repro/internal/server"
+)
+
+// DefaultBuffer is a subscription's pending-commit queue depth when the
+// request does not specify one: deep enough to absorb an ingest burst
+// while one chunk is evaluated, small enough that a stuck consumer is
+// detected within a handful of segments.
+const DefaultBuffer = 64
+
+// DefaultMaxSubscriptions bounds concurrently active subscriptions when
+// HubOptions is silent.
+const DefaultMaxSubscriptions = 64
+
+var (
+	// ErrLagged ends a PolicyDisconnect subscription whose pending queue
+	// overflowed: the consumer fell behind ingest and the contiguous
+	// stream could not be preserved.
+	ErrLagged = errors.New("sub: subscriber lagged behind ingest")
+	// ErrClosed is returned for operations on a closed hub, and is the
+	// terminal reason of subscriptions ended by a hub drain.
+	ErrClosed = errors.New("sub: hub closed")
+	// ErrLimit rejects a Subscribe beyond the configured maximum — the
+	// admission-control signal the API layer maps to 429.
+	ErrLimit = errors.New("sub: subscription limit reached")
+)
+
+// Policy selects what happens when a commit arrives and the subscriber's
+// bounded pending queue is full.
+type Policy int
+
+const (
+	// PolicyDisconnect ends the subscription with ErrLagged. The pushed
+	// stream is therefore always gap-free: every delivered chunk is
+	// contiguous in commit order, or the subscription dies telling you so.
+	PolicyDisconnect Policy = iota
+	// PolicyDrop skips the overflowing segment and keeps the subscription
+	// alive; the cumulative drop count travels on every later Push.
+	PolicyDrop
+)
+
+func (p Policy) String() string {
+	if p == PolicyDrop {
+		return "drop"
+	}
+	return "disconnect"
+}
+
+// ParsePolicy maps the wire spelling to a Policy ("" selects disconnect).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "disconnect":
+		return PolicyDisconnect, nil
+	case "drop":
+		return PolicyDrop, nil
+	}
+	return PolicyDisconnect, fmt.Errorf("sub: unknown policy %q (want disconnect or drop)", s)
+}
+
+// Rule is one predicate over a subscription's pushed chunks: fire when the
+// matching detections across the last WindowSegments chunks reach
+// MinCount. A firing rule emits an Alert on the push; when Webhook is set
+// it is also delivered there with bounded retry.
+type Rule struct {
+	Label          string // detection label to count; "" counts all
+	MinCount       int    // threshold (>= 1)
+	WindowSegments int    // sliding window; <= 0 selects 1
+	Webhook        string // optional POST target
+}
+
+// Alert is one rule firing, as pushed in-band and POSTed to webhooks.
+type Alert struct {
+	SubID          string `json:"sub_id"`
+	Rule           int    `json:"rule"` // index into the subscription's rules
+	Label          string `json:"label,omitempty"`
+	Count          int    `json:"count"`
+	WindowSegments int    `json:"window_segments"`
+	Stream         string `json:"stream"`
+	Seg0           int    `json:"seg0"`
+	Seg1           int    `json:"seg1"`
+	Seq            int64  `json:"seq"`
+}
+
+// Request registers one standing query.
+type Request struct {
+	Stream   string
+	Query    string  // cascade name for query.ByName; "" selects "A"
+	Accuracy float64 // target operator accuracy; 0 selects 0.9
+	Buffer   int     // pending-commit queue depth; <= 0 selects DefaultBuffer
+	Policy   Policy
+	Rules    []Rule
+}
+
+// Push is one incremental result: the query evaluated over exactly the
+// committed segments [Seg0, Seg1) against a snapshot pinned for this
+// evaluation — byte-identical (at the wire-chunk level) to a historical
+// query over the same span.
+type Push struct {
+	Seq        int64 // manifest commit sequence (strictly increasing)
+	Seg0, Seg1 int
+	Result     server.QueryResult
+	Alerts     []Alert
+	Dropped    int64     // cumulative PolicyDrop gaps so far (0 = gap-free)
+	Enqueued   time.Time // when the commit was observed (latency = deliver time - Enqueued)
+}
+
+// event is one pending commit awaiting evaluation.
+type event struct {
+	c  segment.Commit
+	at time.Time
+}
+
+// Subscription is one registered standing query. Read pushes from Out;
+// when it closes, Err explains why (nil for a clean Unsubscribe).
+type Subscription struct {
+	id      string
+	req     Request
+	cascade query.Cascade
+	opNames []string
+
+	pending chan event
+	out     chan Push
+	quit    chan struct{}
+	done    chan struct{}
+	cancel  context.CancelFunc
+	hooks   *webhooks
+
+	closeOnce sync.Once
+	errMu     sync.Mutex
+	err       error
+
+	delivered  atomic.Int64
+	dropped    atomic.Int64
+	evalErrors atomic.Int64
+	rulesFired atomic.Int64
+	lastSeq    atomic.Int64
+	latencyNs  atomic.Int64
+
+	windows [][]int // per-rule ring of the last WindowSegments chunk counts
+	winPos  int
+}
+
+// ID returns the subscription's hub-unique identifier.
+func (s *Subscription) ID() string { return s.id }
+
+// Out is the push stream. It closes when the subscription ends; consume
+// promptly — a full pending queue triggers the subscription's Policy.
+func (s *Subscription) Out() <-chan Push { return s.out }
+
+// Err reports why the subscription ended: nil while live and after a clean
+// Unsubscribe, ErrLagged on a disconnect-policy overflow, ErrClosed after
+// a hub drain, or the evaluation error that killed it.
+func (s *Subscription) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// fail latches the terminal reason and stops the evaluator. Safe from any
+// goroutine, including the manifest-side listener; first reason wins.
+func (s *Subscription) fail(err error) {
+	s.closeOnce.Do(func() {
+		s.errMu.Lock()
+		s.err = err
+		s.errMu.Unlock()
+		s.cancel()
+		close(s.quit)
+	})
+}
+
+// Stats is one subscription's counters, surfaced via /v1/stats.
+type Stats struct {
+	ID         string  `json:"id"`
+	Stream     string  `json:"stream"`
+	Query      string  `json:"query"`
+	Policy     string  `json:"policy"`
+	Rules      int     `json:"rules,omitempty"`
+	Delivered  int64   `json:"delivered"`
+	Dropped    int64   `json:"dropped"`
+	Pending    int     `json:"pending"`
+	EvalErrors int64   `json:"eval_errors"`
+	RulesFired int64   `json:"rules_fired"`
+	LastSeq    int64   `json:"last_seq"`
+	AvgPushMs  float64 `json:"avg_push_ms"` // mean commit-to-delivery latency
+}
+
+// Stats snapshots the subscription's counters.
+func (s *Subscription) Stats() Stats {
+	st := Stats{
+		ID:         s.id,
+		Stream:     s.req.Stream,
+		Query:      s.req.Query,
+		Policy:     s.req.Policy.String(),
+		Rules:      len(s.req.Rules),
+		Delivered:  s.delivered.Load(),
+		Dropped:    s.dropped.Load(),
+		Pending:    len(s.pending),
+		EvalErrors: s.evalErrors.Load(),
+		RulesFired: s.rulesFired.Load(),
+		LastSeq:    s.lastSeq.Load(),
+	}
+	if st.Delivered > 0 {
+		st.AvgPushMs = float64(s.latencyNs.Load()) / float64(st.Delivered) / 1e6
+	}
+	return st
+}
+
+// HubOptions shapes a hub. The zero value selects working defaults.
+type HubOptions struct {
+	// MaxSubscriptions bounds concurrently active subscriptions: one more
+	// and Subscribe returns ErrLimit. Zero selects
+	// DefaultMaxSubscriptions; negative disables subscriptions entirely.
+	MaxSubscriptions int
+	// Webhook tunes alert delivery (see WebhookOptions).
+	Webhook WebhookOptions
+}
+
+// Hub fans segment commits out to standing queries. Create with NewHub,
+// register with Subscribe, tear down with Close (part of graceful drain:
+// in-flight pushes finish, every subscription ends with ErrClosed).
+type Hub struct {
+	store *server.Server
+	opt   HubOptions
+	hooks *webhooks
+
+	ctx       context.Context
+	cancelCtx context.CancelFunc
+	unhook    func() // manifest listener cancel
+
+	mu     sync.Mutex
+	subs   map[string]*Subscription
+	nextID int
+	opened int64
+	closed bool
+}
+
+// NewHub wires a hub to the store's commit stream. The caller must Close
+// it before closing the store.
+func NewHub(store *server.Server, opt HubOptions) *Hub {
+	if opt.MaxSubscriptions == 0 {
+		opt.MaxSubscriptions = DefaultMaxSubscriptions
+	}
+	h := &Hub{store: store, opt: opt, subs: map[string]*Subscription{}}
+	h.ctx, h.cancelCtx = context.WithCancel(context.Background())
+	h.hooks = newWebhooks(opt.Webhook)
+	h.unhook = store.SubscribeCommits(h.onCommit)
+	return h
+}
+
+// onCommit is the manifest-side listener: it runs inside the commit step,
+// so it only routes — a non-blocking send per matching subscriber, with
+// the subscriber's policy applied on overflow. Lock order is manifest.mu →
+// hub.mu; nothing here may call back into the store.
+func (h *Hub) onCommit(c segment.Commit) {
+	now := time.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.subs {
+		if s.req.Stream != c.Stream {
+			continue
+		}
+		select {
+		case s.pending <- event{c: c, at: now}:
+		default:
+			s.dropped.Add(1)
+			if s.req.Policy == PolicyDisconnect {
+				s.fail(ErrLagged)
+			}
+		}
+	}
+}
+
+// Subscribe registers a standing query and starts its evaluator. The
+// subscription observes every segment committed to its stream from this
+// call on, exactly once, in commit order.
+func (h *Hub) Subscribe(req Request) (*Subscription, error) {
+	cascade, names, err := query.ByName(orA(req.Query))
+	if err != nil {
+		return nil, err
+	}
+	if req.Stream == "" {
+		return nil, errors.New("sub: missing stream")
+	}
+	if req.Accuracy == 0 {
+		req.Accuracy = 0.9
+	}
+	if req.Buffer <= 0 {
+		req.Buffer = DefaultBuffer
+	}
+	windows := make([][]int, len(req.Rules))
+	for i, r := range req.Rules {
+		if r.MinCount < 1 {
+			return nil, fmt.Errorf("sub: rule %d: min_count must be >= 1", i)
+		}
+		if r.WindowSegments <= 0 {
+			req.Rules[i].WindowSegments = 1
+		}
+		windows[i] = make([]int, req.Rules[i].WindowSegments)
+	}
+
+	ctx, cancel := context.WithCancel(h.ctx)
+	s := &Subscription{
+		req:     req,
+		cascade: cascade,
+		opNames: names,
+		pending: make(chan event, req.Buffer),
+		out:     make(chan Push),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		cancel:  cancel,
+		hooks:   h.hooks,
+		windows: windows,
+	}
+
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	if h.opt.MaxSubscriptions < 0 || len(h.subs) >= h.opt.MaxSubscriptions {
+		h.mu.Unlock()
+		cancel()
+		return nil, ErrLimit
+	}
+	h.nextID++
+	h.opened++
+	s.id = fmt.Sprintf("s%d", h.nextID)
+	h.subs[s.id] = s
+	h.mu.Unlock()
+
+	go h.evaluate(ctx, s)
+	return s, nil
+}
+
+// Unsubscribe ends the named subscription cleanly: its evaluator stops
+// after any in-flight push, Out closes, Err stays nil. It reports whether
+// the subscription was live.
+func (h *Hub) Unsubscribe(id string) bool {
+	h.mu.Lock()
+	s := h.subs[id]
+	h.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	s.fail(nil)
+	<-s.done
+	return true
+}
+
+// remove detaches a finished subscription from the hub's routing table.
+func (h *Hub) remove(s *Subscription) {
+	h.mu.Lock()
+	if h.subs[s.id] == s {
+		delete(h.subs, s.id)
+	}
+	h.mu.Unlock()
+}
+
+// evaluate is the per-subscription evaluator: one commit at a time, a
+// fresh pinned snapshot per commit, results pushed in commit order. It
+// owns s.out and closes it on exit.
+func (h *Hub) evaluate(ctx context.Context, s *Subscription) {
+	defer close(s.done)
+	defer close(s.out)
+	defer h.remove(s)
+	for {
+		// Quit wins over further pending work: a drain finishes the
+		// in-flight push (the previous loop iteration completed its send)
+		// but does not chew through a deep backlog.
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case ev := <-s.pending:
+			if !h.evalOne(ctx, s, ev) {
+				return
+			}
+		}
+	}
+}
+
+// evalOne evaluates one committed segment and pushes the chunk. It
+// reports false when the subscription should end.
+func (h *Hub) evalOne(ctx context.Context, s *Subscription, ev event) bool {
+	snap, err := h.store.Snapshot()
+	if err != nil {
+		s.evalErrors.Add(1)
+		s.fail(fmt.Errorf("sub: snapshot: %w", err))
+		return false
+	}
+	res, err := h.store.QueryAt(ctx, snap, s.req.Stream, s.cascade, s.opNames, s.req.Accuracy, ev.c.Idx, ev.c.Idx+1)
+	snap.Release()
+	if err != nil {
+		if ctx.Err() != nil {
+			s.fail(ErrClosed)
+			return false
+		}
+		s.evalErrors.Add(1)
+		s.fail(fmt.Errorf("sub: evaluating segment %d: %w", ev.c.Idx, err))
+		return false
+	}
+	p := Push{
+		Seq:      ev.c.Seq,
+		Seg0:     ev.c.Idx,
+		Seg1:     ev.c.Idx + 1,
+		Result:   res,
+		Alerts:   s.applyRules(ev.c, res),
+		Dropped:  s.dropped.Load(),
+		Enqueued: ev.at,
+	}
+	select {
+	case s.out <- p:
+	case <-s.quit:
+		return false
+	}
+	s.delivered.Add(1)
+	s.lastSeq.Store(ev.c.Seq)
+	s.latencyNs.Add(time.Since(ev.at).Nanoseconds())
+	return true
+}
+
+// applyRules advances every rule's sliding window with this chunk's
+// detection counts and returns the alerts that fired. Runs only on the
+// evaluator goroutine.
+func (s *Subscription) applyRules(c segment.Commit, res server.QueryResult) []Alert {
+	if len(s.req.Rules) == 0 {
+		return nil
+	}
+	var alerts []Alert
+	for i, rule := range s.req.Rules {
+		count := 0
+		for _, r := range res.Results {
+			for _, d := range r.Detections {
+				if rule.Label == "" || d.Label == rule.Label {
+					count++
+				}
+			}
+		}
+		win := s.windows[i]
+		win[s.winPos%len(win)] = count
+		total := 0
+		for _, v := range win {
+			total += v
+		}
+		if total >= rule.MinCount {
+			a := Alert{
+				SubID: s.id, Rule: i, Label: rule.Label,
+				Count: total, WindowSegments: rule.WindowSegments,
+				Stream: c.Stream, Seg0: c.Idx, Seg1: c.Idx + 1, Seq: c.Seq,
+			}
+			alerts = append(alerts, a)
+			s.rulesFired.Add(1)
+		}
+	}
+	s.winPos++
+	for i, a := range alerts {
+		if url := s.req.Rules[a.Rule].Webhook; url != "" {
+			s.hooks.enqueue(url, alerts[i])
+		}
+	}
+	return alerts
+}
+
+// HubStats aggregates the hub's activity.
+type HubStats struct {
+	Active          int     `json:"active"`
+	Opened          int64   `json:"opened"`
+	WebhooksSent    int64   `json:"webhooks_sent"`
+	WebhookRetries  int64   `json:"webhook_retries"`
+	WebhookFailures int64   `json:"webhook_failures"`
+	Subs            []Stats `json:"subs,omitempty"`
+}
+
+// Stats snapshots the hub and every live subscription (sorted by ID).
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	st := HubStats{Active: len(h.subs), Opened: h.opened}
+	for _, s := range h.subs {
+		st.Subs = append(st.Subs, s.Stats())
+	}
+	h.mu.Unlock()
+	sort.Slice(st.Subs, func(i, j int) bool { return st.Subs[i].ID < st.Subs[j].ID })
+	ws := h.hooks.stats()
+	st.WebhooksSent, st.WebhookRetries, st.WebhookFailures = ws.Sent, ws.Retries, ws.Failures
+	return st
+}
+
+// Close drains the hub: the commit listener detaches (ingest proceeds
+// untouched), every subscription finishes its in-flight push and ends
+// with ErrClosed, and the webhook dispatcher stops after its current
+// delivery attempt. Idempotent.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := make([]*Subscription, 0, len(h.subs))
+	for _, s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	// Outside h.mu: the listener cancel takes the manifest lock, and the
+	// established order is manifest.mu → hub.mu.
+	h.unhook()
+	for _, s := range subs {
+		s.fail(ErrClosed)
+	}
+	for _, s := range subs {
+		<-s.done
+	}
+	h.hooks.close()
+	h.cancelCtx()
+}
+
+func orA(s string) string {
+	if s == "" {
+		return "A"
+	}
+	return s
+}
