@@ -3,13 +3,20 @@
 GO ?= go
 
 # Packages with concurrent paths, exercised under the race detector.
-RACE_PKGS := ./internal/api/... ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/... ./internal/sub/...
+RACE_PKGS := ./internal/api/... ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/... ./internal/sub/... ./internal/results/...
 
 # The retrieval fast path's headline benchmarks: the series tracked in
 # BENCH_PR4.json (ns/op, allocs/op, MB/s) so later PRs can spot
 # regressions.
 BENCH_PKGS := ./internal/retrieve/ ./internal/codec/ ./internal/server/ ./internal/sub/
-BENCH_REGEX := 'BenchmarkRetrieveSegment|BenchmarkRetrieveSparse|BenchmarkDecodeSampled|BenchmarkEncodeGOPs|Benchmark(Tiered)?Query|BenchmarkSubscribePush'
+BENCH_REGEX := 'BenchmarkRetrieveSegment|BenchmarkRetrieveSparse|BenchmarkDecodeSampled|BenchmarkEncodeGOPs|Benchmark(Tiered)?Query|BenchmarkSubscribePush|BenchmarkMaterializedQuery'
+
+# The materialization series (BENCH_PR7.json): the same repeated query with
+# the results store disabled ("before") and enabled ("after"), so the
+# committed pair quantifies exactly what serving stored operator outputs
+# buys over recomputation.
+RESULTS_BENCH_PKGS := ./internal/server/
+RESULTS_BENCH_REGEX := 'BenchmarkMaterializedQuery'
 
 # The standing-query subsystem's own trajectory artifact: commit-to-push
 # latency and allocs/op for the push path, kept separate from the
@@ -21,13 +28,13 @@ SUB_BENCH_REGEX := 'BenchmarkSubscribePush'
 # concurrency machinery (manifest commits, snapshot release, daemon
 # lifecycle, tier demotion, shard recovery, HTTP admission control,
 # standing-query push) cannot silently lose its tests.
-COVER_PKGS := ./internal/api ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier ./internal/sub
+COVER_PKGS := ./internal/api ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier ./internal/sub ./internal/results
 COVER_MIN := 80
 
 # Fuzzing budget: 10s locally keeps the loop fast, nightly CI raises it.
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-json bench-json-sub bench-smoke lint fmt vet staticcheck vulncheck cover fuzz soak load-smoke all
+.PHONY: build test race bench bench-json bench-json-sub bench-json-results bench-smoke lint fmt vet staticcheck vulncheck cover fuzz soak load-smoke all
 
 all: build lint test
 
@@ -58,10 +65,25 @@ bench-json:
 
 # The standing-query series: BenchmarkSubscribePush only, into its own
 # artifact so the retrieval trajectory above stays uncontaminated.
+# -baseline seeds the missing "before" side from the committed previous
+# "after" run (and fails loudly when the artifact has neither), so the
+# comparison pair the artifact exists for can never silently degrade to a
+# single column.
 bench-json-sub:
 	$(GO) test -run '^$$' -bench $(SUB_BENCH_REGEX) -benchmem $(SUB_BENCH_PKGS) > bench.sub.tmp
-	$(GO) run ./cmd/benchjson -o BENCH_PR6.json -field after < bench.sub.tmp
+	$(GO) run ./cmd/benchjson -o BENCH_PR6.json -field after -baseline before < bench.sub.tmp
 	@rm -f bench.sub.tmp
+
+# The materialization series: "before" runs the benchmark with the results
+# store disabled (VSTORE_BENCH_MATERIALIZE=off — pure recomputation, the
+# pre-materialization behaviour), "after" with it enabled, so the committed
+# pair isolates the layer's effect on one benchmark name.
+bench-json-results:
+	VSTORE_BENCH_MATERIALIZE=off $(GO) test -run '^$$' -bench $(RESULTS_BENCH_REGEX) -benchmem $(RESULTS_BENCH_PKGS) > bench.res.tmp
+	$(GO) run ./cmd/benchjson -o BENCH_PR7.json -field before < bench.res.tmp
+	$(GO) test -run '^$$' -bench $(RESULTS_BENCH_REGEX) -benchmem $(RESULTS_BENCH_PKGS) > bench.res.tmp
+	$(GO) run ./cmd/benchjson -o BENCH_PR7.json -field after < bench.res.tmp
+	@rm -f bench.res.tmp
 
 # One iteration of every benchmark in the fast-path packages: keeps
 # benchmark code compiling and running in CI without the measurement cost.
@@ -79,7 +101,7 @@ cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
 	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) '/^total:/ { \
 		sub(/%/, "", $$3); \
-		printf "coverage (api+server+ingest+erode+kvstore+tier+sub): %s%% (minimum %s%%)\n", $$3, min; \
+		printf "coverage (api+server+ingest+erode+kvstore+tier+sub+results): %s%% (minimum %s%%)\n", $$3, min; \
 		if ($$3 + 0 < min) { print "FAIL: coverage below minimum"; exit 1 } }'
 
 # A short deterministic-input fuzz pass over configuration persistence:

@@ -45,6 +45,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)
 func main() {
 	out := flag.String("o", "", "output JSON file (default stdout, flat)")
 	field := flag.String("field", "after", "top-level field to (over)write in the output object")
+	baseline := flag.String("baseline", "", "baseline field the artifact must carry: when absent it is seeded from the committed -field value (the previous run becomes the baseline), and when neither exists the run fails instead of writing a one-sided comparison")
 	flag.Parse()
 
 	parsed, err := parse(os.Stdin)
@@ -70,6 +71,20 @@ func main() {
 		if err := json.Unmarshal(b, &doc); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not a JSON object: %v\n", *out, err)
 			os.Exit(1)
+		}
+	}
+	if *baseline != "" {
+		if _, ok := doc[*baseline]; !ok {
+			prev, ok := doc[*field]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: %s has no %q baseline and no committed %q to seed it from; record a baseline first\n", *out, *baseline, *field)
+				os.Exit(1)
+			}
+			doc[*baseline] = prev
+			if env, ok := doc["env_"+*field]; ok {
+				doc["env_"+*baseline] = env
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: seeded %q in %s from the committed %q run\n", *baseline, *out, *field)
 		}
 	}
 	raw, err := json.Marshal(parsed)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	vstore configure -db DIR [-ingest-cores N] [-storage-gb N] [-lifespan D] [-clip frames]
-//	                 [-shards N] [-fast-gb N] [-demote-after D]
+//	                 [-shards N] [-fast-gb N] [-demote-after D] [-results-mb N]
 //	vstore ingest    -db DIR -scene NAME [-segments N] [-start I] [-shards N]
 //	vstore query     -db DIR -scene NAME -query A|B [-accuracy F] [-from I] [-to I]
 //	vstore erode     -db DIR -scene NAME [-today D]
@@ -101,6 +101,7 @@ func cmdConfigure(args []string) error {
 	shards := fs.Int("shards", 0, "per-tier kvstore shards for fresh stores (0 = engine default)")
 	fastGB := fs.Float64("fast-gb", 0, "fast disk tier byte budget in GB (0 = unbudgeted)")
 	demoteAfter := fs.Int("demote-after", 0, "demote segments to the cold tier after this many days (0 = off)")
+	resultsMB := fs.Float64("results-mb", 0, "materialized-results store budget in MB (0 = disabled)")
 	fs.Parse(args)
 	if err := os.MkdirAll(*db, 0o755); err != nil {
 		return err
@@ -118,6 +119,7 @@ func cmdConfigure(args []string) error {
 	cfg.Runtime.Shards = *shards
 	cfg.Runtime.FastTierBytes = int64(*fastGB * 1e9)
 	cfg.Runtime.DemoteAfterDays = *demoteAfter
+	cfg.Runtime.ResultsBytes = int64(*resultsMB * 1e6)
 	if err := cfg.Save(configPath(*db)); err != nil {
 		return err
 	}

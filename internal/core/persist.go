@@ -25,6 +25,7 @@ type configDTO struct {
 type runtimeDTO struct {
 	QueryWorkers     int   `json:"query_workers,omitempty"`
 	CacheBytes       int64 `json:"cache_bytes,omitempty"`
+	ResultsBytes     int64 `json:"results_bytes,omitempty"`
 	IngestQueueDepth int   `json:"ingest_queue_depth,omitempty"`
 	ErodeIntervalNS  int64 `json:"erode_interval_ns,omitempty"`
 	FastTierBytes    int64 `json:"fast_tier_bytes,omitempty"`
@@ -117,6 +118,7 @@ func (c *Config) MarshalBytes() ([]byte, error) {
 		dto.Runtime = &runtimeDTO{
 			QueryWorkers:     c.Runtime.QueryWorkers,
 			CacheBytes:       c.Runtime.CacheBytes,
+			ResultsBytes:     c.Runtime.ResultsBytes,
 			IngestQueueDepth: c.Runtime.IngestQueueDepth,
 			ErodeIntervalNS:  int64(c.Runtime.ErodeInterval),
 			FastTierBytes:    c.Runtime.FastTierBytes,
@@ -215,6 +217,7 @@ func FromBytes(b []byte) (*Config, error) {
 		cfg.Runtime = Runtime{
 			QueryWorkers:     dto.Runtime.QueryWorkers,
 			CacheBytes:       dto.Runtime.CacheBytes,
+			ResultsBytes:     dto.Runtime.ResultsBytes,
 			IngestQueueDepth: dto.Runtime.IngestQueueDepth,
 			ErodeInterval:    time.Duration(dto.Runtime.ErodeIntervalNS),
 			FastTierBytes:    dto.Runtime.FastTierBytes,

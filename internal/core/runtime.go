@@ -20,6 +20,15 @@ type Runtime struct {
 	// no cache on open, and an operator-enabled cache survives a
 	// reconfiguration. Negative explicitly disables on Reconfigure.
 	CacheBytes int64
+	// ResultsBytes is the materialized-results budget in bytes: finalized
+	// per-segment operator outputs are stored in the kvstore and indexed
+	// least recently used up to this budget, so repeated analytics serve
+	// stored detections instead of re-decoding and re-classifying. Zero
+	// means "unspecified": no materialization on open, and an
+	// operator-enabled store survives a reconfiguration. Negative
+	// explicitly disables on Reconfigure (and purges stored entries, so a
+	// later re-enable cannot adopt results that missed invalidations).
+	ResultsBytes int64
 	// IngestQueueDepth bounds each live stream's pending-segment queue:
 	// Submit blocks (backpressure toward the camera) once this many
 	// segments await transcoding. Zero selects ingest.DefaultQueueDepth.

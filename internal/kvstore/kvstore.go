@@ -376,6 +376,16 @@ type Stats struct {
 	CacheEvictions int64
 	CacheBytes     int64 // bytes of cached frames resident
 
+	// Materialized-results counters, populated by the server when a
+	// results store is attached (zero otherwise): stored per-segment
+	// operator outputs served in place of recomputation.
+	ResultsHits          int64
+	ResultsMisses        int64
+	ResultsBytes         int64 // bytes of stored results resident
+	ResultsEntries       int
+	ResultsEvictions     int64
+	ResultsInvalidations int64 // entries dropped by erosion/deletion
+
 	// Live-serving counters, populated by the server (zero otherwise):
 	// streaming-ingest queue occupancy, background erosion passes, and
 	// snapshot activity of the segment manifest.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/ops"
 	"repro/internal/profile"
+	"repro/internal/results"
 	"repro/internal/retrieve"
 	"repro/internal/segment"
 	"repro/internal/vidsim"
@@ -108,6 +109,18 @@ type Engine struct {
 	// Cache, when non-nil, memoises full-segment retrievals (see
 	// retrieve.Cache).
 	Cache *retrieve.Cache
+	// Results, when non-nil, materializes finalized per-segment stage
+	// outputs (see the results package): eligible stages consult it before
+	// computing and write behind after, so a repeated query serves stored
+	// detections at kvstore speed instead of re-decoding and re-running
+	// operators. A stage is eligible when its operator is frame-independent
+	// (per-segment outputs concatenate into exactly the whole-range output)
+	// or the range is a single segment (a stateful operator's output over
+	// one segment is self-contained); segment visibility gates every lookup
+	// exactly as it gates the frame cache, and entries carry the exact
+	// accounting of the computation they memoise — so results are
+	// byte-identical to the recomputing path at any worker count.
+	Results *results.Store
 	// Workers bounds the engine's worker pool. Each stage fans its segment
 	// retrievals across the pool and merges frames in segment order, and
 	// operators declaring per-frame independence (ops.FrameIndependent)
@@ -157,17 +170,42 @@ func (e *Engine) Run(ctx context.Context, stream string, c Cascade, b Binding, s
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		frames, rst, err := e.retrieveRange(ctx, &r, stream, b[si].SF, b[si].CF, seg0, seg1, within, tag)
+		// A stage routes through the results store per segment when its
+		// per-segment outputs provably compose into the whole-range output:
+		// frame-independent operators by contract, and any operator over a
+		// single segment (its output there is self-contained). Stateful
+		// operators over multi-segment ranges — splitting their input per
+		// segment would change detections — materialize the whole range as
+		// one unit instead, validated against the exact segment set the
+		// caller's snapshot would retrieve.
+		var out ops.Output
+		var rst retrieve.Stats
+		var ost ops.Stats
+		var err error
+		switch {
+		case e.Results == nil || (within != nil && tag == ""):
+			var frames []*frame.Frame
+			frames, rst, err = e.retrieveRange(ctx, &r, stream, b[si].SF, b[si].CF, seg0, seg1, within, tag)
+			if err == nil {
+				out, ost = runStage(stage.Op, frames, b[si].CF.Fidelity, e.Workers)
+			}
+		case ops.IsFrameIndependent(stage.Op) || seg1-seg0 <= 1:
+			out, rst, ost, err = e.runStageMaterialized(ctx, &r, stream, stage.Op, b[si], seg0, seg1, within, tag)
+		default:
+			out, rst, ost, err = e.runStageRangeMaterialized(ctx, &r, stream, stage.Op, b[si], seg0, seg1, within, tag)
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				return res, ctx.Err()
 			}
 			return res, fmt.Errorf("query: stage %s: %w", stage.Op.Name(), err)
 		}
-		out, ost := runStage(stage.Op, frames, b[si].CF.Fidelity, e.Workers)
 		stageStat := StageStats{
-			Op:             stage.Op.Name(),
-			FramesConsumed: int64(len(frames)),
+			Op: stage.Op.Name(),
+			// Delivered == consumed: every frame a retrieval delivers, the
+			// stage consumes. The delivered count is part of the retrieval
+			// stats, so hit and recompute paths report it identically.
+			FramesConsumed: rst.FramesDelivered,
 			RetrievalSec:   rst.VirtualSeconds,
 			ConsumptionSec: profile.OpSeconds(ost),
 		}
@@ -249,6 +287,148 @@ func (e *Engine) retrieveRange(ctx context.Context, r *retrieve.Retriever, strea
 		all = append(all, results[i].frames...)
 	}
 	return all, total, nil
+}
+
+// runStageMaterialized executes one eligible stage per segment through the
+// results store: each segment is answered from a stored entry when one
+// exists (visibility-gated, exactly like the frame cache) and
+// computed-then-stored otherwise. Outputs and stats merge in segment order —
+// the same fold retrieveRange performs, including its order-sensitive
+// virtual-seconds accumulation and its skip of eroded segments — so the
+// stage result is byte-identical to the recomputing path at any worker
+// count and under any hit/miss mix.
+func (e *Engine) runStageMaterialized(ctx context.Context, r *retrieve.Retriever, stream string, op ops.Operator, sb StageBinding, seg0, seg1 int, within func(pts int) bool, tag string) (ops.Output, retrieve.Stats, ops.Stats, error) {
+	n := seg1 - seg0
+	var out ops.Output
+	var rst retrieve.Stats
+	var ost ops.Stats
+	if e.Workers == 1 || n <= 1 {
+		for idx := seg0; idx < seg1; idx++ {
+			if err := ctx.Err(); err != nil {
+				return ops.Output{}, rst, ost, err
+			}
+			o, srst, sost, err := e.materializedSegment(r, stream, op, sb, idx, within, tag, e.Workers)
+			rst.Add(srst)
+			if errors.Is(err, segment.ErrNotFound) {
+				continue // eroded segment: same skip as the retrieval fold
+			}
+			if err != nil {
+				return ops.Output{}, rst, ost, err
+			}
+			out.PTS = append(out.PTS, o.PTS...)
+			out.Detections = append(out.Detections, o.Detections...)
+			ost.Add(sost)
+		}
+		return out, rst, ost, nil
+	}
+	type segResult struct {
+		out ops.Output
+		rst retrieve.Stats
+		ost ops.Stats
+		err error
+	}
+	slots := make([]segResult, n)
+	pool := NewPool(e.Workers)
+	for i := 0; i < n; i++ {
+		idx := seg0 + i
+		slot := &slots[i]
+		pool.Go(func() {
+			// A canceled query abandons queued segment tasks before they
+			// touch the store; a task that has started always balances its
+			// own Get miss (Put or Abandon) before finishing.
+			if err := ctx.Err(); err != nil {
+				slot.err = err
+				return
+			}
+			slot.out, slot.rst, slot.ost, slot.err = e.materializedSegment(r, stream, op, sb, idx, within, tag, 1)
+		})
+	}
+	pool.Wait()
+	if err := ctx.Err(); err != nil {
+		return ops.Output{}, retrieve.Stats{}, ops.Stats{}, err
+	}
+	for i := range slots {
+		rst.Add(slots[i].rst)
+		if errors.Is(slots[i].err, segment.ErrNotFound) {
+			continue // eroded segment: same skip as the retrieval fold
+		}
+		if slots[i].err != nil {
+			return ops.Output{}, rst, ost, slots[i].err
+		}
+		out.PTS = append(out.PTS, slots[i].out.PTS...)
+		out.Detections = append(out.Detections, slots[i].out.Detections...)
+		ost.Add(slots[i].ost)
+	}
+	return out, rst, ost, nil
+}
+
+// materializedSegment answers one segment of an eligible stage: visibility
+// check first (an eroded segment must miss even while its entry is still
+// resident), then consult the store, then compute and write behind on a
+// miss. Every Get miss is balanced — Put on success, Abandon on retrieval
+// error — so the stream's generation state never leaks; the generation
+// token carried from Get to Put drops fills that raced an invalidation.
+func (e *Engine) materializedSegment(r *retrieve.Retriever, stream string, op ops.Operator, sb StageBinding, idx int, within func(pts int) bool, tag string, workers int) (ops.Output, retrieve.Stats, ops.Stats, error) {
+	if !e.Store.Visible(stream, sb.SF, idx) {
+		return ops.Output{}, retrieve.Stats{}, ops.Stats{}, segment.ErrNotFound
+	}
+	k := results.Key{Stream: stream, Seg: idx, Op: op.Name(), SF: sb.SF.Key(), CF: sb.CF.Fidelity.Key(), Span: tag}
+	ent, gen, ok := e.Results.Get(k)
+	if ok {
+		return ops.Output{PTS: ent.PTS, Detections: ent.Detections}, ent.Retrieval, ent.Consumption, nil
+	}
+	frames, rst, err := r.SegmentTagged(stream, sb.SF, sb.CF, idx, within, tag)
+	if err != nil {
+		e.Results.Abandon(stream)
+		return ops.Output{}, rst, ops.Stats{}, err
+	}
+	out, ost := runStage(op, frames, sb.CF.Fidelity, workers)
+	e.Results.Put(k, results.Entry{PTS: out.PTS, Detections: out.Detections, Retrieval: rst, Consumption: ost}, gen)
+	return out, rst, ost, nil
+}
+
+// runStageRangeMaterialized executes a stateful stage over a multi-segment
+// range through the results store as one unit: the whole sequential
+// computation — retrieval fold, operator run, exact accounting — is
+// memoised under a range key and served back only to callers whose
+// snapshot would retrieve exactly the same segments. That coverage check,
+// plus the per-stream generation token, keeps the invariant the
+// per-segment path gets from its visibility gate: an eroded segment can
+// never contribute stale frames to a served result. A stored range entry
+// memoises the sequential path verbatim (outputs and folded stats as one
+// blob), so hits are byte-identical to recomputation at any worker count.
+func (e *Engine) runStageRangeMaterialized(ctx context.Context, r *retrieve.Retriever, stream string, op ops.Operator, sb StageBinding, seg0, seg1 int, within func(pts int) bool, tag string) (ops.Output, retrieve.Stats, ops.Stats, error) {
+	visible := make([]int, 0, seg1-seg0)
+	for idx := seg0; idx < seg1; idx++ {
+		if e.Store.Visible(stream, sb.SF, idx) {
+			visible = append(visible, idx)
+		}
+	}
+	recompute := func() (ops.Output, retrieve.Stats, ops.Stats, error) {
+		frames, rst, err := e.retrieveRange(ctx, r, stream, sb.SF, sb.CF, seg0, seg1, within, tag)
+		if err != nil {
+			return ops.Output{}, rst, ops.Stats{}, err
+		}
+		out, ost := runStage(op, frames, sb.CF.Fidelity, e.Workers)
+		return out, rst, ost, nil
+	}
+	if len(visible) == 0 {
+		// Nothing this snapshot can retrieve: run the (empty) fold without
+		// storing an uninvalidatable entry.
+		return recompute()
+	}
+	k := results.Key{Stream: stream, Seg: seg0, End: seg1, Op: op.Name(), SF: sb.SF.Key(), CF: sb.CF.Fidelity.Key(), Span: tag}
+	ent, gen, ok := e.Results.GetRange(k, visible)
+	if ok {
+		return ops.Output{PTS: ent.PTS, Detections: ent.Detections}, ent.Retrieval, ent.Consumption, nil
+	}
+	out, rst, ost, err := recompute()
+	if err != nil {
+		e.Results.Abandon(stream)
+		return ops.Output{}, rst, ops.Stats{}, err
+	}
+	e.Results.Put(k, results.Entry{Segs: visible, PTS: out.PTS, Detections: out.Detections, Retrieval: rst, Consumption: ost}, gen)
+	return out, rst, ost, nil
 }
 
 // spanTag digests activation spans into a cache tag: equal span sets — and

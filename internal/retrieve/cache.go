@@ -30,6 +30,7 @@ func (s CacheStats) HitRate() float64 {
 
 type cacheEntry struct {
 	key    string
+	stream string
 	frames []*frame.Frame
 	bytes  int64
 }
@@ -52,14 +53,26 @@ type Cache struct {
 	hits      int64
 	misses    int64
 	evictions int64
-	// gens holds one invalidation generation per stream, bumped by
-	// Invalidate(stream). put drops fills whose retrieval began before the
-	// bump, so an in-flight retrieval racing an erosion cannot repopulate
-	// the cache with pre-erosion frames — while fills for OTHER streams,
-	// whose segments the erosion never touched, land unharmed. (A single
-	// global generation here would make one stream's erosion daemon starve
-	// every other stream's cache fills under live multi-stream serving.)
-	gens map[string]int64
+	// gens holds one invalidation state per stream: the generation
+	// Invalidate(stream) bumps — put drops fills whose retrieval began
+	// before the bump, so an in-flight retrieval racing an erosion cannot
+	// repopulate the cache with pre-erosion frames, while fills for OTHER
+	// streams land unharmed (a single global generation would let one
+	// stream's erosion daemon starve every other stream's fills) — plus
+	// the reference counts that let the state be PRUNED: an entry exists
+	// only while the stream has resident entries or in-flight fills, so a
+	// deployment churning through stream names cannot leak one generation
+	// per dead stream forever. Pruning is safe exactly under that rule:
+	// with no token outstanding, no later put can mistake a re-created
+	// zero generation for the one it observed.
+	gens map[string]*streamState
+}
+
+// streamState is one stream's invalidation generation and what pins it.
+type streamState struct {
+	gen       int64
+	inflight  int // get misses (and generation calls) awaiting their put
+	residents int // cached entries of this stream
 }
 
 // NewCache returns a cache bounded by budgetBytes of frame data. A budget
@@ -73,7 +86,7 @@ func NewCache(budgetBytes int64) *Cache {
 		budget:  budgetBytes,
 		ll:      list.New(),
 		entries: make(map[string]*list.Element),
-		gens:    make(map[string]int64),
+		gens:    make(map[string]*streamState),
 	}
 }
 
@@ -83,19 +96,27 @@ func cacheKey(stream string, sf format.StorageFormat, cf format.ConsumptionForma
 
 // get returns the cached frames for key, marking the entry most recently
 // used. Misses are counted here, so only cacheable lookups count. stream is
-// the key's stream: the returned generation is the stream's, and must
-// accompany the put that fills the miss.
+// the key's stream: on a miss the returned generation is the stream's
+// in-flight-fill token, and the caller MUST balance the miss with exactly
+// one put (landing the fill) or abandon (discarding it) — the token pins
+// the stream's generation state against pruning until then.
 func (c *Cache) get(stream, key string) ([]*frame.Frame, int64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
-		return nil, c.gens[stream], false
+		st := c.stateLocked(stream)
+		st.inflight++
+		return nil, st.gen, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).frames, c.gens[stream], true
+	var gen int64
+	if st := c.gens[stream]; st != nil {
+		gen = st.gen
+	}
+	return el.Value.(*cacheEntry).frames, gen, true
 }
 
 // put inserts (or refreshes) the frames under key and evicts least recently
@@ -113,7 +134,12 @@ func (c *Cache) put(stream, key string, frames []*frame.Frame, gen int64) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if gen != c.gens[stream] {
+	st := c.stateLocked(stream)
+	if st.inflight > 0 {
+		st.inflight--
+	}
+	if gen != st.gen {
+		c.pruneLocked(stream)
 		return
 	}
 	el, ok := c.entries[key]
@@ -122,6 +148,7 @@ func (c *Cache) put(stream, key string, frames []*frame.Frame, gen int64) {
 			c.removeLocked(el)
 			c.evictions++
 		}
+		c.pruneLocked(stream)
 		return
 	}
 	if ok {
@@ -130,8 +157,9 @@ func (c *Cache) put(stream, key string, frames []*frame.Frame, gen int64) {
 		ent.frames, ent.bytes = frames, bytes
 		c.ll.MoveToFront(el)
 	} else {
-		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, frames: frames, bytes: bytes})
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, stream: stream, frames: frames, bytes: bytes})
 		c.bytes += bytes
+		st.residents++
 	}
 	// Same semantics as Resize: evict down to the budget, the last entry
 	// included. (An earlier Len() > 1 guard here let one oversized refresh
@@ -140,6 +168,40 @@ func (c *Cache) put(stream, key string, frames []*frame.Frame, gen int64) {
 	// bytes <= budget guarantees the loop has terminated.
 	for c.bytes > c.budget && c.ll.Len() > 0 {
 		c.evictOldest()
+	}
+}
+
+// abandon balances a get miss whose fill will never arrive (the read or
+// decode errored). Without it the phantom in-flight fill would pin the
+// stream's generation state forever.
+func (c *Cache) abandon(stream string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.gens[stream]; st != nil {
+		if st.inflight > 0 {
+			st.inflight--
+		}
+		c.pruneLocked(stream)
+	}
+}
+
+// stateLocked returns the stream's generation state, creating it at
+// generation zero — safe because pruning only runs with no fill token
+// outstanding, so no stale token can match the fresh zero. Caller holds mu.
+func (c *Cache) stateLocked(stream string) *streamState {
+	st := c.gens[stream]
+	if st == nil {
+		st = &streamState{}
+		c.gens[stream] = st
+	}
+	return st
+}
+
+// pruneLocked drops the stream's generation state once neither residents
+// nor in-flight fills reference it. Caller holds mu.
+func (c *Cache) pruneLocked(stream string) {
+	if st := c.gens[stream]; st != nil && st.inflight == 0 && st.residents == 0 {
+		delete(c.gens, stream)
 	}
 }
 
@@ -154,12 +216,17 @@ func (c *Cache) evictOldest() {
 }
 
 // removeLocked unlinks one entry from the list, the map and the byte
-// account. Caller holds mu.
+// account, releasing its pin on the stream's generation state. Caller
+// holds mu.
 func (c *Cache) removeLocked(el *list.Element) {
 	ent := el.Value.(*cacheEntry)
 	c.ll.Remove(el)
 	delete(c.entries, ent.key)
 	c.bytes -= ent.bytes
+	if st := c.gens[ent.stream]; st != nil {
+		st.residents--
+		c.pruneLocked(ent.stream)
+	}
 }
 
 // Resize changes the byte budget, evicting as needed to honour a smaller
@@ -177,29 +244,35 @@ func (c *Cache) Resize(budgetBytes int64) {
 // bumps the stream's generation so in-flight fills for it are dropped at
 // put. Used after erosion or deletion changes what the store would return.
 // Other streams are untouched: their entries stay resident and their
-// in-flight fills still land.
+// in-flight fills still land. With no fills in flight the stream's
+// generation state is pruned outright — nothing can reference the old
+// generation, and keeping it would leak one entry per dead stream.
 func (c *Cache) Invalidate(stream string) {
-	prefix := stream + "/"
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.gens[stream]++
+	if st := c.gens[stream]; st != nil {
+		st.gen++
+	}
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
-		ent := el.Value.(*cacheEntry)
-		if len(ent.key) > len(prefix) && ent.key[:len(prefix)] == prefix {
+		if el.Value.(*cacheEntry).stream == stream {
 			c.removeLocked(el)
 		}
 		el = next
 	}
+	c.pruneLocked(stream)
 }
 
 // generation returns the stream's current invalidation generation: the
 // token a direct put must carry, observed before the retrieval it caches
-// began.
+// began. Like a get miss, it registers an in-flight fill that MUST be
+// balanced by exactly one put or abandon.
 func (c *Cache) generation(stream string) int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.gens[stream]
+	st := c.stateLocked(stream)
+	st.inflight++
+	return st.gen
 }
 
 // Stats returns a snapshot of the cache counters. A nil cache reports

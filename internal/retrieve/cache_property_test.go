@@ -30,6 +30,67 @@ func checkCacheInvariants(t *testing.T, c *Cache, step string) {
 	if sum != c.bytes {
 		t.Fatalf("%s: accounted %d bytes, entries hold %d", step, c.bytes, sum)
 	}
+	// Generation-state invariants: resident counts must match the entries
+	// actually cached, counts never go negative, and a state nothing
+	// references must have been pruned (the leak the per-dead-stream
+	// generation map would otherwise grow).
+	residents := map[string]int{}
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		residents[el.Value.(*cacheEntry).stream]++
+	}
+	for stream, st := range c.gens {
+		if st.inflight < 0 {
+			t.Fatalf("%s: stream %q inflight %d < 0", step, stream, st.inflight)
+		}
+		if st.residents != residents[stream] {
+			t.Fatalf("%s: stream %q state claims %d residents, cache holds %d",
+				step, stream, st.residents, residents[stream])
+		}
+		if st.inflight == 0 && st.residents == 0 {
+			t.Fatalf("%s: stream %q generation state with no residents and no fills not pruned",
+				step, stream)
+		}
+	}
+	for stream, n := range residents {
+		if n > 0 && c.gens[stream] == nil {
+			t.Fatalf("%s: stream %q has %d residents but no generation state", step, stream, n)
+		}
+	}
+}
+
+// TestCacheGenerationStatePruned drives full miss→put / miss→abandon /
+// generation→put cycles across many stream names and asserts the
+// generation map ends empty: a deployment churning through stream names
+// must not leak one state per dead stream.
+func TestCacheGenerationStatePruned(t *testing.T) {
+	unit := framesBytes(testFrames(1, 16, 16))
+	c := NewCache(8 * unit)
+	for i := 0; i < 200; i++ {
+		stream := fmt.Sprintf("stream-%d", i)
+		k := fmt.Sprintf("%s/0", stream)
+		switch i % 3 {
+		case 0: // miss → put → Invalidate
+			if _, gen, ok := c.get(stream, k); !ok {
+				c.put(stream, k, testFrames(1, 16, 16), gen)
+			}
+			c.Invalidate(stream)
+		case 1: // miss → abandon (retrieval failed)
+			if _, _, ok := c.get(stream, k); !ok {
+				c.abandon(stream)
+			}
+		case 2: // direct fill via generation token, then Invalidate
+			gen := c.generation(stream)
+			c.put(stream, k, testFrames(1, 16, 16), gen)
+			c.Invalidate(stream)
+		}
+		checkCacheInvariants(t, c, fmt.Sprintf("cycle %d", i))
+	}
+	c.mu.Lock()
+	n := len(c.gens)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("generation map holds %d states after full churn, want 0", n)
+	}
 }
 
 // TestCachePropertyBudgetAndInvalidation drives the cache with random

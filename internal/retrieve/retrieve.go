@@ -124,6 +124,9 @@ func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf for
 	if sf.Coding.Raw {
 		got, bytes, err := r.Store.GetRaw(stream, sf, idx, rawKeep(cf.Fidelity.Sampling, within))
 		if err != nil {
+			if cacheable {
+				r.Cache.abandon(stream)
+			}
 			return nil, st, err
 		}
 		frames = got
@@ -132,6 +135,9 @@ func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf for
 	} else {
 		enc, err := r.Store.GetEncoded(stream, sf, idx)
 		if err != nil {
+			if cacheable {
+				r.Cache.abandon(stream)
+			}
 			return nil, st, err
 		}
 		keep := encodedKeep(enc, cf.Fidelity.Sampling, within)
@@ -144,6 +150,9 @@ func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf for
 			got, cst, err = enc.DecodeSampled(keepFn)
 		}
 		if err != nil {
+			if cacheable {
+				r.Cache.abandon(stream)
+			}
 			return nil, st, err
 		}
 		frames = got

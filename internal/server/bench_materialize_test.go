@@ -1,0 +1,111 @@
+package server
+
+import (
+	"context"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/ops"
+	"repro/internal/query"
+	"repro/internal/vidsim"
+)
+
+// The materialization benchmark server lives in its own store: enabling
+// and purging the results store between sub-benchmarks must not perturb
+// the shared benchmark server's steady state.
+var (
+	resBenchOnce sync.Once
+	resBenchSrv  *Server
+	resBenchErr  error
+)
+
+const resBenchBudget = int64(1 << 26)
+
+func materializeBenchServer(b *testing.B) *Server {
+	b.Helper()
+	resBenchOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "server-resbench-*")
+		if err != nil {
+			resBenchErr = err
+			return
+		}
+		s, err := Open(dir)
+		if err != nil {
+			resBenchErr = err
+			return
+		}
+		cfg := testConfig(b, "jackson", []ops.Operator{ops.Diff{}, ops.SNN{}, ops.NN{}}, []float64{0.9})
+		if err := s.Reconfigure(cfg); err != nil {
+			resBenchErr = err
+			return
+		}
+		sc, err := vidsim.DatasetByName("jackson")
+		if err != nil {
+			resBenchErr = err
+			return
+		}
+		if _, err := s.Ingest(sc, "cam", benchSegments); err != nil {
+			resBenchErr = err
+			return
+		}
+		resBenchSrv = s
+	})
+	if resBenchErr != nil {
+		b.Fatal(resBenchErr)
+	}
+	return resBenchSrv
+}
+
+// BenchmarkMaterializedQuery compares the three states of the
+// materialization layer on one repeated query: "computed" recomputes every
+// stage (the store disabled), "cold" pays the first materialized run (the
+// store purged before every iteration, so each run retrieves, computes and
+// stores), and "materialized" serves the steady state from stored operator
+// outputs. With VSTORE_BENCH_MATERIALIZE=off the store stays disabled for
+// all three — every sub-benchmark measures pure recomputation — which is
+// the "before" side of the BENCH_PR7.json comparison pair.
+func BenchmarkMaterializedQuery(b *testing.B) {
+	s := materializeBenchServer(b)
+	s.QueryWorkers = 8
+	s.SetCacheBudget(0) // no frame cache: isolate the results layer
+	enabled := os.Getenv("VSTORE_BENCH_MATERIALIZE") != "off"
+	opNames := []string{"Diff", "S-NN", "NN"}
+	query1 := func(b *testing.B) {
+		if _, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, benchSegments); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			query1(b)
+		}
+	}
+
+	s.SetResultsBudget(-1)
+	b.Run("computed", run)
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if enabled {
+				b.StopTimer()
+				s.SetResultsBudget(-1) // purge the previous iteration's fills
+				s.SetResultsBudget(resBenchBudget)
+				b.StartTimer()
+			}
+			query1(b)
+		}
+	})
+
+	b.Run("materialized", func(b *testing.B) {
+		if enabled {
+			s.SetResultsBudget(resBenchBudget)
+			query1(b) // warm pass: the measured steady state serves stored outputs
+			b.ResetTimer()
+		}
+		run(b)
+	})
+	s.SetResultsBudget(-1)
+}

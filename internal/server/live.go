@@ -14,6 +14,7 @@ import (
 	"repro/internal/format"
 	"repro/internal/frame"
 	"repro/internal/ingest"
+	"repro/internal/results"
 	"repro/internal/segment"
 )
 
@@ -71,8 +72,9 @@ func (s *Server) SubscribeCommits(fn func(segment.Commit)) (cancel func()) {
 // removed but whose records a snapshot still pins), and deletion is
 // logical-first through the manifest.
 type manifestSet struct {
-	m     *segment.Manifest
-	store *segment.Store
+	m       *segment.Manifest
+	store   *segment.Store
+	results *results.Store // may be nil (materialization disabled)
 }
 
 func (ms manifestSet) Segments(stream string, sf format.StorageFormat) []int {
@@ -80,6 +82,12 @@ func (ms manifestSet) Segments(stream string, sf format.StorageFormat) []int {
 }
 
 func (ms manifestSet) Delete(stream string, sf format.StorageFormat, idx int) error {
+	// Materialized results for the segment drop BEFORE the replica leaves
+	// the manifest — and long before its bytes are physically deleted — so
+	// no window exists where a query could serve a stored result for
+	// footage the store has already let go. The invalidation also bumps the
+	// stream's generation, dropping in-flight fills that raced the removal.
+	ms.results.InvalidateSegment(stream, idx)
 	return ms.m.Remove(segment.RefOf(stream, sf, idx))
 }
 

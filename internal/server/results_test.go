@@ -1,0 +1,343 @@
+package server
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/profile"
+	"repro/internal/query"
+	"repro/internal/results"
+	"repro/internal/vidsim"
+)
+
+// normalizedResults strips the one nondeterministic field (wall-clock
+// seconds) so the rest of the result — detections, consumed timelines,
+// virtual-clock accounting, per-stage stats — can be compared bit for bit.
+func normalizedResults(q QueryResult) []query.Result {
+	out := make([]query.Result, len(q.Results))
+	copy(out, q.Results)
+	for i := range out {
+		out[i].WallSeconds = 0
+	}
+	return out
+}
+
+func mustIdentical(t *testing.T, got, want QueryResult, what string) {
+	t.Helper()
+	g, w := normalizedResults(got), normalizedResults(want)
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("%s: materialization changed the query result\n got %+v\nwant %+v", what, g, w)
+	}
+}
+
+// erosionConfig builds a configuration whose erosion plan has real storage
+// pressure (the TestServerErode recipe, parameterised over the consumers),
+// so Erode actually deletes replicas.
+func erosionConfig(t *testing.T, scene string, operators []ops.Operator, target float64) *core.Config {
+	t.Helper()
+	sc, err := vidsim.DatasetByName(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profile.New(sc)
+	p.ClipFrames = 120
+	consumers := make([]core.Consumer, len(operators))
+	for i, op := range operators {
+		consumers[i] = core.Consumer{Op: op, Target: target, Prof: p}
+	}
+	choices := core.DeriveConsumptionFormats(consumers)
+	d, err := core.DeriveStorageFormats(choices, core.SFOptions{Profiler: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifespan := 3
+	golden := d.SFs[d.Golden].Prof.BytesPerSec * 86400
+	floor := d.TotalBytesPerSec()*86400 + float64(lifespan-1)*golden
+	full := d.TotalBytesPerSec() * 86400 * float64(lifespan)
+	plan, err := core.PlanErosion(d, core.ErosionOptions{
+		Profiler: p, LifespanDays: lifespan,
+		StorageBudgetBytes: int64(floor + 0.3*(full-floor)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Config{Derivation: d, Erosion: plan}
+}
+
+// TestMaterializedQueryByteIdentity asserts the layer's headline
+// invariant: with materialization on — filling cold or serving stored
+// entries warm — a query is byte-identical to one that recomputes, at any
+// worker count.
+func TestMaterializedQueryByteIdentity(t *testing.T) {
+	s := setupQueryServer(t)
+	opNames := []string{"Diff", "S-NN", "NN"}
+	run := func() QueryResult {
+		t.Helper()
+		res, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	s.QueryWorkers = -1
+	ref := run() // sequential recomputation: the reference output
+
+	for _, workers := range []int{1, 2, 8} {
+		s.QueryWorkers = workers
+		mustIdentical(t, run(), ref, "recompute")
+
+		s.SetResultsBudget(1 << 22)
+		cold := run()
+		mustIdentical(t, cold, ref, "cold fill")
+		rs := s.ResultsStats()
+		if rs.Puts == 0 {
+			t.Fatalf("workers=%d: cold materialized query stored nothing: %+v", workers, rs)
+		}
+		warm := run()
+		mustIdentical(t, warm, ref, "warm hit")
+		rs = s.ResultsStats()
+		if rs.Hits == 0 {
+			t.Fatalf("workers=%d: repeated query served no stored results: %+v", workers, rs)
+		}
+
+		// The counters must surface through the storage-path stats.
+		st := s.Stats()
+		if st.ResultsHits != rs.Hits || st.ResultsMisses != rs.Misses ||
+			st.ResultsBytes != rs.Bytes || st.ResultsEntries != rs.Entries {
+			t.Fatalf("Server.Stats results counters %+v do not match ResultsStats %+v", st, rs)
+		}
+
+		// Disable between worker counts so each starts cold; disabling
+		// must purge the persisted entries.
+		s.SetResultsBudget(-1)
+		if got := s.ResultsStats(); got != (results.Stats{}) {
+			t.Fatalf("disabled store still reports %+v", got)
+		}
+		if keys := s.kv.Keys(results.Prefix); len(keys) != 0 {
+			t.Fatalf("disabling left %d persisted res/ keys", len(keys))
+		}
+	}
+}
+
+// TestErosionInvalidatesMaterializedResults asserts erosion drops a
+// segment's stored results when its replicas leave the manifest — before
+// the bytes are physically deleted — and that post-erosion queries remain
+// byte-identical to recomputation (no stale stored result survives for
+// footage the store let go).
+func TestErosionInvalidatesMaterializedResults(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := erosionConfig(t, "jackson", []ops.Operator{ops.Diff{}, ops.SNN{}, ops.NN{}}, 0.9)
+	if err := s.Reconfigure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := vidsim.DatasetByName("jackson")
+	if _, err := s.Ingest(sc, "cam", 3); err != nil {
+		t.Fatal(err)
+	}
+	s.SetResultsBudget(1 << 22)
+	opNames := []string{"Diff", "S-NN", "NN"}
+	if _, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if rs := s.ResultsStats(); rs.Puts == 0 {
+		t.Fatalf("warm-up query stored nothing: %+v", rs)
+	}
+
+	deleted, err := s.Erode("cam", func(idx int) int { return 3 - idx })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Erosion.K > 0 && deleted == 0 {
+		t.Fatal("erosion plan has pressure but nothing was deleted")
+	}
+	if rs := s.ResultsStats(); rs.Invalidations == 0 {
+		t.Fatalf("erosion deleted %d replicas but invalidated no stored results: %+v", deleted, rs)
+	}
+
+	// Whatever erosion left visible, materialized and recomputed answers
+	// must still agree exactly.
+	resOn, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetResultsBudget(-1)
+	resOff, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIdentical(t, resOn, resOff, "post-erosion")
+}
+
+// TestMaterializedQueryUnderIngestAndErosion runs snapshot-pinned queries
+// — materialized cold, materialized warm, and recomputed — while live
+// ingest commits new segments and erosion passes delete old replicas, and
+// asserts all three stay byte-identical at every worker count. This is the
+// invariant the generation tokens and the visibility gate exist for.
+func TestMaterializedQueryUnderIngestAndErosion(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cfg := erosionConfig(t, "jackson", []ops.Operator{ops.Diff{}, ops.SNN{}, ops.NN{}}, 0.9)
+	if err := s.Reconfigure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := vidsim.DatasetByName("jackson")
+	if _, err := s.Ingest(sc, "cam", 2); err != nil {
+		t.Fatal(err)
+	}
+	const budget = int64(1 << 22)
+	s.SetResultsBudget(budget)
+
+	live, err := s.StartStream("cam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const liveSegments = 6
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // live ingest: one segment at a time, committed mid-query
+		defer wg.Done()
+		src := vidsim.NewSource(sc)
+		for i := 2; i < 2+liveSegments; i++ {
+			if err := live.Submit(src.Clip(i*segFrames, segFrames)); err != nil {
+				return // server closing
+			}
+		}
+	}()
+	erodeDone := make(chan struct{})
+	go func() { // erosion: repeatedly age everything but the newest two
+		defer wg.Done()
+		defer close(erodeDone)
+		for pass := 0; pass < liveSegments; pass++ {
+			n := s.SegmentsOf("cam")
+			if _, err := s.Erode("cam", func(idx int) int { return max(n-idx, 0) }); err != nil {
+				return
+			}
+		}
+	}()
+
+	opNames := []string{"Diff", "S-NN", "NN"}
+	workerGrid := []int{1, 2, 8}
+	for it := 0; it < 9; it++ {
+		s.QueryWorkers = workerGrid[it%len(workerGrid)]
+		snap, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := snap.Segments("cam")
+		if n == 0 {
+			snap.Release()
+			continue
+		}
+		runAt := func() QueryResult {
+			t.Helper()
+			res, err := s.QueryAt(context.Background(), snap, "cam", query.QueryA(), opNames, 0.9, 0, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		cold := runAt() // may fill, may hit earlier iterations' entries
+		warm := runAt() // served from the store where entries survived
+		s.SetResultsBudget(-1)
+		recomputed := runAt()
+		s.SetResultsBudget(budget)
+		mustIdentical(t, cold, recomputed, "cold vs recomputed under churn")
+		mustIdentical(t, warm, recomputed, "warm vs recomputed under churn")
+		snap.Release()
+	}
+	<-erodeDone
+	wg.Wait()
+	s.DrainStreams()
+}
+
+// TestResultsBudgetPersistAndAdoption asserts the ResultsBytes knob
+// round-trips through the epoch store and that a reopen adopts the
+// persisted entries — serving them without recomputation — while an
+// explicit disable purges them for good.
+func TestResultsBudgetPersistAndAdoption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, "jackson", []ops.Operator{ops.Diff{}, ops.SNN{}, ops.NN{}}, []float64{0.9})
+	cfg.Runtime.ResultsBytes = 1 << 22
+	if err := s.Reconfigure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if rs := s.ResultsStats(); rs.Budget != 1<<22 {
+		t.Fatalf("results budget not applied on Reconfigure: %+v", rs)
+	}
+	sc, _ := vidsim.DatasetByName("jackson")
+	if _, err := s.Ingest(sc, "cam", 2); err != nil {
+		t.Fatal(err)
+	}
+	opNames := []string{"Diff", "S-NN", "NN"}
+	ref, err := s.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := s.ResultsStats().Entries
+	if entries == 0 {
+		t.Fatal("query materialized nothing")
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := s2.ResultsStats(); rs.Budget != 1<<22 || rs.Entries != entries {
+		t.Fatalf("reopen adopted %+v, want budget %d with %d entries", rs, 1<<22, entries)
+	}
+	got, err := s2.Query(context.Background(), "cam", query.QueryA(), opNames, 0.9, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIdentical(t, got, ref, "adopted entries")
+	if rs := s2.ResultsStats(); rs.Hits == 0 {
+		t.Fatalf("adopted entries served no hits: %+v", rs)
+	}
+	// A configuration silent on materialization leaves the store alone; a
+	// negative budget disables it, purges, and stays disabled on reopen.
+	silent := testConfig(t, "jackson", []ops.Operator{ops.Diff{}, ops.SNN{}, ops.NN{}}, []float64{0.9})
+	if err := s2.Reconfigure(silent); err != nil {
+		t.Fatal(err)
+	}
+	if rs := s2.ResultsStats(); rs.Budget != 1<<22 {
+		t.Fatalf("Runtime-less Reconfigure dropped the results store: %+v", rs)
+	}
+	silent.Runtime.ResultsBytes = -1
+	if err := s2.Reconfigure(silent); err != nil {
+		t.Fatal(err)
+	}
+	if rs := s2.ResultsStats(); rs != (results.Stats{}) {
+		t.Fatalf("negative budget did not disable the store: %+v", rs)
+	}
+	if keys := s2.kv.Keys(results.Prefix); len(keys) != 0 {
+		t.Fatalf("disable left %d persisted res/ keys", len(keys))
+	}
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if rs := s3.ResultsStats(); rs != (results.Stats{}) {
+		t.Fatalf("explicitly disabled store revived on reopen: %+v", rs)
+	}
+}

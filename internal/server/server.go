@@ -47,6 +47,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/kvstore"
 	"repro/internal/query"
+	"repro/internal/results"
 	"repro/internal/retrieve"
 	"repro/internal/segment"
 	"repro/internal/tier"
@@ -70,9 +71,13 @@ type Server struct {
 	epochs   []*Epoch
 	next     map[string]int // per stream: next segment index to ingest
 	cache    *retrieve.Cache
-	streams  map[string]*ingest.Stream // live streaming-ingest pipelines
-	pool     *query.Pool               // shared transcode pool for all ingest paths
-	daemon   *erode.Daemon
+	// results materializes finalized per-segment operator outputs in the
+	// kvstore (nil when disabled); queries consult it before recomputing
+	// and erosion invalidates through it segment by segment.
+	results *results.Store
+	streams map[string]*ingest.Stream // live streaming-ingest pipelines
+	pool    *query.Pool               // shared transcode pool for all ingest paths
+	daemon  *erode.Daemon
 	// pastErodePasses accumulates passes of stopped daemons so the
 	// ErosionPasses counter stays monotonic across daemon restarts.
 	pastErodePasses int64
@@ -215,16 +220,48 @@ func OpenWith(dir string, opt Options) (*Server, error) {
 	// on, so demotions survive a reopen (and an interrupted demotion,
 	// already healed by the engine's recovery, reports its settled tier).
 	maxIdx := map[string]int{}
+	present := map[string]map[int]bool{}
 	s.segs.ScanRefs(func(r segment.Ref) {
 		t, _ := s.segs.TierOf(r)
 		s.manifest.CommitPlaced([]segment.Ref{r}, []tier.ID{t})
 		if r.Idx+1 > maxIdx[r.Stream] {
 			maxIdx[r.Stream] = r.Idx + 1
 		}
+		set := present[r.Stream]
+		if set == nil {
+			set = map[int]bool{}
+			present[r.Stream] = set
+		}
+		set[r.Idx] = true
 	})
 	for stream, n := range maxIdx {
 		if s.next[stream] < n {
 			s.next[stream] = n
+		}
+	}
+	// The materialized-results budget follows the cache's fold (zero is
+	// silent, negative disables). When enabled, the store adopts entries a
+	// previous run persisted, filtered through the segment set the manifest
+	// rebuild just observed: results for segments with no surviving replica
+	// (eroded or lost while no store was attached) are removed, never
+	// adopted — and per-replica staleness beyond that is covered by the
+	// query-time visibility gate. When disabled, persisted entries are
+	// purged outright: they missed every invalidation while detached, so a
+	// later enable must start empty.
+	var resultsBytes int64
+	for i := len(s.epochs) - 1; i >= 0; i-- {
+		if b := s.epochs[i].Cfg.Runtime.ResultsBytes; b != 0 {
+			resultsBytes = b
+			break
+		}
+	}
+	if resultsBytes > 0 {
+		s.results = results.New(kv, resultsBytes, func(stream string, seg int) bool {
+			return present[stream][seg]
+		})
+	} else {
+		for _, k := range kv.Keys(results.Prefix) {
+			_ = kv.Delete(k)
 		}
 	}
 	return s, nil
@@ -341,6 +378,9 @@ func (s *Server) Reconfigure(cfg *core.Config) error {
 	if cfg.Runtime.CacheBytes != 0 {
 		s.applyCacheBudgetLocked(cfg.Runtime.CacheBytes)
 	}
+	if cfg.Runtime.ResultsBytes != 0 {
+		s.applyResultsBudgetLocked(cfg.Runtime.ResultsBytes)
+	}
 	// The demotion knobs follow the same zero-is-silent convention.
 	if v := cfg.Runtime.FastTierBytes; v != 0 {
 		s.fastBytes = max(v, 0)
@@ -375,6 +415,42 @@ func (s *Server) SetCacheBudget(budget int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.applyCacheBudgetLocked(budget)
+}
+
+// applyResultsBudgetLocked resizes, creates or drops the materialized-
+// results store to match the budget. Disabling purges the persisted
+// entries: with no store attached nothing invalidates them, so a later
+// enable (or a reopen) must not find them. Enabling at runtime therefore
+// always starts empty — disabled states leave no res/ keys behind (see
+// OpenWith) — so no validity filter is needed here. Caller holds mu.
+func (s *Server) applyResultsBudgetLocked(budget int64) {
+	switch {
+	case budget <= 0:
+		s.results.Purge()
+		s.results = nil
+	case s.results == nil:
+		s.results = results.New(s.kv, budget, nil)
+	default:
+		s.results.Resize(budget)
+	}
+}
+
+// SetResultsBudget resizes the materialized-results store at runtime
+// without a reconfiguration: a positive budget enables (or resizes) the
+// store, zero or negative disables it and purges stored entries.
+func (s *Server) SetResultsBudget(budget int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyResultsBudgetLocked(budget)
+}
+
+// ResultsStats reports the materialized-results store's activity (zeroes
+// when materialization is disabled).
+func (s *Server) ResultsStats() results.Stats {
+	s.mu.Lock()
+	r := s.results
+	s.mu.Unlock()
+	return r.Stats()
 }
 
 // CacheStats reports the retrieval cache's activity (zeroes when the cache
@@ -708,6 +784,7 @@ func (s *Server) QueryAt(ctx context.Context, snap *Snapshot, stream string, cas
 	current := epochs[len(epochs)-1].Cfg
 	s.mu.Lock()
 	cache := s.cache
+	resStore := s.results
 	s.mu.Unlock()
 	// Split [seg0, seg1) into epoch-homogeneous ranges.
 	type span struct {
@@ -751,7 +828,7 @@ func (s *Server) QueryAt(ctx context.Context, snap *Snapshot, stream string, cas
 		spanPar = min(workers, len(spans))
 	}
 	view := &segment.View{Store: s.segs, Snap: snap.ms}
-	eng := query.Engine{Store: view, Cache: cache, Workers: max(workers/spanPar, 1)}
+	eng := query.Engine{Store: view, Cache: cache, Results: resStore, Workers: max(workers/spanPar, 1)}
 	results := make([]query.Result, len(spans))
 	errs := make([]error, len(spans))
 	if spanPar > 1 {
@@ -879,8 +956,9 @@ func (s *Server) Erode(stream string, ageOfSegment func(idx int) int) (int, erro
 	defer s.erodeMu.Unlock()
 	s.mu.Lock()
 	epochs := append([]*Epoch(nil), s.epochs...)
+	resStore := s.results
 	s.mu.Unlock()
-	e := erode.Eroder{Store: manifestSet{m: s.manifest, store: s.segs}}
+	e := erode.Eroder{Store: manifestSet{m: s.manifest, store: s.segs, results: resStore}}
 	total := 0
 	// Eroded segments must not be served from cache — including the ones a
 	// partially-failed Apply already deleted, so the invalidation is
@@ -938,6 +1016,13 @@ func (s *Server) Stats() kvstore.Stats {
 	st.CacheMisses = cs.Misses
 	st.CacheEvictions = cs.Evictions
 	st.CacheBytes = cs.Bytes
+	rs := s.ResultsStats()
+	st.ResultsHits = rs.Hits
+	st.ResultsMisses = rs.Misses
+	st.ResultsBytes = rs.Bytes
+	st.ResultsEntries = rs.Entries
+	st.ResultsEvictions = rs.Evictions
+	st.ResultsInvalidations = rs.Invalidations
 	ms := s.manifest.Stats()
 	st.ActiveSnapshots = ms.ActiveSnapshots
 	st.SnapshotsTaken = ms.SnapshotsTaken

@@ -189,3 +189,49 @@ func waitStats(t *testing.T, w *webhooks, ok func(WebhookStats) bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestWebhookBackoffCapped: with a deep attempt budget, the doubling
+// backoff must saturate at MaxBackoff rather than growing geometrically.
+// Uncapped, this schedule (10ms base, 10 attempts) would sleep
+// 10+20+40+...+2560ms ≈ 5.1s; capped at 20ms it sleeps 170ms total.
+func TestWebhookBackoffCapped(t *testing.T) {
+	w := newWebhooks(WebhookOptions{
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 20 * time.Millisecond,
+		Attempts:   10,
+		Sender:     func(url string, body []byte) error { return errors.New("endpoint down") },
+	})
+	defer w.close()
+	start := time.Now()
+	w.enqueue("http://hooks.example/a", Alert{SubID: "s1"})
+	waitStats(t, w, func(st WebhookStats) bool { return st.Failures == 1 })
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("capped backoff schedule took %v; doubling was not capped", elapsed)
+	}
+	if st := w.stats(); st.Retries != 9 || st.Sent != 0 {
+		t.Fatalf("stats after exhausted budget = %+v", st)
+	}
+}
+
+// TestWebhookCloseDuringBackoff: a close landing while the dispatcher is
+// asleep between attempts must return promptly — the backoff timer is
+// stopped, not waited out — and the interrupted delivery counts failed.
+func TestWebhookCloseDuringBackoff(t *testing.T) {
+	w := newWebhooks(WebhookOptions{
+		Backoff:  time.Hour, // the test only passes if close interrupts this sleep
+		Attempts: 3,
+		Sender:   func(url string, body []byte) error { return errors.New("endpoint down") },
+	})
+	w.enqueue("http://hooks.example/a", Alert{SubID: "s1"})
+	// Retries increments before the sleep, so Retries==1 means the worker
+	// is inside the hour-long backoff.
+	waitStats(t, w, func(st WebhookStats) bool { return st.Retries == 1 })
+	start := time.Now()
+	w.close()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("close during backoff took %v; timer not interrupted", elapsed)
+	}
+	if st := w.stats(); st.Failures != 1 || st.Sent != 0 {
+		t.Fatalf("stats after interrupted delivery = %+v", st)
+	}
+}

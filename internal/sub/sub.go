@@ -136,7 +136,9 @@ type Request struct {
 // Push is one incremental result: the query evaluated over exactly the
 // committed segments [Seg0, Seg1) against a snapshot pinned for this
 // evaluation — byte-identical (at the wire-chunk level) to a historical
-// query over the same span.
+// query over the same span. Result may be shared with other subscriptions
+// of the same (stream, query, accuracy) — one evaluation feeds them all —
+// so consumers must treat it as read-only.
 type Push struct {
 	Seq        int64 // manifest commit sequence (strictly increasing)
 	Seg0, Seg1 int
@@ -274,6 +276,39 @@ type Hub struct {
 	nextID int
 	opened int64
 	closed bool
+
+	// flights dedupes evaluations across subscriptions: N standing queries
+	// with the same (stream, query, accuracy) watching one stream cost ONE
+	// cascade run per commit, not N — the first evaluator to reach a commit
+	// leads, the rest reuse its QueryResult (see sharedEval). flightOrder
+	// bounds the table FIFO at maxFlights so a long-lived hub cannot
+	// accumulate one entry per commit forever.
+	flights     map[string]*flight
+	flightOrder []string
+
+	evalRuns   atomic.Int64 // cascade evaluations actually executed
+	evalShared atomic.Int64 // pushes served from another subscription's run
+}
+
+// flight is one in-progress (or completed) shared evaluation. done closes
+// once res/err are final; waiters hold the pointer, so evicting the table
+// entry never strands them.
+type flight struct {
+	done chan struct{}
+	res  server.QueryResult
+	err  error
+}
+
+// maxFlights bounds the shared-evaluation table. Evicting a still-running
+// flight is safe — a later subscriber just evaluates independently.
+const maxFlights = 256
+
+// flightKey identifies evaluations that are provably interchangeable: same
+// stream, same segment, same canonical cascade, same accuracy. The cascade
+// name is canonical (query.ByName normalises "a" and "A" to one cascade),
+// so differently-spelled requests still share.
+func flightKey(s *Subscription, idx int) string {
+	return fmt.Sprintf("%s\x00%d\x00%s\x00%g", s.req.Stream, idx, s.cascade.Name, s.req.Accuracy)
 }
 
 // NewHub wires a hub to the store's commit stream. The caller must Close
@@ -282,7 +317,7 @@ func NewHub(store *server.Server, opt HubOptions) *Hub {
 	if opt.MaxSubscriptions == 0 {
 		opt.MaxSubscriptions = DefaultMaxSubscriptions
 	}
-	h := &Hub{store: store, opt: opt, subs: map[string]*Subscription{}}
+	h := &Hub{store: store, opt: opt, subs: map[string]*Subscription{}, flights: map[string]*flight{}}
 	h.ctx, h.cancelCtx = context.WithCancel(context.Background())
 	h.hooks = newWebhooks(opt.Webhook)
 	h.unhook = store.SubscribeCommits(h.onCommit)
@@ -426,17 +461,14 @@ func (h *Hub) evaluate(ctx context.Context, s *Subscription) {
 	}
 }
 
-// evalOne evaluates one committed segment and pushes the chunk. It
-// reports false when the subscription should end.
+// evalOne evaluates one committed segment (or adopts a matching
+// subscription's shared evaluation of it) and pushes the chunk. It reports
+// false when the subscription should end.
 func (h *Hub) evalOne(ctx context.Context, s *Subscription, ev event) bool {
-	snap, err := h.store.Snapshot()
-	if err != nil {
-		s.evalErrors.Add(1)
-		s.fail(fmt.Errorf("sub: snapshot: %w", err))
-		return false
+	res, err, quit := h.sharedEval(ctx, s, ev)
+	if quit {
+		return false // subscription ended while waiting on a shared flight
 	}
-	res, err := h.store.QueryAt(ctx, snap, s.req.Stream, s.cascade, s.opNames, s.req.Accuracy, ev.c.Idx, ev.c.Idx+1)
-	snap.Release()
 	if err != nil {
 		if ctx.Err() != nil {
 			s.fail(ErrClosed)
@@ -464,6 +496,74 @@ func (h *Hub) evalOne(ctx context.Context, s *Subscription, ev event) bool {
 	s.lastSeq.Store(ev.c.Seq)
 	s.latencyNs.Add(time.Since(ev.at).Nanoseconds())
 	return true
+}
+
+// sharedEval serves one commit's evaluation through the hub's in-flight
+// table. The first subscription to reach a flight key evaluates and
+// publishes; concurrent and later arrivals at the same key reuse the
+// published QueryResult — one cascade run feeds every matching
+// subscription, so fan-out cost no longer scales with subscriber count.
+// The shared result is read-only by the Push contract.
+//
+// The leader evaluates under the HUB's context, not its own: its result
+// must survive the leader unsubscribing mid-run, or a departing subscriber
+// would poison every waiter. A failed flight is unpublished (removed from
+// the table) and waiters fall back to an independent evaluation, so one
+// subscription's transient error cannot cascade. quit reports that THIS
+// subscription ended while waiting; res/err are meaningless then.
+func (h *Hub) sharedEval(ctx context.Context, s *Subscription, ev event) (res server.QueryResult, err error, quit bool) {
+	key := flightKey(s, ev.c.Idx)
+	h.mu.Lock()
+	if f, ok := h.flights[key]; ok {
+		h.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-s.quit:
+			return server.QueryResult{}, nil, true
+		}
+		if f.err == nil {
+			h.evalShared.Add(1)
+			return f.res, nil, false
+		}
+		// The leader failed; evaluate independently under this
+		// subscription's own context and snapshot.
+		res, err = h.directEval(ctx, s, ev)
+		return res, err, false
+	}
+	f := &flight{done: make(chan struct{})}
+	h.flights[key] = f
+	h.flightOrder = append(h.flightOrder, key)
+	if len(h.flightOrder) > maxFlights {
+		old := h.flightOrder[0]
+		h.flightOrder = h.flightOrder[1:]
+		delete(h.flights, old)
+	}
+	h.mu.Unlock()
+	f.res, f.err = h.directEval(h.ctx, s, ev)
+	if f.err != nil {
+		// Unpublish so a retry (or a waiter's fallback) starts clean; the
+		// stale flightOrder entry at worst evicts a re-created flight early.
+		h.mu.Lock()
+		if h.flights[key] == f {
+			delete(h.flights, key)
+		}
+		h.mu.Unlock()
+	}
+	close(f.done)
+	return f.res, f.err, false
+}
+
+// directEval runs one commit's query against a freshly pinned snapshot —
+// the exact historical query path, so the chunk is byte-identical to a
+// post-hoc query over the same span.
+func (h *Hub) directEval(ctx context.Context, s *Subscription, ev event) (server.QueryResult, error) {
+	snap, err := h.store.Snapshot()
+	if err != nil {
+		return server.QueryResult{}, fmt.Errorf("snapshot: %w", err)
+	}
+	defer snap.Release()
+	h.evalRuns.Add(1)
+	return h.store.QueryAt(ctx, snap, s.req.Stream, s.cascade, s.opNames, s.req.Accuracy, ev.c.Idx, ev.c.Idx+1)
 }
 
 // applyRules advances every rule's sliding window with this chunk's
@@ -508,10 +608,16 @@ func (s *Subscription) applyRules(c segment.Commit, res server.QueryResult) []Al
 	return alerts
 }
 
-// HubStats aggregates the hub's activity.
+// HubStats aggregates the hub's activity. EvalRuns counts cascade
+// evaluations actually executed; EvalShared counts pushes served from
+// another subscription's run — their sum is total pushes evaluated, and a
+// high shared fraction means the dedup table is absorbing subscriber
+// fan-out.
 type HubStats struct {
 	Active          int     `json:"active"`
 	Opened          int64   `json:"opened"`
+	EvalRuns        int64   `json:"eval_runs"`
+	EvalShared      int64   `json:"eval_shared"`
 	WebhooksSent    int64   `json:"webhooks_sent"`
 	WebhookRetries  int64   `json:"webhook_retries"`
 	WebhookFailures int64   `json:"webhook_failures"`
@@ -521,7 +627,12 @@ type HubStats struct {
 // Stats snapshots the hub and every live subscription (sorted by ID).
 func (h *Hub) Stats() HubStats {
 	h.mu.Lock()
-	st := HubStats{Active: len(h.subs), Opened: h.opened}
+	st := HubStats{
+		Active:     len(h.subs),
+		Opened:     h.opened,
+		EvalRuns:   h.evalRuns.Load(),
+		EvalShared: h.evalShared.Load(),
+	}
 	for _, s := range h.subs {
 		st.Subs = append(st.Subs, s.Stats())
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"sync"
 	"testing"
@@ -506,5 +507,91 @@ func waitFor(t testing.TB, ok func() bool) {
 			t.Fatal("condition never reached")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSharedEvaluationDedup: subscriptions with the same stream, cascade
+// and accuracy share one cascade evaluation per commit through the hub's
+// flight table — three identical subscribers cost one run per segment,
+// not three — while a subscription on a different stream keys its own
+// flights. Shared pushes carry the leader's QueryResult verbatim, so the
+// three subscribers' chunks are identical field for field.
+func TestSharedEvaluationDedup(t *testing.T) {
+	srv := newStore(t)
+	jackson, err := vidsim.DatasetByName("jackson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := sub.NewHub(srv, sub.HubOptions{})
+	defer hub.Close()
+
+	const segments = 3
+	trio := make([]*sub.Subscription, 3)
+	for i := range trio {
+		sn, err := hub.Subscribe(sub.Request{Stream: "cam", Query: testQuery})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trio[i] = sn
+	}
+	solo, err := hub.Subscribe(sub.Request{Stream: "other", Query: testQuery})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Commits fan out to every subscriber's pending queue (depth 64, far
+	// above 3 segments), so batch ingest completes before any draining.
+	if _, err := srv.Ingest(jackson, "cam", segments); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Ingest(jackson, "other", segments); err != nil {
+		t.Fatal(err)
+	}
+
+	drain := func(name string, sn *sub.Subscription) []sub.Push {
+		var out []sub.Push
+		for p := range sn.Out() {
+			out = append(out, p)
+			if len(out) == segments {
+				return out
+			}
+		}
+		t.Fatalf("%s: subscription ended after %d of %d pushes: %v", name, len(out), segments, sn.Err())
+		return nil
+	}
+	pushes := make([][]sub.Push, len(trio))
+	for i, sn := range trio {
+		pushes[i] = drain(fmt.Sprintf("trio[%d]", i), sn)
+	}
+	drain("solo", solo)
+
+	// Two distinct flight keys (one per stream) × segments runs; the two
+	// non-leading trio subscribers adopt the shared result every commit.
+	st := hub.Stats()
+	if st.EvalRuns != 2*segments {
+		t.Fatalf("EvalRuns = %d, want %d (one run per stream per segment)", st.EvalRuns, 2*segments)
+	}
+	if st.EvalShared != 2*segments {
+		t.Fatalf("EvalShared = %d, want %d (two adopters per shared segment)", st.EvalShared, 2*segments)
+	}
+
+	for j := 0; j < segments; j++ {
+		ref, err := json.Marshal(pushes[0][j].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(trio); i++ {
+			p := pushes[i][j]
+			if p.Seg0 != j || p.Seg1 != j+1 {
+				t.Fatalf("trio[%d] push %d covers [%d,%d), want [%d,%d)", i, j, p.Seg0, p.Seg1, j, j+1)
+			}
+			got, err := json.Marshal(p.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(ref) {
+				t.Fatalf("trio[%d] push %d result diverged from trio[0]", i, j)
+			}
+		}
 	}
 }

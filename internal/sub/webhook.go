@@ -23,8 +23,15 @@ type WebhookOptions struct {
 	// Attempts is the per-delivery try budget. Zero selects 4.
 	Attempts int
 	// Backoff is the delay before the first retry; it doubles per
-	// attempt. Zero selects 250ms.
+	// attempt, capped at MaxBackoff. Zero selects 250ms.
 	Backoff time.Duration
+	// MaxBackoff caps the doubling: with a large Attempts budget the
+	// uncapped double would grow the sleep geometrically (attempt 12 of a
+	// 250ms base waits over eight minutes) and pin the single dispatcher
+	// worker behind one dead endpoint. Zero selects 2s — above every sleep
+	// the default (4-attempt, 250ms) schedule produces, so capping does not
+	// change default behaviour.
+	MaxBackoff time.Duration
 	// Timeout caps one HTTP attempt. Zero selects 5s.
 	Timeout time.Duration
 	// Sender overrides the HTTP POST — tests inject failures and capture
@@ -41,6 +48,12 @@ func (o WebhookOptions) withDefaults() WebhookOptions {
 	}
 	if o.Backoff <= 0 {
 		o.Backoff = 250 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Backoff > o.MaxBackoff {
+		o.Backoff = o.MaxBackoff
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 5 * time.Second
@@ -120,8 +133,11 @@ func (w *webhooks) loop() {
 	}
 }
 
-// deliver POSTs one alert, retrying with doubling backoff until the try
-// budget is spent. A hub close aborts between attempts, never mid-POST.
+// deliver POSTs one alert, retrying with doubling backoff (capped at
+// MaxBackoff) until the try budget is spent. A hub close aborts between
+// attempts, never mid-POST; the backoff timer is stopped on that path, so
+// an aborted sleep releases its timer immediately instead of leaving it
+// pending until it would have fired.
 func (w *webhooks) deliver(d delivery) {
 	body, err := json.Marshal(d.alert)
 	if err != nil {
@@ -132,13 +148,17 @@ func (w *webhooks) deliver(d delivery) {
 	for attempt := 0; attempt < w.opt.Attempts; attempt++ {
 		if attempt > 0 {
 			w.retries.Add(1)
+			t := time.NewTimer(backoff)
 			select {
 			case <-w.quit:
+				t.Stop()
 				w.failures.Add(1)
 				return
-			case <-time.After(backoff):
+			case <-t.C:
 			}
-			backoff *= 2
+			if backoff *= 2; backoff > w.opt.MaxBackoff {
+				backoff = w.opt.MaxBackoff
+			}
 		}
 		if err := w.opt.Sender(d.url, body); err == nil {
 			w.sent.Add(1)
