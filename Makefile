@@ -3,7 +3,7 @@
 GO ?= go
 
 # Packages with concurrent paths, exercised under the race detector.
-RACE_PKGS := ./internal/api/... ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/... ./internal/sub/... ./internal/results/...
+RACE_PKGS := ./internal/api/... ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/... ./internal/sub/... ./internal/results/... ./internal/tenant/...
 
 # The retrieval fast path's headline benchmarks: the series tracked in
 # BENCH_PR4.json (ns/op, allocs/op, MB/s) so later PRs can spot
@@ -24,17 +24,25 @@ RESULTS_BENCH_REGEX := 'BenchmarkMaterializedQuery'
 SUB_BENCH_PKGS := ./internal/sub/
 SUB_BENCH_REGEX := 'BenchmarkSubscribePush'
 
+# The fair-admission series (BENCH_PR8.json): the same hot/cold tenant
+# skew with the weighted-fair gate funnelled back into one global FIFO
+# (VSTORE_BENCH_FAIRGATE=off — the pre-PR8 behaviour) and with it on, so
+# the committed pair quantifies the cold tenant's admission-wait fix
+# (the cold-p99-ms extra metric is the headline number).
+TENANT_BENCH_PKGS := ./internal/tenant/
+TENANT_BENCH_REGEX := 'BenchmarkTenantSkewAdmission'
+
 # The live-serving and storage core: covered with a minimum gate so the
 # concurrency machinery (manifest commits, snapshot release, daemon
 # lifecycle, tier demotion, shard recovery, HTTP admission control,
 # standing-query push) cannot silently lose its tests.
-COVER_PKGS := ./internal/api ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier ./internal/sub ./internal/results
+COVER_PKGS := ./internal/api ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier ./internal/sub ./internal/results ./internal/tenant
 COVER_MIN := 80
 
 # Fuzzing budget: 10s locally keeps the loop fast, nightly CI raises it.
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-json bench-json-sub bench-json-results bench-smoke lint fmt vet staticcheck vulncheck cover fuzz soak load-smoke all
+.PHONY: build test race bench bench-json bench-json-sub bench-json-results bench-json-tenant bench-smoke lint fmt vet staticcheck vulncheck cover fuzz soak load-smoke all
 
 all: build lint test
 
@@ -85,10 +93,21 @@ bench-json-results:
 	$(GO) run ./cmd/benchjson -o BENCH_PR7.json -field after < bench.res.tmp
 	@rm -f bench.res.tmp
 
+# The fair-admission series: "before" funnels every tenant through one
+# global FIFO queue (VSTORE_BENCH_FAIRGATE=off — exactly the gate this PR
+# replaced), "after" runs the weighted-fair gate, so the committed pair
+# shows what deficit round-robin buys a cold tenant under hot-tenant skew.
+bench-json-tenant:
+	VSTORE_BENCH_FAIRGATE=off $(GO) test -run '^$$' -bench $(TENANT_BENCH_REGEX) -benchmem $(TENANT_BENCH_PKGS) > bench.ten.tmp
+	$(GO) run ./cmd/benchjson -o BENCH_PR8.json -field before < bench.ten.tmp
+	$(GO) test -run '^$$' -bench $(TENANT_BENCH_REGEX) -benchmem $(TENANT_BENCH_PKGS) > bench.ten.tmp
+	$(GO) run ./cmd/benchjson -o BENCH_PR8.json -field after < bench.ten.tmp
+	@rm -f bench.ten.tmp
+
 # One iteration of every benchmark in the fast-path packages: keeps
 # benchmark code compiling and running in CI without the measurement cost.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS)
+	$(GO) test -run '^$$' -bench . -benchtime 1x $(BENCH_PKGS) $(TENANT_BENCH_PKGS)
 
 # Every listed package must actually carry tests: a package silently
 # contributing zero statements would hollow out the aggregate gate.
@@ -101,7 +120,7 @@ cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
 	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) '/^total:/ { \
 		sub(/%/, "", $$3); \
-		printf "coverage (api+server+ingest+erode+kvstore+tier+sub+results): %s%% (minimum %s%%)\n", $$3, min; \
+		printf "coverage (api+server+ingest+erode+kvstore+tier+sub+results+tenant): %s%% (minimum %s%%)\n", $$3, min; \
 		if ($$3 + 0 < min) { print "FAIL: coverage below minimum"; exit 1 } }'
 
 # A short deterministic-input fuzz pass over configuration persistence:
@@ -118,13 +137,20 @@ soak:
 	VSTORE_SOAK=$(SOAKTIME) $(GO) test -race -run TestSubscribeSoak -timeout 30m -v ./internal/sub/
 
 # End-to-end over the wire: a real `vstore api` server (own process, fresh
-# store, small profiling clip) under a 5-second mixed query/ingest load
-# from 8 concurrent vload clients, while a standing subscription held for
-# the whole run must see every committed segment exactly once, in commit
-# order, with zero drops. The server picks its own port (-listen :0) and
-# vload reads it from the startup line, so parallel CI jobs cannot
-# collide. vload exits non-zero on any hard error (429s are admission
-# control, not errors), and the server must drain cleanly on SIGTERM.
+# store, small profiling clip, a two-tenant key file) under two vload
+# phases. Phase 1 is the original keyless smoke: a 5-second mixed
+# query/ingest load from 8 concurrent clients, while a standing
+# subscription held for the whole run must see every committed segment
+# exactly once, in commit order, with zero drops — proving keyless clients
+# still work unchanged with tenants configured. Phase 2 is the tenant-skew
+# scenario this PR exists for: the same 8 clients hammer the server as the
+# hot tenant while a paced cold-tenant prober asks for little; the run
+# fails if the cold prober's p99 latency exceeds the bound (hot-tenant
+# starvation — what the weighted-fair gate prevents). The server picks its
+# own port (-listen :0) and vload reads it from the startup line, so
+# parallel CI jobs cannot collide. vload exits non-zero on any hard error
+# (429s are admission control, not errors), and the server must drain
+# cleanly on SIGTERM.
 load-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
@@ -132,7 +158,8 @@ load-smoke:
 	$(GO) build -o "$$tmp/vstore" ./cmd/vstore; \
 	$(GO) build -o "$$tmp/vload" ./cmd/vload; \
 	"$$tmp/vstore" configure -db "$$tmp/db" -clip 120 >/dev/null; \
-	"$$tmp/vstore" api -db "$$tmp/db" -listen 127.0.0.1:0 -max-inflight 4 -max-queue 8 > "$$tmp/server.log" & \
+	printf 'k-hot hot weight=1\nk-cold cold weight=1\n' > "$$tmp/tenants"; \
+	"$$tmp/vstore" api -db "$$tmp/db" -listen 127.0.0.1:0 -max-inflight 4 -max-queue 8 -tenants "$$tmp/tenants" > "$$tmp/server.log" & \
 	srvpid=$$!; \
 	addr=""; \
 	for i in $$(seq 1 50); do \
@@ -145,6 +172,9 @@ load-smoke:
 		cat "$$tmp/server.log"; exit 1; \
 	fi; \
 	"$$tmp/vload" -addr "http://$$addr" -clients 8 -duration 5s -seed-segments 2 -subscribe; \
+	echo "load-smoke: tenant-skew phase (hot load vs paced cold prober)"; \
+	"$$tmp/vload" -addr "http://$$addr" -clients 8 -duration 5s -seed-segments 2 \
+		-hot-key k-hot -cold-keys k-cold -cold-interval 150ms -cold-p99-max 5s; \
 	kill -TERM $$srvpid; \
 	wait $$srvpid
 

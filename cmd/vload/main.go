@@ -16,6 +16,13 @@
 // Rejections (HTTP 429) back off by the server's Retry-After hint and are
 // reported separately — they are the admission control working, not
 // errors. Any other failure fails the run.
+//
+// The tenant-skew scenario (-hot-key, -cold-keys, -cold-p99-max) turns
+// the run into a starvation probe: the load clients present the hot
+// tenant's key while one paced prober per cold key issues occasional
+// queries; the run fails when any cold prober starves (no completed
+// requests, or p99 latency over the bound) — the regression `make
+// load-smoke` runs against the weighted-fair admission gate.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,6 +52,16 @@ var (
 	ingestN  = flag.Int("ingest-every", 8, "every Nth operation is an ingest (0 = queries only)")
 	timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	subFlag  = flag.Bool("subscribe", false, "hold a standing subscription for the whole run and fail on any dropped, duplicated, or out-of-order notification")
+
+	// Tenant-skew scenario: the main load hammers the server as one hot
+	// tenant while paced cold tenants probe it; the run fails if a cold
+	// tenant's p99 stays above -cold-p99-max (starvation — what the fair
+	// gate exists to prevent).
+	apiKey       = flag.String("api-key", "", "API key for every client (empty = keyless default tenant)")
+	hotKey       = flag.String("hot-key", "", "API key the load clients present (tenant-skew scenario; empty = -api-key)")
+	coldKeys     = flag.String("cold-keys", "", "comma-separated API keys, one paced prober client each (tenant-skew scenario)")
+	coldInterval = flag.Duration("cold-interval", 150*time.Millisecond, "pause between each cold prober's requests")
+	coldP99Max   = flag.Duration("cold-p99-max", 0, "fail when a cold prober's p99 latency exceeds this (0 = report only)")
 )
 
 // op is one completed operation's record.
@@ -64,6 +82,7 @@ func main() {
 
 func run() error {
 	cl := api.NewClient(*addr)
+	cl.APIKey = *apiKey
 	ctx := context.Background()
 
 	// Wait for the server to come up: load-smoke starts `vstore api` and
@@ -107,6 +126,11 @@ func run() error {
 
 	fmt.Printf("vload: %d clients, %s, stream %q (query %s, chunk %d, ingest every %d, subscribe %v)\n",
 		*clients, *duration, *stream, *queryN, *chunk, *ingestN, *subFlag)
+	loadCl := cl
+	if *hotKey != "" {
+		loadCl = api.NewClient(*addr)
+		loadCl.APIKey = *hotKey
+	}
 	results := make([][]op, *clients)
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -117,9 +141,30 @@ func run() error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(c) + 1))
 			for i := 0; time.Now().Before(deadline); i++ {
-				results[c] = append(results[c], doOp(cl, rng, c, i))
+				results[c] = append(results[c], doOp(loadCl, rng, c, i))
 			}
 		}()
+	}
+	// Cold probers: one paced client per cold key, asking for little while
+	// the hot tenant saturates the gate.
+	var coldResults [][]op
+	if keys := splitKeys(*coldKeys); len(keys) > 0 {
+		coldResults = make([][]op, len(keys))
+		for i, key := range keys {
+			i, key := i, key
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ccl := api.NewClient(*addr)
+				ccl.APIKey = key
+				rng := rand.New(rand.NewSource(int64(1000 + i)))
+				for j := 0; time.Now().Before(deadline); j++ {
+					o := doColdOp(ccl, rng)
+					coldResults[i] = append(coldResults[i], o)
+					time.Sleep(*coldInterval)
+				}
+			}()
+		}
 	}
 	wg.Wait()
 
@@ -128,7 +173,112 @@ func run() error {
 			return fmt.Errorf("subscription verification: %w", err)
 		}
 	}
-	return report(results)
+	if err := report(results); err != nil {
+		return err
+	}
+	printTenantWindows(ctx, cl)
+	return reportCold(coldResults)
+}
+
+func splitKeys(s string) []string {
+	var keys []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// doColdOp is one cold prober request: always a small query, never an
+// ingest — the cold tenant asks for almost nothing.
+func doColdOp(cl *api.Client, rng *rand.Rand) op {
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	t0 := time.Now()
+	_, _, err := cl.Query(ctx, api.QueryRequest{
+		Stream: *stream, Query: *queryN, Accuracy: *accuracy, Chunk: *chunk,
+	})
+	o := op{kind: "cold", latency: time.Since(t0)}
+	if err != nil {
+		if api.IsRejected(err) {
+			o.rejected = true
+			if se, ok := err.(*api.StatusError); ok && se.RetryAfter > 0 {
+				time.Sleep(se.RetryAfter/2 + time.Duration(rng.Int63n(int64(se.RetryAfter))))
+			}
+		} else {
+			o.err = err
+		}
+	}
+	return o
+}
+
+// printTenantWindows surfaces the server's own per-tenant trailing-60s
+// accounting — the admission waits measured inside the gate.
+func printTenantWindows(ctx context.Context, cl *api.Client) {
+	st, err := cl.Stats(ctx)
+	if err != nil || len(st.Tenants) == 0 {
+		return
+	}
+	names := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := st.Tenants[name]
+		w := ts.Window
+		fmt.Printf("tenant %-12s w%-2d  req %5d  ok %5d  rej %4d  aborts %3d  avg %7.1fms  p99wait %7.1fms\n",
+			name, ts.Weight, w.Requests, w.OK, w.Rejected, w.Aborted, w.AvgMs, w.P99WaitMs)
+	}
+}
+
+// reportCold summarises the cold probers and enforces -cold-p99-max: the
+// starvation gate. A hot tenant monopolising the admission queue shows up
+// here as a cold p99 at the request timeout (or outright rejections).
+func reportCold(coldResults [][]op) error {
+	if coldResults == nil {
+		return nil
+	}
+	var (
+		lats     []time.Duration
+		rejected int
+		errCount int
+		firstErr error
+	)
+	for _, ops := range coldResults {
+		for _, o := range ops {
+			switch {
+			case o.err != nil:
+				errCount++
+				if firstErr == nil {
+					firstErr = o.err
+				}
+			case o.rejected:
+				rejected++
+			default:
+				lats = append(lats, o.latency)
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := percentile(lats, 0.99)
+	fmt.Printf("cold    %5d ok  p50 %8.1fms  p95 %8.1fms  p99 %8.1fms  (%d rejected, %d errors)\n",
+		len(lats),
+		float64(percentile(lats, 0.50).Microseconds())/1000,
+		float64(percentile(lats, 0.95).Microseconds())/1000,
+		float64(p99.Microseconds())/1000,
+		rejected, errCount)
+	if errCount > 0 {
+		return fmt.Errorf("cold probers: %d failed; first: %w", errCount, firstErr)
+	}
+	if len(lats) == 0 {
+		return fmt.Errorf("cold probers completed no requests — total starvation")
+	}
+	if *coldP99Max > 0 && p99 > *coldP99Max {
+		return fmt.Errorf("cold-tenant starvation: p99 %s exceeds the %s bound", p99, *coldP99Max)
+	}
+	return nil
 }
 
 // subscriber is the standing-query verifier: one subscription held across

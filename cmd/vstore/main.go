@@ -36,6 +36,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/segment"
 	"repro/internal/server"
+	"repro/internal/tenant"
 	"repro/internal/tier"
 	"repro/internal/vidsim"
 )
@@ -463,6 +464,36 @@ func cmdStats(args []string) error {
 	return nil
 }
 
+// loadTenants builds the tenant registry for the API server: the key
+// file's keys and quotas layered over the quotas persisted in the store
+// configuration, with the merge persisted back so a later restart without
+// -tenants still enforces the same envelopes (keyless, all traffic on the
+// default tenant). Returns nil when neither source defines any tenant.
+func loadTenants(db, file string) (*tenant.Registry, error) {
+	cfg, cfgErr := core.Load(configPath(db))
+	if file == "" {
+		if cfgErr == nil && len(cfg.Runtime.Tenants) > 0 {
+			fmt.Printf("tenants: %d quota envelopes from %s (keyless)\n", len(cfg.Runtime.Tenants), configPath(db))
+			return tenant.NewRegistry(cfg.Runtime.Tenants, nil), nil
+		}
+		return nil, nil
+	}
+	kf, err := tenant.LoadKeyFile(file)
+	if err != nil {
+		return nil, err
+	}
+	quotas := kf.Quotas
+	if cfgErr == nil {
+		quotas = tenant.MergeQuotas(cfg.Runtime.Tenants, kf.Quotas)
+		cfg.Runtime.Tenants = quotas
+		if err := cfg.Save(configPath(db)); err != nil {
+			return nil, fmt.Errorf("persist tenant quotas: %w", err)
+		}
+	}
+	fmt.Printf("tenants: %d keys across %d tenants from %s\n", len(kf.Keys), len(quotas), file)
+	return tenant.NewRegistry(quotas, kf.Keys), nil
+}
+
 // cmdAPI serves the store over HTTP — the network counterpart of serve:
 // the full lifecycle (query/ingest/erode/demote/compact/stats) behind
 // internal/api's admission-controlled endpoints, draining gracefully on
@@ -474,6 +505,7 @@ func cmdAPI(args []string) error {
 	maxInFlight := fs.Int("max-inflight", 0, "max concurrently executing requests (0 = 2x GOMAXPROCS)")
 	maxQueue := fs.Int("max-queue", 0, "max requests waiting for a slot before 429 (0 = max-inflight)")
 	maxSubs := fs.Int("max-subs", 0, "max concurrent standing-query subscriptions before 429 (0 = default)")
+	tenantsFile := fs.String("tenants", "", "tenant key file: one \"<api-key> <tenant> [weight=W] [rate=R] ...\" per line (empty = single default tenant)")
 	queryTimeout := fs.Duration("query-timeout", 0, "server-side cap per query (0 = none)")
 	erodeEvery := fs.Duration("erode-interval", 0, "erosion daemon pass interval (0 = no daemon)")
 	today := fs.Int("today", 1, "current day index for the erosion daemon's age function")
@@ -494,12 +526,18 @@ func cmdAPI(args []string) error {
 		defer srv.StopErosionDaemon()
 	}
 
-	as := api.New(srv, api.Limits{
+	lim := api.Limits{
 		MaxInFlight:      *maxInFlight,
 		MaxQueue:         *maxQueue,
 		MaxSubscriptions: *maxSubs,
 		QueryTimeout:     *queryTimeout,
-	})
+	}
+	if reg, err := loadTenants(*db, *tenantsFile); err != nil {
+		return err
+	} else if reg != nil {
+		lim.Tenants = reg
+	}
+	as := api.New(srv, lim)
 	addr, err := as.Start(*listen)
 	if err != nil {
 		return err

@@ -4,28 +4,43 @@
 // statistics — with the production hygiene a store "serving heavy traffic
 // from millions of users" (ROADMAP) needs from day one:
 //
-//   - admission control: at most MaxInFlight queries execute on the shared
-//     pool at once, at most MaxQueue more wait; overflow is answered with
-//     429 + Retry-After instead of an unbounded goroutine pileup;
+//   - multi-tenant admission control: requests resolve to a tenant by API
+//     key (keyless requests land on the "default" tenant, so single-tenant
+//     deployments need no configuration) and are admitted through
+//     internal/tenant's weighted-fair gate — per-tenant bounded queues
+//     drained in proportion to each tenant's weight, so one hot tenant
+//     saturating the server cannot starve the others, which the previous
+//     global FIFO gate allowed. At most MaxInFlight requests execute on
+//     the shared pool at once; a tenant overflowing its own queue or
+//     exhausting its rate/byte quota is answered 429 with a load-derived
+//     Retry-After;
 //   - cancellation: every request's context threads through query
 //     execution (Server.Query's contract), so a disconnected client stops
 //     consuming the pool between per-segment batches;
-//   - graceful drain: Shutdown stops accepting, lets in-flight requests
-//     finish (their snapshots release on return), then cancels stragglers
-//     past the deadline;
-//   - observability: per-endpoint request/rejection/error/in-flight and
-//     latency counters, surfaced in /v1/stats next to the store's own.
+//   - graceful drain: Shutdown stops accepting (503s are still counted),
+//     lets in-flight requests finish (their snapshots release on return),
+//     then cancels stragglers past the deadline;
+//   - observability: per-endpoint request/rejection/abort/error/in-flight
+//     and latency counters plus per-tenant trailing-60s windows in
+//     /v1/stats, and a dependency-free Prometheus text exposition at
+//     GET /metrics.
 //
 // Endpoints (all JSON; query responses are NDJSON):
 //
 //	POST /v1/query    run a cascade, results streamed chunk-by-chunk
 //	POST /v1/ingest   append segments of a scene to a stream
-//	GET  /v1/stats    store + API counters
+//	GET  /v1/stats    store + API + per-tenant counters
 //	GET  /v1/streams  known streams and live-pipeline state
 //	POST /v1/erode    one erosion pass over every stream
 //	POST /v1/demote   one fast→cold demotion pass
 //	POST /v1/compact  compact every shard of both tiers
+//	GET  /metrics     Prometheus text exposition (served during drain)
 //	GET  /healthz     liveness (reports draining during shutdown)
+//
+// Authentication: clients present an API key via the X-API-Key header (or
+// Authorization: Bearer). Keys map to tenants through tenant.Registry;
+// an unknown key is answered 401. No key at all selects the default
+// tenant — exactly the pre-multi-tenant behavior.
 package api
 
 import (
@@ -38,13 +53,14 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"sync"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/query"
 	"repro/internal/server"
 	"repro/internal/sub"
+	"repro/internal/tenant"
 	"repro/internal/vidsim"
 )
 
@@ -55,14 +71,21 @@ type Limits struct {
 	// shared pool (queries and ingests alike). Zero selects
 	// 2×GOMAXPROCS; negative means 1.
 	MaxInFlight int
-	// MaxQueue bounds requests waiting for an execution slot; one more
-	// and the server answers 429. Zero selects MaxInFlight; negative
+	// MaxQueue bounds each tenant's requests waiting for an execution
+	// slot; one more and that tenant is answered 429 (a tenant's quota
+	// can override its own bound). Zero selects MaxInFlight; negative
 	// means no waiting room (immediate 429 when saturated).
 	MaxQueue int
+	// Tenants resolves API keys to tenants and their quotas. Nil selects
+	// a registry with just the unlimited "default" tenant — the
+	// single-tenant deployment.
+	Tenants *tenant.Registry
 	// QueryTimeout caps each query server-side. Zero means no cap; a
 	// request's timeout_ms can only tighten it.
 	QueryTimeout time.Duration
-	// RetryAfter is the hint sent with 429 responses. Zero selects 1s.
+	// RetryAfter, when set, overrides the load-derived Retry-After hint
+	// sent with 429 responses. Zero lets the gate derive the hint from
+	// its measured slot-hold time and backlog.
 	RetryAfter time.Duration
 	// MaxSubscriptions bounds concurrently active standing queries
 	// (POST /v1/subscribe); overflow is answered 429. Subscriptions are
@@ -88,68 +111,26 @@ func (l Limits) withDefaults() Limits {
 	if l.MaxQueue < 0 {
 		l.MaxQueue = 0
 	}
-	if l.RetryAfter <= 0 {
-		l.RetryAfter = time.Second
-	}
 	return l
-}
-
-// gate is the admission controller: a semaphore of execution slots plus a
-// bounded count of waiters. Acquisition is fair enough for a store — the
-// Go runtime's channel queue is FIFO — and rejection is O(1), never a
-// goroutine parked forever.
-type gate struct {
-	sem      chan struct{}
-	mu       sync.Mutex
-	queued   int
-	maxQueue int
-}
-
-func newGate(maxInFlight, maxQueue int) *gate {
-	return &gate{sem: make(chan struct{}, maxInFlight), maxQueue: maxQueue}
-}
-
-// acquire admits the caller, waiting in the bounded queue if the in-flight
-// limit is reached. It returns a release func on admission; rejected=true
-// when the queue was full (the 429 path); neither when ctx ended first.
-func (g *gate) acquire(ctx context.Context) (release func(), rejected bool) {
-	select {
-	case g.sem <- struct{}{}:
-		return func() { <-g.sem }, false
-	default:
-	}
-	g.mu.Lock()
-	if g.queued >= g.maxQueue {
-		g.mu.Unlock()
-		return nil, true
-	}
-	g.queued++
-	g.mu.Unlock()
-	defer func() {
-		g.mu.Lock()
-		g.queued--
-		g.mu.Unlock()
-	}()
-	select {
-	case g.sem <- struct{}{}:
-		return func() { <-g.sem }, false
-	case <-ctx.Done():
-		return nil, false
-	}
 }
 
 // endpointMetrics is one endpoint's counter set (see EndpointStats).
 type endpointMetrics struct {
-	requests   atomic.Int64
-	rejections atomic.Int64
-	errors     atomic.Int64
-	inFlight   atomic.Int64
-	latencyNs  atomic.Int64
-	maxNs      atomic.Int64
+	requests     atomic.Int64
+	rejections   atomic.Int64
+	errors       atomic.Int64
+	unauthorized atomic.Int64
+	unavailable  atomic.Int64
+	clientAborts atomic.Int64
+	inFlight     atomic.Int64
+	observed     atomic.Int64 // requests included in the latency sums
+	latencyNs    atomic.Int64
+	maxNs        atomic.Int64
 }
 
 func (m *endpointMetrics) observe(d time.Duration) {
 	ns := d.Nanoseconds()
+	m.observed.Add(1)
 	m.latencyNs.Add(ns)
 	for {
 		cur := m.maxNs.Load()
@@ -161,14 +142,17 @@ func (m *endpointMetrics) observe(d time.Duration) {
 
 func (m *endpointMetrics) stats() EndpointStats {
 	st := EndpointStats{
-		Requests:   m.requests.Load(),
-		Rejections: m.rejections.Load(),
-		Errors:     m.errors.Load(),
-		InFlight:   m.inFlight.Load(),
-		MaxMs:      float64(m.maxNs.Load()) / 1e6,
+		Requests:     m.requests.Load(),
+		Rejections:   m.rejections.Load(),
+		Errors:       m.errors.Load(),
+		Unauthorized: m.unauthorized.Load(),
+		Unavailable:  m.unavailable.Load(),
+		ClientAborts: m.clientAborts.Load(),
+		InFlight:     m.inFlight.Load(),
+		MaxMs:        float64(m.maxNs.Load()) / 1e6,
 	}
-	if st.Requests > 0 {
-		st.AvgMs = float64(m.latencyNs.Load()) / float64(st.Requests) / 1e6
+	if n := m.observed.Load(); n > 0 {
+		st.AvgMs = float64(m.latencyNs.Load()) / float64(n) / 1e6
 	}
 	return st
 }
@@ -181,10 +165,14 @@ func (m *endpointMetrics) stats() EndpointStats {
 type Server struct {
 	store   *server.Server
 	lim     Limits
-	gate    *gate
-	hub     *sub.Hub
-	mux     *http.ServeMux
-	metrics map[string]*endpointMetrics
+	gate    *tenant.Gate
+	tenants *tenant.Registry
+	// retryAfterSet: the operator pinned Limits.RetryAfter, which then
+	// overrides the gate's load-derived hint on every 429.
+	retryAfterSet bool
+	hub           *sub.Hub
+	mux           *http.ServeMux
+	metrics       map[string]*endpointMetrics
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
@@ -198,12 +186,17 @@ type Server struct {
 // New wraps the store in an HTTP API server with the given limits.
 func New(store *server.Server, lim Limits) *Server {
 	s := &Server{
-		store:   store,
-		lim:     lim.withDefaults(),
-		mux:     http.NewServeMux(),
-		metrics: map[string]*endpointMetrics{},
+		store:         store,
+		lim:           lim.withDefaults(),
+		retryAfterSet: lim.RetryAfter > 0,
+		mux:           http.NewServeMux(),
+		metrics:       map[string]*endpointMetrics{},
 	}
-	s.gate = newGate(s.lim.MaxInFlight, s.lim.MaxQueue)
+	s.tenants = s.lim.Tenants
+	if s.tenants == nil {
+		s.tenants = tenant.NewRegistry(nil, nil)
+	}
+	s.gate = tenant.NewGate(s.lim.MaxInFlight, s.lim.MaxQueue)
 	s.hub = sub.NewHub(store, sub.HubOptions{
 		MaxSubscriptions: s.lim.MaxSubscriptions,
 		Webhook:          s.lim.Webhook,
@@ -219,21 +212,56 @@ func New(store *server.Server, lim Limits) *Server {
 	s.route("erode", "POST /v1/erode", s.handleErode)
 	s.route("demote", "POST /v1/demote", s.handleDemote)
 	s.route("compact", "POST /v1/compact", s.handleCompact)
+	s.route("metrics", "GET /metrics", s.handleMetrics)
 	s.route("healthz", "GET /healthz", s.handleHealthz)
 	return s
 }
 
+// tenantKey carries the request's resolved *tenant.Tenant in its context.
+type tenantKey struct{}
+
+func tenantFrom(ctx context.Context) *tenant.Tenant {
+	t, _ := ctx.Value(tenantKey{}).(*tenant.Tenant)
+	return t
+}
+
+// apiKey extracts the client's API key: the X-API-Key header, else an
+// Authorization: Bearer token. Empty means the keyless default tenant.
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if k, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(k)
+		}
+	}
+	return ""
+}
+
 // route mounts one instrumented endpoint: request/in-flight/latency
-// accounting, the 503 drain gate, and error counting by status code.
+// accounting, the 503 drain gate, API-key → tenant resolution, and
+// outcome classification by status code. Every arrival is counted —
+// drain-time 503s included, which the pre-multi-tenant wrapper silently
+// dropped by returning before the request counter.
 func (s *Server) route(name, pattern string, fn http.HandlerFunc) {
 	m := &endpointMetrics{}
 	s.metrics[name] = m
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() && name != "healthz" {
+		m.requests.Add(1)
+		// healthz must answer during drain (it reports the drain) and
+		// metrics must stay scrapable while the server winds down.
+		if s.draining.Load() && name != "healthz" && name != "metrics" {
+			m.unavailable.Add(1)
 			http.Error(w, "server draining", http.StatusServiceUnavailable)
 			return
 		}
-		m.requests.Add(1)
+		tn, err := s.tenants.Resolve(apiKey(r))
+		if err != nil {
+			m.unauthorized.Add(1)
+			http.Error(w, "unknown API key", http.StatusUnauthorized)
+			return
+		}
 		m.inFlight.Add(1)
 		t0 := time.Now()
 		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
@@ -242,29 +270,58 @@ func (s *Server) route(name, pattern string, fn http.HandlerFunc) {
 		// skip its accounting.
 		defer func() {
 			m.inFlight.Add(-1)
-			m.observe(time.Since(t0))
+			d := time.Since(t0)
 			switch {
 			case cw.status == http.StatusTooManyRequests:
 				m.rejections.Add(1)
+				tn.Observe(tenant.OutcomeRejected, d, 0, cw.bytes)
+			case !cw.wrote && r.Context().Err() != nil:
+				// The handler wrote nothing and the request context is
+				// dead: the client vanished (mid-body, or while parked in
+				// the admission gate). Not a 200, not an error — counted
+				// apart and excluded from the latency summaries, which
+				// a pile of slow aborts used to drag around.
+				m.clientAborts.Add(1)
+				tn.Observe(tenant.OutcomeAborted, d, cw.gateWait, cw.bytes)
 			case cw.status >= 500 || cw.midStreamErr:
 				m.errors.Add(1)
+				m.observe(d)
+				tn.Observe(tenant.OutcomeError, d, cw.gateWait, cw.bytes)
+			default:
+				m.observe(d)
+				tn.Observe(tenant.OutcomeOK, d, cw.gateWait, cw.bytes)
 			}
+			tn.ChargeBytes(cw.bytes + cw.ingestBytes)
 		}()
-		fn(cw, r)
+		fn(cw, r.WithContext(context.WithValue(r.Context(), tenantKey{}, tn)))
 	})
 }
 
-// countingWriter captures the response status (and mid-stream query
-// failures, which arrive after the 200 header) for the metrics wrapper.
+// countingWriter captures the response status, whether anything was
+// written at all (distinguishing client aborts from empty 200s), the
+// response byte count for tenant byte quotas, and mid-stream query
+// failures, which arrive after the 200 header.
 type countingWriter struct {
 	http.ResponseWriter
 	status       int
+	wrote        bool
+	bytes        int64
+	ingestBytes  int64         // segment bytes an ingest stored, charged like traffic
+	gateWait     time.Duration // admission-gate wait, for per-tenant wait stats
 	midStreamErr bool
 }
 
 func (w *countingWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // Flush forwards to the underlying writer so NDJSON lines reach the
@@ -348,25 +405,51 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-func (s *Server) reject(w http.ResponseWriter) {
-	// Clamp to >= 1s: a sub-second hint would round to "Retry-After: 0"
-	// and clients would hammer the already-saturated server.
-	secs := int(s.lim.RetryAfter.Round(time.Second) / time.Second)
+// reject answers the 429, hinting when to retry: the operator-pinned
+// Limits.RetryAfter when set, else the load-derived hint the gate or
+// quota computed. Clamped to >= 1s — a sub-second hint would round to
+// "Retry-After: 0" and clients would hammer the already-saturated server.
+func (s *Server) reject(w http.ResponseWriter, hint time.Duration, msg string) {
+	if s.retryAfterSet {
+		hint = s.lim.RetryAfter
+	}
+	secs := int(hint.Round(time.Second) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	http.Error(w, "server saturated: in-flight and queue limits reached", http.StatusTooManyRequests)
+	http.Error(w, msg, http.StatusTooManyRequests)
 }
 
-// slotDenied handles a gate wait that ended without admission or
-// rejection: the context died. A vanished client gets nothing; a
-// server-side deadline (query timeout, drain) is answered 503 so the
-// still-connected client sees an error status rather than an empty 200.
-func slotDenied(w http.ResponseWriter, r *http.Request) {
-	if r.Context().Err() == nil {
+// acquire admits one request: the tenant's rate/byte quotas first, then
+// the weighted-fair gate. ctx bounds the gate wait (it may carry the
+// query timeout, tighter than r.Context()). ok=false means the response
+// is already written (429, or 503 for a server-side deadline); a
+// vanished client gets nothing and is classified as an abort by the
+// route wrapper.
+func (s *Server) acquire(ctx context.Context, w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	tn := tenantFrom(r.Context())
+	if allowed, retry := tn.AllowRequest(); !allowed {
+		s.reject(w, retry, "tenant quota exhausted: rate or byte budget spent")
+		return nil, false
+	}
+	release, wait, err := s.gate.Acquire(ctx, tn)
+	if cw, isCW := w.(*countingWriter); isCW {
+		cw.gateWait = wait
+	}
+	switch rej := (*tenant.Rejection)(nil); {
+	case err == nil:
+		return release, true
+	case errors.As(err, &rej):
+		// The tenant's own queue overflowed. Body kept verbatim from the
+		// single-tenant gate for existing clients.
+		s.reject(w, rej.RetryAfter, "server saturated: in-flight and queue limits reached")
+	case r.Context().Err() == nil:
+		// A server-side deadline (query timeout) ended the wait while the
+		// client is still connected: an error status, not an empty 200.
 		http.Error(w, "timed out waiting for an execution slot", http.StatusServiceUnavailable)
 	}
+	return nil, false
 }
 
 // handleQuery streams one query as NDJSON. The request is admitted
@@ -392,6 +475,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "invalid segment range", http.StatusBadRequest)
 		return
 	}
+	// A target accuracy outside [0, 1] is meaningless to the optimizer;
+	// it used to slip through and skew cascade selection silently.
+	if req.Accuracy < 0 || req.Accuracy > 1 {
+		http.Error(w, "accuracy must be within [0, 1]", http.StatusBadRequest)
+		return
+	}
 	acc := req.Accuracy
 	if acc == 0 {
 		acc = 0.9
@@ -410,13 +499,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	release, rejected := s.gate.acquire(ctx)
-	if rejected {
-		s.reject(w)
-		return
-	}
-	if release == nil {
-		slotDenied(w, r)
+	release, ok := s.acquire(ctx, w, r)
+	if !ok {
 		return
 	}
 	defer release()
@@ -499,13 +583,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	release, rejected := s.gate.acquire(r.Context())
-	if rejected {
-		s.reject(w)
-		return
-	}
-	if release == nil {
-		slotDenied(w, r)
+	release, ok := s.acquire(r.Context(), w, r)
+	if !ok {
 		return
 	}
 	defer release()
@@ -523,17 +602,45 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for _, one := range st.PerSF {
 		resp.Bytes += one.Bytes
 	}
+	// Stored segment bytes count against the tenant's byte quota just
+	// like response traffic.
+	if cw, isCW := w.(*countingWriter); isCW {
+		cw.ingestBytes = resp.Bytes
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{Store: s.store.Stats(), API: map[string]EndpointStats{}}
+	resp := StatsResponse{
+		Store:   s.store.Stats(),
+		API:     map[string]EndpointStats{},
+		Tenants: map[string]TenantStats{},
+	}
 	for name, m := range s.metrics {
 		resp.API[name] = m.stats()
+	}
+	gateStats, _, _ := s.gate.Snapshot()
+	for _, tn := range s.tenants.Tenants() {
+		resp.Tenants[tn.Name()] = TenantStats{
+			Weight: tn.Weight(),
+			Window: tn.WindowStats(),
+			Gate:   gateStats[tn.Name()],
+		}
 	}
 	hs := s.hub.Stats()
 	resp.Subs = &hs
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// Metrics returns a snapshot of the per-endpoint counters, keyed by
+// endpoint name — the counters /v1/stats serves, reachable even while
+// the server drains (when /v1/stats itself answers 503).
+func (s *Server) Metrics() map[string]EndpointStats {
+	out := make(map[string]EndpointStats, len(s.metrics))
+	for name, m := range s.metrics {
+		out[name] = m.stats()
+	}
+	return out
 }
 
 func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {

@@ -22,6 +22,10 @@ import (
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// APIKey, when set, is sent as X-API-Key with every request and
+	// selects the tenant the server accounts this client against. Empty
+	// means the keyless default tenant.
+	APIKey string
 	// HTTP is the underlying client; nil selects a default with no
 	// timeout (streaming responses outlive any fixed one).
 	HTTP *http.Client
@@ -30,6 +34,13 @@ type Client struct {
 // NewClient returns a client for the server at baseURL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL, HTTP: &http.Client{}}
+}
+
+// authorize stamps the client's API key on one outbound request.
+func (c *Client) authorize(req *http.Request) {
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
+	}
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -120,6 +131,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authorize(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -148,6 +160,7 @@ func (c *Client) QueryStream(ctx context.Context, req QueryRequest, fn func(Quer
 		return sum, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	c.authorize(hreq)
 	resp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return sum, err
@@ -224,6 +237,7 @@ func (c *Client) Subscribe(ctx context.Context, req SubscribeRequest, fn func(Su
 		return sum, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	c.authorize(hreq)
 	resp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return sum, err

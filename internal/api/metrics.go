@@ -1,0 +1,131 @@
+// GET /metrics: Prometheus text exposition (format 0.0.4), written by
+// hand against the stdlib — the repo takes no dependencies. Counters come
+// from the tenants' cumulative totals and the per-endpoint counter sets;
+// gauges from the gate's live snapshot; the admission-wait histogram from
+// each tenant's cumulative power-of-two bucket counts.
+
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/tenant"
+)
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+
+	head := func(name, typ, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	tenants := s.tenants.Tenants()
+
+	// Per-tenant cumulative counters.
+	type counter struct {
+		name, help string
+		value      func(tenant.Totals) float64
+	}
+	counters := []counter{
+		{"vstore_tenant_requests_total", "Requests received, by tenant.",
+			func(t tenant.Totals) float64 { return float64(t.Requests) }},
+		{"vstore_tenant_ok_total", "Requests admitted and answered successfully, by tenant.",
+			func(t tenant.Totals) float64 { return float64(t.OK) }},
+		{"vstore_tenant_rejected_total", "Admission rejections (429): queue overflow or quota, by tenant.",
+			func(t tenant.Totals) float64 { return float64(t.Rejected) }},
+		{"vstore_tenant_client_aborts_total", "Requests whose client vanished before admission, by tenant.",
+			func(t tenant.Totals) float64 { return float64(t.Aborted) }},
+		{"vstore_tenant_errors_total", "Requests admitted but failed server-side, by tenant.",
+			func(t tenant.Totals) float64 { return float64(t.Errors) }},
+		{"vstore_tenant_bytes_total", "Bytes charged against the tenant: responses plus ingested segments.",
+			func(t tenant.Totals) float64 { return float64(t.Bytes) }},
+		{"vstore_tenant_latency_seconds_total", "Summed latency of answered requests, by tenant.",
+			func(t tenant.Totals) float64 { return float64(t.LatencyNs) / 1e9 }},
+	}
+	for _, c := range counters {
+		head(c.name, "counter", c.help)
+		for _, tn := range tenants {
+			fmt.Fprintf(&b, "%s{tenant=%q} %g\n", c.name, promEscape(tn.Name()), c.value(tn.Totals()))
+		}
+	}
+
+	// Admission-wait histogram, per tenant: cumulative le-buckets over the
+	// shared power-of-two bounds, in seconds.
+	head("vstore_tenant_admission_wait_seconds", "histogram",
+		"Time admitted requests waited in the fair gate, by tenant.")
+	for _, tn := range tenants {
+		name := promEscape(tn.Name())
+		hist := tn.WaitHist()
+		var cum int64
+		for i, bound := range tenant.WaitBucketBoundsMs {
+			cum += hist[i]
+			fmt.Fprintf(&b, "vstore_tenant_admission_wait_seconds_bucket{tenant=%q,le=%q} %d\n",
+				name, fmt.Sprintf("%g", bound/1000), cum)
+		}
+		cum += hist[len(hist)-1]
+		fmt.Fprintf(&b, "vstore_tenant_admission_wait_seconds_bucket{tenant=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "vstore_tenant_admission_wait_seconds_sum{tenant=%q} %g\n",
+			name, float64(tn.Totals().WaitNs)/1e9)
+		fmt.Fprintf(&b, "vstore_tenant_admission_wait_seconds_count{tenant=%q} %d\n", name, cum)
+	}
+
+	// Live gate state.
+	gateStats, inFlight, queued := s.gate.Snapshot()
+	head("vstore_gate_in_flight", "gauge", "Requests holding an execution slot, by tenant.")
+	for _, tn := range tenants {
+		fmt.Fprintf(&b, "vstore_gate_in_flight{tenant=%q} %d\n", promEscape(tn.Name()), gateStats[tn.Name()].InFlight)
+	}
+	head("vstore_gate_queued", "gauge", "Requests parked in the fair gate, by tenant.")
+	for _, tn := range tenants {
+		fmt.Fprintf(&b, "vstore_gate_queued{tenant=%q} %d\n", promEscape(tn.Name()), gateStats[tn.Name()].Queued)
+	}
+	head("vstore_gate_capacity", "gauge", "Gate-wide concurrent execution slots.")
+	fmt.Fprintf(&b, "vstore_gate_capacity %d\n", s.gate.Capacity())
+	head("vstore_gate_total_in_flight", "gauge", "Execution slots currently held, all tenants.")
+	fmt.Fprintf(&b, "vstore_gate_total_in_flight %d\n", inFlight)
+	head("vstore_gate_total_queued", "gauge", "Requests currently parked, all tenants.")
+	fmt.Fprintf(&b, "vstore_gate_total_queued %d\n", queued)
+
+	// Per-endpoint counters (ordered for a stable exposition).
+	names := make([]string, 0, len(s.metrics))
+	for name := range s.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type epCounter struct {
+		name, help string
+		value      func(EndpointStats) float64
+	}
+	epCounters := []epCounter{
+		{"vstore_endpoint_requests_total", "Requests received, by endpoint.",
+			func(st EndpointStats) float64 { return float64(st.Requests) }},
+		{"vstore_endpoint_rejections_total", "429 responses, by endpoint.",
+			func(st EndpointStats) float64 { return float64(st.Rejections) }},
+		{"vstore_endpoint_errors_total", "5xx responses and mid-stream failures, by endpoint.",
+			func(st EndpointStats) float64 { return float64(st.Errors) }},
+		{"vstore_endpoint_unauthorized_total", "401 responses to unknown API keys, by endpoint.",
+			func(st EndpointStats) float64 { return float64(st.Unauthorized) }},
+		{"vstore_endpoint_unavailable_total", "503 responses while draining, by endpoint.",
+			func(st EndpointStats) float64 { return float64(st.Unavailable) }},
+		{"vstore_endpoint_client_aborts_total", "Requests whose client vanished, by endpoint.",
+			func(st EndpointStats) float64 { return float64(st.ClientAborts) }},
+	}
+	for _, c := range epCounters {
+		head(c.name, "counter", c.help)
+		for _, name := range names {
+			fmt.Fprintf(&b, "%s{endpoint=%q} %g\n", c.name, name, c.value(s.metrics[name].stats()))
+		}
+	}
+
+	w.Header().Set("Content-Length", fmt.Sprint(b.Len()))
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/sub"
 )
@@ -58,7 +59,9 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case errors.Is(err, sub.ErrLimit):
-		s.reject(w)
+		// The subscription budget has no load signal; hint the 1s floor
+		// (the operator-pinned RetryAfter still overrides).
+		s.reject(w, time.Second, "server saturated: subscription limit reached")
 		return
 	case errors.Is(err, sub.ErrClosed):
 		http.Error(w, "server draining", http.StatusServiceUnavailable)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/server"
 	"repro/internal/sub"
+	"repro/internal/tenant"
 )
 
 // QueryRequest is the body of POST /v1/query.
@@ -206,22 +207,39 @@ type CompactResponse struct {
 }
 
 // EndpointStats is one endpoint's admission and latency counters.
+// Requests counts every arrival, drain-time 503s and unknown-key 401s
+// included; AvgMs/MaxMs cover only answered requests (client aborts are
+// counted apart and excluded, so a pile of slow disconnects cannot drag
+// the latency summary).
 type EndpointStats struct {
-	Requests   int64   `json:"requests"`
-	Rejections int64   `json:"rejections"` // 429s: admission-control overflow
-	Errors     int64   `json:"errors"`     // 5xx responses and mid-stream failures
-	InFlight   int64   `json:"in_flight"`
-	AvgMs      float64 `json:"avg_ms"`
-	MaxMs      float64 `json:"max_ms"`
+	Requests     int64   `json:"requests"`
+	Rejections   int64   `json:"rejections"`              // 429s: fair-gate overflow or quota
+	Errors       int64   `json:"errors"`                  // 5xx responses and mid-stream failures
+	Unauthorized int64   `json:"unauthorized,omitempty"`  // 401s: unknown API key
+	Unavailable  int64   `json:"unavailable,omitempty"`   // 503s answered while draining
+	ClientAborts int64   `json:"client_aborts,omitempty"` // client vanished before a response
+	InFlight     int64   `json:"in_flight"`
+	AvgMs        float64 `json:"avg_ms"`
+	MaxMs        float64 `json:"max_ms"`
+}
+
+// TenantStats is one tenant's /v1/stats entry: its fair-share weight, the
+// trailing-60s traffic window, and its live admission-gate state.
+type TenantStats struct {
+	Weight int                    `json:"weight"`
+	Window tenant.WindowStats     `json:"window"`
+	Gate   tenant.GateTenantStats `json:"gate"`
 }
 
 // StatsResponse is the body of GET /v1/stats: the store's counters, the
-// API layer's per-endpoint admission/latency counters, and the standing-
-// query hub's per-subscription counters.
+// API layer's per-endpoint admission/latency counters, per-tenant
+// windowed traffic, and the standing-query hub's per-subscription
+// counters.
 type StatsResponse struct {
-	Store kvstore.Stats            `json:"store"`
-	API   map[string]EndpointStats `json:"api"`
-	Subs  *sub.HubStats            `json:"subs,omitempty"`
+	Store   kvstore.Stats            `json:"store"`
+	API     map[string]EndpointStats `json:"api"`
+	Tenants map[string]TenantStats   `json:"tenants,omitempty"`
+	Subs    *sub.HubStats            `json:"subs,omitempty"`
 }
 
 // StreamInfo is one stream's serving state.

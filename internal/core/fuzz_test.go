@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"reflect"
+	"slices"
 	"testing"
 	"time"
 
@@ -26,8 +28,24 @@ func fuzzSeedConfig(tb testing.TB) *Config {
 		CacheBytes:       1 << 30,
 		IngestQueueDepth: 6,
 		ErodeInterval:    90 * time.Second,
+		Tenants: []TenantQuota{
+			{Name: "default", Weight: 1},
+			{Name: "gold", Weight: 4, MaxInFlight: 8, MaxQueue: 16, RatePerSec: 50, Burst: 100, BytesPerSec: 1 << 20},
+		},
 	}
 	return cfg
+}
+
+// runtimeEqual compares Runtime values field-wise: the Tenants slice makes
+// the struct non-comparable, and a nil slice must equal an empty one (JSON
+// omits both identically).
+func runtimeEqual(a, b Runtime) bool {
+	ta, tb := a.Tenants, b.Tenants
+	a.Tenants, b.Tenants = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		return false
+	}
+	return slices.Equal(ta, tb)
 }
 
 // FuzzConfigRoundTrip proves configuration persistence never panics on
@@ -64,7 +82,7 @@ func FuzzConfigRoundTrip(f *testing.F) {
 		if !bytes.Equal(out, out2) {
 			t.Fatalf("round trip is not a fixed point:\n%s\nvs\n%s", out, out2)
 		}
-		if cfg2.Runtime != cfg.Runtime {
+		if !runtimeEqual(cfg2.Runtime, cfg.Runtime) {
 			t.Fatalf("Runtime knobs drifted: %+v vs %+v", cfg2.Runtime, cfg.Runtime)
 		}
 	})
@@ -82,11 +100,15 @@ func TestRuntimeKnobsRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Runtime != cfg.Runtime {
+	if !runtimeEqual(got.Runtime, cfg.Runtime) {
 		t.Fatalf("Runtime = %+v, want %+v", got.Runtime, cfg.Runtime)
 	}
 	if got.Runtime.IngestQueueDepth != 6 || got.Runtime.ErodeInterval != 90*time.Second {
 		t.Fatalf("live knobs lost: %+v", got.Runtime)
+	}
+	if len(got.Runtime.Tenants) != 2 || got.Runtime.Tenants[1].Weight != 4 ||
+		got.Runtime.Tenants[1].RatePerSec != 50 || got.Runtime.Tenants[1].BytesPerSec != 1<<20 {
+		t.Fatalf("tenant quotas lost: %+v", got.Runtime.Tenants)
 	}
 	// A zero Runtime stays omitted from the JSON entirely.
 	cfg.Runtime = Runtime{}

@@ -23,14 +23,25 @@ type configDTO struct {
 }
 
 type runtimeDTO struct {
-	QueryWorkers     int   `json:"query_workers,omitempty"`
-	CacheBytes       int64 `json:"cache_bytes,omitempty"`
-	ResultsBytes     int64 `json:"results_bytes,omitempty"`
-	IngestQueueDepth int   `json:"ingest_queue_depth,omitempty"`
-	ErodeIntervalNS  int64 `json:"erode_interval_ns,omitempty"`
-	FastTierBytes    int64 `json:"fast_tier_bytes,omitempty"`
-	Shards           int   `json:"shards,omitempty"`
-	DemoteAfterDays  int   `json:"demote_after_days,omitempty"`
+	QueryWorkers     int              `json:"query_workers,omitempty"`
+	CacheBytes       int64            `json:"cache_bytes,omitempty"`
+	ResultsBytes     int64            `json:"results_bytes,omitempty"`
+	IngestQueueDepth int              `json:"ingest_queue_depth,omitempty"`
+	ErodeIntervalNS  int64            `json:"erode_interval_ns,omitempty"`
+	FastTierBytes    int64            `json:"fast_tier_bytes,omitempty"`
+	Shards           int              `json:"shards,omitempty"`
+	DemoteAfterDays  int              `json:"demote_after_days,omitempty"`
+	Tenants          []tenantQuotaDTO `json:"tenants,omitempty"`
+}
+
+type tenantQuotaDTO struct {
+	Name        string  `json:"name"`
+	Weight      int     `json:"weight,omitempty"`
+	MaxInFlight int     `json:"max_in_flight,omitempty"`
+	MaxQueue    int     `json:"max_queue,omitempty"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	Burst       int     `json:"burst,omitempty"`
+	BytesPerSec int64   `json:"bytes_per_sec,omitempty"`
 }
 
 type consumerDTO struct {
@@ -114,7 +125,7 @@ func (c *Config) MarshalBytes() ([]byte, error) {
 			TotalBytes: c.Erosion.TotalBytes,
 		}
 	}
-	if c.Runtime != (Runtime{}) {
+	if !c.Runtime.isZero() {
 		dto.Runtime = &runtimeDTO{
 			QueryWorkers:     c.Runtime.QueryWorkers,
 			CacheBytes:       c.Runtime.CacheBytes,
@@ -124,6 +135,17 @@ func (c *Config) MarshalBytes() ([]byte, error) {
 			FastTierBytes:    c.Runtime.FastTierBytes,
 			Shards:           c.Runtime.Shards,
 			DemoteAfterDays:  c.Runtime.DemoteAfterDays,
+		}
+		for _, t := range c.Runtime.Tenants {
+			dto.Runtime.Tenants = append(dto.Runtime.Tenants, tenantQuotaDTO{
+				Name:        t.Name,
+				Weight:      t.Weight,
+				MaxInFlight: t.MaxInFlight,
+				MaxQueue:    t.MaxQueue,
+				RatePerSec:  t.RatePerSec,
+				Burst:       t.Burst,
+				BytesPerSec: t.BytesPerSec,
+			})
 		}
 	}
 	b, err := json.MarshalIndent(dto, "", "  ")
@@ -223,6 +245,17 @@ func FromBytes(b []byte) (*Config, error) {
 			FastTierBytes:    dto.Runtime.FastTierBytes,
 			Shards:           dto.Runtime.Shards,
 			DemoteAfterDays:  dto.Runtime.DemoteAfterDays,
+		}
+		for _, t := range dto.Runtime.Tenants {
+			cfg.Runtime.Tenants = append(cfg.Runtime.Tenants, TenantQuota{
+				Name:        t.Name,
+				Weight:      t.Weight,
+				MaxInFlight: t.MaxInFlight,
+				MaxQueue:    t.MaxQueue,
+				RatePerSec:  t.RatePerSec,
+				Burst:       t.Burst,
+				BytesPerSec: t.BytesPerSec,
+			})
 		}
 	}
 	return cfg, nil

@@ -56,4 +56,51 @@ type Runtime struct {
 	// demotion unless the operator sets one); negative explicitly
 	// disables.
 	DemoteAfterDays int
+	// Tenants is the serving layer's per-tenant admission envelope: one
+	// quota per tenant of the HTTP API, persisted with the configuration
+	// so a restarted server admits exactly as configured. The entry named
+	// "default" governs keyless requests. An empty list serves everything
+	// as one unlimited default tenant.
+	Tenants []TenantQuota
+}
+
+// isZero reports whether no Runtime knob is set — the slice field makes
+// Runtime non-comparable, so persistence cannot use r != (Runtime{}).
+func (r Runtime) isZero() bool {
+	return r.QueryWorkers == 0 && r.CacheBytes == 0 && r.ResultsBytes == 0 &&
+		r.IngestQueueDepth == 0 && r.ErodeInterval == 0 && r.FastTierBytes == 0 &&
+		r.Shards == 0 && r.DemoteAfterDays == 0 && len(r.Tenants) == 0
+}
+
+// TenantQuota is one tenant's admission envelope in the HTTP serving
+// layer: its fair-share weight in the weighted-fair admission gate plus
+// the rate, concurrency and byte quotas enforced before a request may
+// wait for an execution slot. Zero values mean "no limit" (and weight 1),
+// so a bare {Name: "x"} tenant is isolated from its neighbours by the
+// fair queue but otherwise unconstrained.
+type TenantQuota struct {
+	// Name identifies the tenant; API keys resolve to it. "default" is
+	// the tenant of keyless requests.
+	Name string
+	// Weight is the tenant's fair share: the admission gate drains
+	// per-tenant queues round-robin, granting each backlogged tenant
+	// Weight slots per round. Zero selects 1.
+	Weight int
+	// MaxInFlight caps the tenant's concurrently executing requests,
+	// independent of the gate-wide limit. Zero means no per-tenant cap.
+	MaxInFlight int
+	// MaxQueue bounds the tenant's private waiting room; one more and the
+	// tenant (alone) is answered 429. Zero inherits the gate-wide
+	// MaxQueue; negative means no waiting room.
+	MaxQueue int
+	// RatePerSec is the tenant's sustained request-admission rate (token
+	// bucket, refilled continuously). Zero means unlimited.
+	RatePerSec float64
+	// Burst is the rate bucket's depth — how many requests may arrive
+	// back-to-back after idleness. Zero derives max(1, ceil(RatePerSec)).
+	Burst int
+	// BytesPerSec budgets the tenant's traffic volume: response bytes
+	// streamed plus segment bytes ingested, charged against a token
+	// bucket after each request. Zero means unlimited.
+	BytesPerSec int64
 }

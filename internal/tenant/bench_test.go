@@ -1,0 +1,79 @@
+package tenant
+
+import (
+	"context"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// BenchmarkTenantSkewAdmission measures what a cold tenant pays for a hot
+// tenant's load: 32 hot workers hammer a 2-slot gate (each holding its
+// slot ~2ms) while a single cold client issues one request at a time. The
+// benchmark reports the cold tenant's p99 admission wait.
+//
+// VSTORE_BENCH_FAIRGATE=off funnels every request through one queue — the
+// global FIFO gate this PR replaced — so cold requests queue behind the
+// whole hot backlog (p99 ≈ backlog × hold). The default fair mode queues
+// cold in its own lane and grants it within its equal share, so its p99
+// stays near a single slot-hold time regardless of the hot backlog.
+func BenchmarkTenantSkewAdmission(b *testing.B) {
+	fair := os.Getenv("VSTORE_BENCH_FAIRGATE") != "off"
+	r := NewRegistry([]core.TenantQuota{{Name: "hot"}, {Name: "cold"}}, nil)
+	var hot, cold *Tenant
+	for _, tn := range r.Tenants() {
+		switch tn.Name() {
+		case "hot":
+			hot = tn
+		case "cold":
+			cold = tn
+		}
+	}
+	g := NewGate(2, 64)
+	if !fair {
+		g.funnel(hot)
+	}
+
+	const hotWorkers = 32
+	const holdTime = 2 * time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < hotWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				rel, _, err := g.Acquire(ctx, hot)
+				if err != nil {
+					continue
+				}
+				time.Sleep(holdTime)
+				rel()
+			}
+		}()
+	}
+	// Let the hot backlog build before measuring.
+	time.Sleep(20 * time.Millisecond)
+
+	waits := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, wait, err := g.Acquire(context.Background(), cold)
+		if err != nil {
+			b.Fatalf("cold acquire: %v", err)
+		}
+		rel()
+		waits = append(waits, wait)
+	}
+	b.StopTimer()
+	cancel()
+	wg.Wait()
+
+	sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+	p99 := waits[(len(waits)*99)/100]
+	b.ReportMetric(float64(p99.Microseconds())/1000, "cold-p99-ms")
+}

@@ -1,0 +1,109 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func writeKeyFile(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "tenants")
+	if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadKeyFile(t *testing.T) {
+	p := writeKeyFile(t, `
+# production tenants
+sk-hot   analytics weight=4 inflight=8 rate=100 burst=200
+sk-hot2  analytics
+sk-cold  batch     queue=32 bytes_per_sec=1048576
+
+sk-free  default   weight=1
+`)
+	kf, err := LoadKeyFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := map[string]string{
+		"sk-hot": "analytics", "sk-hot2": "analytics",
+		"sk-cold": "batch", "sk-free": "default",
+	}
+	if len(kf.Keys) != len(wantKeys) {
+		t.Fatalf("keys = %v", kf.Keys)
+	}
+	for k, name := range wantKeys {
+		if kf.Keys[k] != name {
+			t.Fatalf("key %q -> %q, want %q", k, kf.Keys[k], name)
+		}
+	}
+	if len(kf.Quotas) != 3 {
+		t.Fatalf("quotas = %+v, want 3 tenants", kf.Quotas)
+	}
+	a := kf.Quotas[0]
+	if a.Name != "analytics" || a.Weight != 4 || a.MaxInFlight != 8 || a.RatePerSec != 100 || a.Burst != 200 {
+		t.Fatalf("analytics quota = %+v", a)
+	}
+	b := kf.Quotas[1]
+	if b.Name != "batch" || b.MaxQueue != 32 || b.BytesPerSec != 1<<20 {
+		t.Fatalf("batch quota = %+v", b)
+	}
+}
+
+func TestLoadKeyFileErrors(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"missing-tenant", "sk-lonely\n", "want \"<key> <tenant>"},
+		{"bad-attr", "sk-a t1 weight\n", "bad attribute"},
+		{"bad-value", "sk-a t1 weight=heavy\n", "bad weight value"},
+		{"unknown-attr", "sk-a t1 color=red\n", "unknown attribute"},
+		{"dup-key", "sk-a t1\nsk-a t2\n", "already mapped"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := LoadKeyFile(writeKeyFile(t, c.content))
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+	// Errors carry the line number so the operator can find the bad line.
+	_, err := LoadKeyFile(writeKeyFile(t, "# fine\nsk-a t1\nbroken\n"))
+	if err == nil || !strings.Contains(err.Error(), ":3:") {
+		t.Fatalf("err = %v, want line number :3:", err)
+	}
+}
+
+func TestMergeQuotas(t *testing.T) {
+	persisted := []core.TenantQuota{
+		{Name: "default", Weight: 1},
+		{Name: "analytics", Weight: 2, RatePerSec: 10},
+		{Name: "legacy", Weight: 1},
+	}
+	file := []core.TenantQuota{
+		{Name: "analytics", Weight: 8}, // operator raised the weight, dropped the rate cap
+		{Name: "batch", Weight: 1, MaxQueue: 16},
+	}
+	got := MergeQuotas(persisted, file)
+	want := []core.TenantQuota{
+		{Name: "default", Weight: 1},
+		{Name: "analytics", Weight: 8}, // file wins wholesale
+		{Name: "legacy", Weight: 1},    // unmentioned persisted tenant survives
+		{Name: "batch", Weight: 1, MaxQueue: 16},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package tenant
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func TestRegistryResolve(t *testing.T) {
+	r := NewRegistry(
+		[]core.TenantQuota{{Name: "gold", Weight: 4}},
+		map[string]string{"k-gold": "gold", "k-default": ""},
+	)
+	// Keyless requests get the default tenant — single-tenant deployments
+	// keep working with zero configuration.
+	def, err := r.Resolve("")
+	if err != nil || def.Name() != DefaultName {
+		t.Fatalf("keyless resolve = %v, %v", def, err)
+	}
+	if r.Default() != def {
+		t.Fatal("Default() differs from keyless Resolve")
+	}
+	g, err := r.Resolve("k-gold")
+	if err != nil || g.Name() != "gold" || g.Weight() != 4 {
+		t.Fatalf("k-gold resolve = %+v, %v", g.Quota(), err)
+	}
+	// A key mapped to the empty tenant name lands on default.
+	d2, err := r.Resolve("k-default")
+	if err != nil || d2 != def {
+		t.Fatalf("empty-name key resolve = %v, %v", d2, err)
+	}
+	if _, err := r.Resolve("nope"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("unknown key = %v, want ErrUnknownKey", err)
+	}
+	// Tenants() is sorted by name.
+	names := []string{}
+	for _, tn := range r.Tenants() {
+		names = append(names, tn.Name())
+	}
+	if len(names) != 2 || names[0] != "default" || names[1] != "gold" {
+		t.Fatalf("Tenants() = %v", names)
+	}
+}
+
+func TestRegistryKeyOnlyTenantGetsZeroQuota(t *testing.T) {
+	r := NewRegistry(nil, map[string]string{"k": "ad-hoc"})
+	tn, err := r.Resolve("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Weight() != 1 {
+		t.Fatalf("zero-quota weight = %d, want 1", tn.Weight())
+	}
+	if ok, _ := tn.AllowRequest(); !ok {
+		t.Fatal("zero-quota tenant rate limited")
+	}
+}
+
+func TestRateQuota(t *testing.T) {
+	clk := newFakeClock()
+	r := newRegistryClock([]core.TenantQuota{{Name: "a", RatePerSec: 10, Burst: 2}}, nil, clk.now)
+	a := mustNamed(t, r, "a")
+	// Burst of 2: two requests pass, the third is rejected with a wait
+	// hint of one token period (100ms).
+	for i := 0; i < 2; i++ {
+		if ok, _ := a.AllowRequest(); !ok {
+			t.Fatalf("request %d within burst rejected", i)
+		}
+	}
+	ok, wait := a.AllowRequest()
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if wait < 50*time.Millisecond || wait > 150*time.Millisecond {
+		t.Fatalf("retry hint = %s, want ~100ms (one token at 10/s)", wait)
+	}
+	// Tokens accrue with time.
+	clk.advance(100 * time.Millisecond)
+	if ok, _ := a.AllowRequest(); !ok {
+		t.Fatal("request after refill rejected")
+	}
+}
+
+func TestDerivedBurst(t *testing.T) {
+	clk := newFakeClock()
+	r := newRegistryClock([]core.TenantQuota{{Name: "a", RatePerSec: 2.5}}, nil, clk.now)
+	a := mustNamed(t, r, "a")
+	// Burst unset: derived as ceil(rate) = 3.
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := a.AllowRequest(); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("derived burst admitted %d, want 3", admitted)
+	}
+}
+
+func TestByteQuotaPostPaid(t *testing.T) {
+	clk := newFakeClock()
+	r := newRegistryClock([]core.TenantQuota{{Name: "a", BytesPerSec: 1000}}, nil, clk.now)
+	a := mustNamed(t, r, "a")
+	// The first request always passes — cost is unknown until the
+	// response is written.
+	if ok, _ := a.AllowRequest(); !ok {
+		t.Fatal("first request rejected")
+	}
+	// It turns out to be huge: 5s worth of quota. The balance goes
+	// negative and the next request is gated.
+	a.ChargeBytes(5000)
+	ok, wait := a.AllowRequest()
+	if ok {
+		t.Fatal("request admitted with byte quota in debt")
+	}
+	if wait < 3*time.Second || wait > 6*time.Second {
+		t.Fatalf("byte-debt retry hint = %s, want ~5s", wait)
+	}
+	// Debt pays down over time.
+	clk.advance(6 * time.Second)
+	if ok, _ := a.AllowRequest(); !ok {
+		t.Fatal("request rejected after byte quota refilled")
+	}
+}
+
+func mustNamed(t *testing.T, r *Registry, name string) *Tenant {
+	t.Helper()
+	return mustTenant(t, r, name)
+}
+
+func TestObserveTotals(t *testing.T) {
+	clk := newFakeClock()
+	r := newRegistryClock([]core.TenantQuota{{Name: "a"}}, nil, clk.now)
+	a := mustNamed(t, r, "a")
+	a.Observe(OutcomeOK, 10*time.Millisecond, 2*time.Millisecond, 100)
+	a.Observe(OutcomeError, 30*time.Millisecond, 0, 50)
+	a.Observe(OutcomeRejected, 0, 0, 0)
+	a.Observe(OutcomeAborted, 0, 0, 0)
+	tot := a.Totals()
+	want := Totals{
+		Requests: 4, OK: 1, Rejected: 1, Aborted: 1, Errors: 1,
+		Bytes: 150, LatencyNs: int64(40 * time.Millisecond), WaitNs: int64(2 * time.Millisecond),
+	}
+	if tot != want {
+		t.Fatalf("totals = %+v, want %+v", tot, want)
+	}
+	hist := a.WaitHist()
+	var n int64
+	for _, c := range hist {
+		n += c
+	}
+	// Only the two admitted (answered) requests enter the wait histogram.
+	if n != 2 {
+		t.Fatalf("wait histogram holds %d observations, want 2", n)
+	}
+}

@@ -1,0 +1,109 @@
+package tenant
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowSlides(t *testing.T) {
+	clk := newFakeClock()
+	w := newWindowClock(clk.now)
+	w.Observe(OutcomeOK, 10*time.Millisecond, time.Millisecond, 100)
+	w.Observe(OutcomeRejected, 0, 0, 0)
+	st := w.Snapshot()
+	if st.Requests != 2 || st.OK != 1 || st.Rejected != 1 || st.Bytes != 100 {
+		t.Fatalf("fresh snapshot = %+v", st)
+	}
+	if st.AvgMs != 10 || st.MaxMs != 10 {
+		t.Fatalf("latency summary = avg %.1f max %.1f, want 10/10", st.AvgMs, st.MaxMs)
+	}
+
+	// 30s later: still inside the window, joined by a slower request.
+	clk.advance(30 * time.Second)
+	w.Observe(OutcomeOK, 50*time.Millisecond, 4*time.Millisecond, 200)
+	st = w.Snapshot()
+	if st.Requests != 3 || st.AvgMs != 30 || st.MaxMs != 50 {
+		t.Fatalf("mid-window snapshot = %+v", st)
+	}
+
+	// 45s more: the first second's traffic has aged out; only the
+	// 30s-mark observation remains.
+	clk.advance(45 * time.Second)
+	st = w.Snapshot()
+	if st.Requests != 1 || st.OK != 1 || st.Rejected != 0 || st.Bytes != 200 {
+		t.Fatalf("aged snapshot kept stale buckets: %+v", st)
+	}
+
+	// Past the full window: empty.
+	clk.advance(2 * WindowSeconds * time.Second)
+	if st = w.Snapshot(); st.Requests != 0 {
+		t.Fatalf("expired snapshot = %+v, want zero", st)
+	}
+}
+
+func TestWindowExcludesAbortsFromLatency(t *testing.T) {
+	clk := newFakeClock()
+	w := newWindowClock(clk.now)
+	w.Observe(OutcomeOK, 10*time.Millisecond, 0, 0)
+	// A client abort carries whatever elapsed time the handler saw;
+	// it must not drag the latency summary around.
+	w.Observe(OutcomeAborted, 9*time.Second, 9*time.Second, 0)
+	st := w.Snapshot()
+	if st.Aborted != 1 {
+		t.Fatalf("aborts = %d, want 1", st.Aborted)
+	}
+	if st.AvgMs != 10 || st.MaxMs != 10 {
+		t.Fatalf("abort leaked into latency: avg %.1f max %.1f", st.AvgMs, st.MaxMs)
+	}
+	if st.AvgWaitMs != 0 {
+		t.Fatalf("abort leaked into wait: %.1f", st.AvgWaitMs)
+	}
+}
+
+func TestWaitBucket(t *testing.T) {
+	cases := []struct {
+		wait time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Microsecond, 0},
+		{time.Millisecond, 0},
+		{2 * time.Millisecond, 1},
+		{3 * time.Millisecond, 2},
+		{4 * time.Millisecond, 2},
+		{5 * time.Millisecond, 3},
+		{32768 * time.Millisecond, 15},
+		{40 * time.Second, 16}, // overflow bucket
+		{10 * time.Minute, 16},
+	}
+	for _, c := range cases {
+		if got := waitBucket(c.wait); got != c.want {
+			t.Errorf("waitBucket(%s) = %d, want %d", c.wait, got, c.want)
+		}
+	}
+}
+
+func TestWaitP99(t *testing.T) {
+	if p := waitP99(make([]int64, waitBuckets)); p != 0 {
+		t.Fatalf("empty histogram p99 = %v, want 0", p)
+	}
+	// 99 fast observations and 1 slow one: the p99 rank (ceil(0.99*100)
+	// = 99) still lands in the fast bucket.
+	h := make([]int64, waitBuckets)
+	h[0] = 99
+	h[10] = 1
+	if p := waitP99(h); p != 1 {
+		t.Fatalf("99-fast-1-slow p99 = %v, want 1", p)
+	}
+	// Two more slow ones push the rank into the slow bucket (1024ms).
+	h[10] = 3
+	if p := waitP99(h); p != 1024 {
+		t.Fatalf("99-fast-3-slow p99 = %v, want 1024", p)
+	}
+	// Everything off the scale: reported beyond the last finite bound.
+	h = make([]int64, waitBuckets)
+	h[waitBuckets-1] = 5
+	if p := waitP99(h); p != 2*32768 {
+		t.Fatalf("overflow p99 = %v, want %v", p, 2*32768)
+	}
+}
