@@ -3,7 +3,7 @@
 GO ?= go
 
 # Packages with concurrent paths, exercised under the race detector.
-RACE_PKGS := ./internal/api/... ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/... ./internal/sub/... ./internal/results/... ./internal/tenant/...
+RACE_PKGS := ./internal/api/... ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/... ./internal/sub/... ./internal/results/... ./internal/tenant/... ./internal/fault/... ./internal/repair/...
 
 # The retrieval fast path's headline benchmarks: the series tracked in
 # BENCH_PR4.json (ns/op, allocs/op, MB/s) so later PRs can spot
@@ -36,13 +36,13 @@ TENANT_BENCH_REGEX := 'BenchmarkTenantSkewAdmission'
 # concurrency machinery (manifest commits, snapshot release, daemon
 # lifecycle, tier demotion, shard recovery, HTTP admission control,
 # standing-query push) cannot silently lose its tests.
-COVER_PKGS := ./internal/api ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier ./internal/sub ./internal/results ./internal/tenant
+COVER_PKGS := ./internal/api ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier ./internal/sub ./internal/results ./internal/tenant ./internal/fault ./internal/repair
 COVER_MIN := 80
 
 # Fuzzing budget: 10s locally keeps the loop fast, nightly CI raises it.
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-json bench-json-sub bench-json-results bench-json-tenant bench-smoke lint fmt vet staticcheck vulncheck cover fuzz soak load-smoke all
+.PHONY: build test race bench bench-json bench-json-sub bench-json-results bench-json-tenant bench-smoke lint fmt vet staticcheck vulncheck cover fuzz soak load-smoke scrub-smoke fault-smoke fault-soak all
 
 all: build lint test
 
@@ -120,7 +120,7 @@ cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
 	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) '/^total:/ { \
 		sub(/%/, "", $$3); \
-		printf "coverage (api+server+ingest+erode+kvstore+tier+sub+results+tenant): %s%% (minimum %s%%)\n", $$3, min; \
+		printf "coverage (api+server+ingest+erode+kvstore+tier+sub+results+tenant+fault+repair): %s%% (minimum %s%%)\n", $$3, min; \
 		if ($$3 + 0 < min) { print "FAIL: coverage below minimum"; exit 1 } }'
 
 # A short deterministic-input fuzz pass over configuration persistence:
@@ -177,6 +177,63 @@ load-smoke:
 		-hot-key k-hot -cold-keys k-cold -cold-interval 150ms -cold-p99-max 5s; \
 	kill -TERM $$srvpid; \
 	wait $$srvpid
+
+# Self-healing end to end on a real store: configure, ingest, flip one
+# bit in a committed replica (`vstore damage`), and require one `vstore
+# scrub` pass to find and re-derive it — the second pass must scan clean.
+scrub-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/vstore" ./cmd/vstore; \
+	"$$tmp/vstore" configure -db "$$tmp/db" -clip 120 >/dev/null; \
+	"$$tmp/vstore" ingest -db "$$tmp/db" -scene jackson -segments 2 >/dev/null; \
+	"$$tmp/vstore" damage -db "$$tmp/db" -stream jackson -segment 1; \
+	"$$tmp/vstore" scrub -db "$$tmp/db"; \
+	"$$tmp/vstore" scrub -db "$$tmp/db" | grep -q '0 corrupt, 0 lost' || \
+		{ echo "FAIL: store not clean after repair"; exit 1; }
+
+# Availability through an induced storage outage, over the wire: the api
+# server runs with read bit flips injected on one derived replica
+# family's fast-tier reads (VSTORE_FAULTS) — its fallback ancestors stay
+# readable, the condition under which self-healing guarantees masking —
+# while vload's fault-probe scenario drives queries-only load. Any query
+# error fails the run, and so does a run whose corruption counters never
+# moved (a probe that proved nothing).
+fault-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$srvpid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/vstore" ./cmd/vstore; \
+	$(GO) build -o "$$tmp/vload" ./cmd/vload; \
+	"$$tmp/vstore" configure -db "$$tmp/db" -clip 120 >/dev/null; \
+	"$$tmp/vstore" ingest -db "$$tmp/db" -scene jackson -segments 2 >/dev/null; \
+	VSTORE_FAULTS='read@fast+best-540p-1.1-100_RAW=flip:0.1' VSTORE_FAULT_SEED=7 \
+		"$$tmp/vstore" api -db "$$tmp/db" -listen 127.0.0.1:0 > "$$tmp/server.log" 2>&1 & \
+	srvpid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 50); do \
+		addr=$$(sed -n 's/^vstore api listening on \([^ ]*\).*/\1/p' "$$tmp/server.log"); \
+		[ -n "$$addr" ] && break; \
+		sleep 0.2; \
+	done; \
+	if [ -z "$$addr" ]; then \
+		echo "FAIL: server never reported its listen address"; \
+		cat "$$tmp/server.log"; exit 1; \
+	fi; \
+	"$$tmp/vload" -addr "http://$$addr" -fault-probe -clients 4 -duration 5s \
+		-stream jackson -seed-segments 2; \
+	kill -TERM $$srvpid; \
+	wait $$srvpid
+
+# The fault-injection soak: every fault class (read flips, read errors,
+# torn writes, sync failures, mixed) against the full
+# ingest/demote/query/scrub workload under the race detector, seeded so
+# failures reproduce. VSTORE_SOAK_SEEDS widens the matrix; nightly CI
+# runs 4 seeds per scenario.
+SOAK_SEEDS ?= 1
+fault-soak:
+	VSTORE_SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -run TestFaultSoak -timeout 30m -v ./internal/server/
 
 lint: vet fmt staticcheck vulncheck
 

@@ -23,6 +23,14 @@
 // queries; the run fails when any cold prober starves (no completed
 // requests, or p99 latency over the bound) — the regression `make
 // load-smoke` runs against the weighted-fair admission gate.
+//
+// The fault-probe scenario (-fault-probe) turns the run into an
+// availability probe through an induced storage outage: start the server
+// with VSTORE_FAULTS (e.g. read bit flips on the fast tier) and vload
+// runs queries only, failing if any query errors — the self-healing read
+// path must mask the damage — and failing afterwards if the server's
+// corruption counters never moved, which would mean the probe exercised
+// nothing. `make fault-smoke` runs it.
 package main
 
 import (
@@ -62,6 +70,10 @@ var (
 	coldKeys     = flag.String("cold-keys", "", "comma-separated API keys, one paced prober client each (tenant-skew scenario)")
 	coldInterval = flag.Duration("cold-interval", 150*time.Millisecond, "pause between each cold prober's requests")
 	coldP99Max   = flag.Duration("cold-p99-max", 0, "fail when a cold prober's p99 latency exceeds this (0 = report only)")
+
+	// Fault-probe scenario: queries only, zero hard errors tolerated, and
+	// the server must report that injected corruption actually fired.
+	faultProbe = flag.Bool("fault-probe", false, "availability probe through an induced storage fault: queries only, fail on any query error or if the server reports no corrupt reads / degraded serves / repairs (start the server with VSTORE_FAULTS)")
 )
 
 // op is one completed operation's record.
@@ -84,6 +96,12 @@ func run() error {
 	cl := api.NewClient(*addr)
 	cl.APIKey = *apiKey
 	ctx := context.Background()
+	if *faultProbe {
+		// Availability probe: every operation must answer. Ingest would
+		// muddy the bar (an ingest racing injected write faults is a
+		// durability question, not an availability one).
+		*ingestN = 0
+	}
 
 	// Wait for the server to come up: load-smoke starts `vstore api` and
 	// vload in quick succession.
@@ -177,7 +195,37 @@ func run() error {
 		return err
 	}
 	printTenantWindows(ctx, cl)
-	return reportCold(coldResults)
+	if err := reportCold(coldResults); err != nil {
+		return err
+	}
+	if *faultProbe {
+		return reportFaultProbe(ctx, cl)
+	}
+	return nil
+}
+
+// reportFaultProbe closes the fault-probe scenario: the queries all
+// answered (report would have failed otherwise), so now prove the run
+// actually went through the induced outage. A server running without
+// VSTORE_FAULTS — or with a rate so low nothing fired — passes the
+// availability bar vacuously; that is a broken probe, not a healthy
+// store, and it fails here.
+func reportFaultProbe(ctx context.Context, cl *api.Client) error {
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("fault-probe stats: %w", err)
+	}
+	s := st.Store
+	fmt.Printf("fault-probe: %d transient reads, %d corrupt reads, %d degraded serves, %d repairs (%d failed), %d pending\n",
+		s.TransientReads, s.CorruptReads, s.DegradedServes, s.Repairs, s.RepairsFailed, s.RepairPending)
+	if s.TransientReads == 0 && s.CorruptReads == 0 && s.DegradedServes == 0 && s.Repairs == 0 {
+		return fmt.Errorf("fault-probe: the server reports no injected corruption — is VSTORE_FAULTS set on the server process?")
+	}
+	h, err := cl.Healthz(ctx)
+	if err != nil || !h.OK {
+		return fmt.Errorf("fault-probe healthz: %+v, %v", h, err)
+	}
+	return nil
 }
 
 func splitKeys(s string) []string {

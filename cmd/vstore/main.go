@@ -13,6 +13,8 @@
 //	                 [-shards N] [-fast-bytes N] [-demote-after D]
 //	vstore api       -db DIR [-listen :8080] [-max-inflight N] [-max-queue N] [-max-subs N] [-query-timeout D]
 //	                 [-erode-interval D] [-today D] [-shards N] [-fast-bytes N] [-demote-after D]
+//	vstore scrub     -db DIR [-shards N]
+//	vstore damage    -db DIR -stream NAME [-segment I] [-sf KEY] [-shards N]
 //	vstore stats     -db DIR
 package main
 
@@ -32,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/erode"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/segment"
@@ -44,6 +47,16 @@ import (
 func main() {
 	if len(os.Args) < 2 {
 		usage()
+	}
+	// Fault injection is boot-time wiring: VSTORE_FAULTS (with
+	// VSTORE_FAULT_SEED) arms the kvstore failpoints for every verb —
+	// how the fault-probe load scenario and the crash harness induce
+	// storage outages. Unset, this is a no-op.
+	if on, err := fault.InstallFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "vstore:", err)
+		os.Exit(1)
+	} else if on {
+		fmt.Fprintln(os.Stderr, "vstore: fault injection armed from VSTORE_FAULTS")
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
@@ -60,6 +73,10 @@ func main() {
 		err = cmdServe(args)
 	case "api":
 		err = cmdAPI(args)
+	case "scrub":
+		err = cmdScrub(args)
+	case "damage":
+		err = cmdDamage(args)
 	case "stats":
 		err = cmdStats(args)
 	default:
@@ -72,7 +89,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: vstore <configure|ingest|query|erode|serve|api|stats> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: vstore <configure|ingest|query|erode|serve|api|scrub|damage|stats> [flags]`)
 	os.Exit(2)
 }
 
@@ -436,6 +453,68 @@ func cmdServe(args []string) error {
 	fmt.Printf("tiers: %d shards; fast %d segs / %.1f MB, cold %d segs / %.1f MB, %d demotions\n",
 		st.Shards, st.FastSegments, float64(st.FastLiveBytes)/1e6,
 		st.ColdSegments, float64(st.ColdLiveBytes)/1e6, st.Demotions)
+	return nil
+}
+
+// cmdScrub runs one self-healing pass: verify every record checksum,
+// cross-check the manifest for lost replicas, and re-derive whatever is
+// damaged from surviving fallback ancestors. Exit status 1 when damage
+// remains unhealed, so scripts can gate on it.
+func cmdScrub(args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	db := fs.String("db", "vstore-db", "store directory")
+	shards := fs.Int("shards", 0, "per-tier kvstore shards for fresh stores (0 = configured/default)")
+	fs.Parse(args)
+	srv, err := openConfiguredServer(*db, *shards, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	rep, err := srv.ScrubPass()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scrubbed %d committed replicas: %d corrupt, %d lost, %d meta keys damaged\n",
+		rep.Scanned, len(rep.Corrupt), len(rep.Lost), len(rep.Meta))
+	fmt.Printf("repaired %d, skipped %d (eroded since detection), failed %d\n",
+		len(rep.Repaired), len(rep.Skipped), len(rep.Failed))
+	for _, r := range rep.Repaired {
+		fmt.Printf("  repaired %s/%s/%d\n", r.Stream, r.SFKey, r.Idx)
+	}
+	for _, f := range rep.Failed {
+		fmt.Printf("  FAILED   %s/%s/%d: %v\n", f.Ref.Stream, f.Ref.SFKey, f.Ref.Idx, f.Err)
+	}
+	if len(rep.Failed) > 0 || len(rep.Meta) > 0 {
+		return fmt.Errorf("%d replicas unhealed, %d meta keys damaged", len(rep.Failed), len(rep.Meta))
+	}
+	return nil
+}
+
+// cmdDamage deliberately corrupts one stored replica — the operational
+// fault injector behind the scrub smoke test: damage a replica, run
+// `vstore scrub`, watch it heal.
+func cmdDamage(args []string) error {
+	fs := flag.NewFlagSet("damage", flag.ExitOnError)
+	db := fs.String("db", "vstore-db", "store directory")
+	stream := fs.String("stream", "", "stream whose replica to damage")
+	segIdx := fs.Int("segment", 0, "segment index to damage")
+	sfKey := fs.String("sf", "", "storage format key (empty = first non-golden format)")
+	shards := fs.Int("shards", 0, "per-tier kvstore shards for fresh stores (0 = configured/default)")
+	fs.Parse(args)
+	if *stream == "" {
+		return fmt.Errorf("damage: -stream is required")
+	}
+	srv, err := openConfiguredServer(*db, *shards, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ref, err := srv.DamageReplica(*stream, *sfKey, *segIdx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("damaged %s/%s/%d (one bit flipped; reads now fail CRC until repaired)\n",
+		ref.Stream, ref.SFKey, ref.Idx)
 	return nil
 }
 

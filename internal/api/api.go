@@ -212,6 +212,7 @@ func New(store *server.Server, lim Limits) *Server {
 	s.route("erode", "POST /v1/erode", s.handleErode)
 	s.route("demote", "POST /v1/demote", s.handleDemote)
 	s.route("compact", "POST /v1/compact", s.handleCompact)
+	s.route("scrub", "POST /v1/scrub", s.handleScrub)
 	s.route("metrics", "GET /metrics", s.handleMetrics)
 	s.route("healthz", "GET /healthz", s.handleHealthz)
 	return s
@@ -692,8 +693,36 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CompactResponse{OK: true})
 }
 
+// handleScrub runs one self-healing scrub pass: every record checksum
+// verified, the manifest cross-checked for lost replicas, damage re-derived
+// from fallback ancestors. The pass runs even when some replicas cannot be
+// healed — the response reports them — so only the verification walk itself
+// failing is a 500.
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.store.ScrubPass()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := ScrubResponse{
+		Scanned:  rep.Scanned,
+		Corrupt:  len(rep.Corrupt),
+		Lost:     len(rep.Lost),
+		Repaired: len(rep.Repaired),
+		Skipped:  len(rep.Skipped),
+	}
+	for _, f := range rep.Failed {
+		resp.Failed = append(resp.Failed, fmt.Sprintf("%s/%s/%d: %v", f.Ref.Stream, f.Ref.SFKey, f.Ref.Idx, f.Err))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Draining: s.draining.Load()})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:       true,
+		Draining: s.draining.Load(),
+		Degraded: s.store.Degraded(),
+	})
 }
 
 func orDefault(s, def string) string {

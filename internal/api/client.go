@@ -331,6 +331,14 @@ func (c *Client) Compact(ctx context.Context) error {
 	return c.do(ctx, http.MethodPost, "/v1/compact", struct{}{}, nil)
 }
 
+// Scrub runs one self-healing scrub pass: checksum verification over the
+// whole store plus re-derivation of damaged replicas.
+func (c *Client) Scrub(ctx context.Context) (ScrubResponse, error) {
+	var resp ScrubResponse
+	err := c.do(ctx, http.MethodPost, "/v1/scrub", struct{}{}, &resp)
+	return resp, err
+}
+
 // Healthz checks liveness.
 func (c *Client) Healthz(ctx context.Context) (HealthResponse, error) {
 	var resp HealthResponse

@@ -95,6 +95,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	head("vstore_gate_total_queued", "gauge", "Requests currently parked, all tenants.")
 	fmt.Fprintf(&b, "vstore_gate_total_queued %d\n", queued)
 
+	// Self-healing: corruption found on the read path, degraded fallback
+	// serves, and the repair machinery's progress.
+	st := s.store.Stats()
+	head("vstore_corrupt_reads_total", "counter", "Reads whose CRC failure survived a re-read.")
+	fmt.Fprintf(&b, "vstore_corrupt_reads_total %d\n", st.CorruptReads)
+	head("vstore_transient_reads_total", "counter", "CRC failures that cleared on re-read (read-path corruption).")
+	fmt.Fprintf(&b, "vstore_transient_reads_total %d\n", st.TransientReads)
+	head("vstore_degraded_serves_total", "counter", "Queries answered from a fallback replica.")
+	fmt.Fprintf(&b, "vstore_degraded_serves_total %d\n", st.DegradedServes)
+	head("vstore_repairs_total", "counter", "Damaged replicas re-derived successfully.")
+	fmt.Fprintf(&b, "vstore_repairs_total %d\n", st.Repairs)
+	head("vstore_repairs_failed_total", "counter", "Repair attempts that could not complete.")
+	fmt.Fprintf(&b, "vstore_repairs_failed_total %d\n", st.RepairsFailed)
+	head("vstore_scrub_passes_total", "counter", "Self-healing scrub passes completed.")
+	fmt.Fprintf(&b, "vstore_scrub_passes_total %d\n", st.ScrubPasses)
+	head("vstore_repair_pending", "gauge", "Damaged replicas queued for background repair.")
+	fmt.Fprintf(&b, "vstore_repair_pending %d\n", st.RepairPending)
+
 	// Per-endpoint counters (ordered for a stable exposition).
 	names := make([]string, 0, len(s.metrics))
 	for name := range s.metrics {

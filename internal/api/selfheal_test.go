@@ -1,0 +1,107 @@
+package api_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/vidsim"
+)
+
+// TestScrubEndpointAndDegradedHealth drives self-healing over the wire:
+// a corrupted replica is found and re-derived by POST /v1/scrub, the
+// counters surface in /v1/stats and /metrics, and unhealable damage (the
+// golden copy itself) flips /healthz to degraded while queries keep
+// answering.
+func TestScrubEndpointAndDegradedHealth(t *testing.T) {
+	srv, cl := startAPI(t, api.Limits{})
+	ctx := context.Background()
+	sc, _ := vidsim.DatasetByName("jackson")
+	if _, err := srv.Ingest(sc, "cam", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean store scrubs clean and reports healthy.
+	resp, err := cl.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Corrupt != 0 || resp.Lost != 0 || len(resp.Failed) != 0 || resp.Scanned == 0 {
+		t.Fatalf("clean-store scrub: %+v", resp)
+	}
+	if h, err := cl.Healthz(ctx); err != nil || h.Degraded {
+		t.Fatalf("healthz on clean store: %+v, %v", h, err)
+	}
+
+	// Corrupt a derived replica: the scrub finds and re-derives it.
+	if _, err := srv.DamageReplica("cam", "", 0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = cl.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Corrupt != 1 || resp.Repaired != 1 || len(resp.Failed) != 0 {
+		t.Fatalf("scrub of damaged replica: %+v", resp)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Store.Repairs < 1 || st.Store.ScrubPasses < 2 {
+		t.Fatalf("repair counters not in /v1/stats: repairs=%d scrubs=%d",
+			st.Store.Repairs, st.Store.ScrubPasses)
+	}
+	body := fetchMetrics(t, cl)
+	for _, want := range []string{"vstore_repairs_total 1", "vstore_repair_pending 0", "vstore_scrub_passes_total"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+
+	// Damage segment 1's golden replica: no richer ancestor exists, the
+	// scrub reports the failure, and the server flips to degraded — but
+	// stays up: undamaged footage keeps answering, and the damaged span
+	// fails with a structured in-band error, not a hung stream.
+	goldenKey := testConfig(t).Derivation.SFs[testConfig(t).Derivation.Golden].SF.Key()
+	if _, err := srv.DamageReplica("cam", goldenKey, 1); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = cl.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Failed) != 1 {
+		t.Fatalf("scrub of damaged golden: %+v", resp)
+	}
+	h, err := cl.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || !h.Degraded {
+		t.Fatalf("healthz with unhealable damage: %+v", h)
+	}
+	if _, _, err := cl.Query(ctx, api.QueryRequest{Stream: "cam", Query: testQuery, From: 0, To: 1}); err != nil {
+		t.Fatalf("query over undamaged footage while degraded: %v", err)
+	}
+	if _, _, err := cl.Query(ctx, api.QueryRequest{Stream: "cam", Query: testQuery}); !api.IsStreamError(err) {
+		t.Fatalf("query over unhealable footage: want in-band stream error, got %v", err)
+	}
+}
+
+func fetchMetrics(t *testing.T, cl *api.Client) string {
+	t.Helper()
+	resp, err := http.Get(cl.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -206,6 +206,20 @@ type CompactResponse struct {
 	OK bool `json:"ok"`
 }
 
+// ScrubResponse reports one self-healing scrub pass (POST /v1/scrub): how
+// many committed replicas were cross-checked, what damage was found, and
+// what the pass did about it. Failed lists the replicas no surviving
+// fallback ancestor could rebuild — the store stays degraded (see
+// /healthz) until they are healed or eroded.
+type ScrubResponse struct {
+	Scanned  int      `json:"scanned"`
+	Corrupt  int      `json:"corrupt"`
+	Lost     int      `json:"lost"`
+	Repaired int      `json:"repaired"`
+	Skipped  int      `json:"skipped,omitempty"`
+	Failed   []string `json:"failed,omitempty"`
+}
+
 // EndpointStats is one endpoint's admission and latency counters.
 // Requests counts every arrival, drain-time 503s and unknown-key 401s
 // included; AvgMs/MaxMs cover only answered requests (client aborts are
@@ -257,8 +271,12 @@ type StreamsResponse struct {
 	Streams map[string]StreamInfo `json:"streams"`
 }
 
-// HealthResponse is the body of GET /healthz.
+// HealthResponse is the body of GET /healthz. Degraded means damaged
+// replicas are awaiting repair or the last scrub could not heal everything:
+// queries still answer (via fallback reconstruction) but redundancy is
+// reduced, so orchestrators should surface it without killing the instance.
 type HealthResponse struct {
 	OK       bool `json:"ok"`
 	Draining bool `json:"draining,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
 }

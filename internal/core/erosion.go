@@ -105,6 +105,14 @@ func PlanErosion(d *StorageDerivation, opt ErosionOptions) (*ErosionPlan, error)
 	return build(hi), nil
 }
 
+// FallbackTree returns the fallback parents over the derived storage
+// formats: FallbackTree()[i] is the index of the least-rich format with
+// richer-or-equal fidelity, -1 for the golden root. Erosion planning
+// walks it to price fallback reads; the repair layer walks the same tree
+// upward to find the nearest richer surviving ancestor a damaged or lost
+// replica of SF i can be re-derived from.
+func (d *StorageDerivation) FallbackTree() []int { return fallbackTree(d) }
+
 // fallbackTree picks each format's parent: the cheapest-to-store format with
 // strictly richer-or-equal fidelity, the golden format as the universal
 // root (§4.4: consumers fall back to richer ancestors).

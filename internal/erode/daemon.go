@@ -59,6 +59,7 @@ func (c *ManualClock) TryFire() bool {
 type DaemonStats struct {
 	Passes       int64 // erosion passes completed (successful or not)
 	DemotePasses int64 // tier-demotion passes completed (when Demote is set)
+	ScrubPasses  int64 // integrity-scrub passes completed (when Scrub is set)
 	Errors       int64 // passes that returned an error
 	Running      bool
 }
@@ -80,10 +81,16 @@ type Daemon struct {
 	// considers them, so the fast tier sheds bytes even when the erosion
 	// plan keeps the footage.
 	Demote func() error
+	// Scrub, when non-nil, runs after Pass on every tick: the integrity
+	// scrub verifies record checksums and re-derives damaged replicas,
+	// joining the demote/erode rotation so bit rot is found and healed on
+	// the same cadence footage ages.
+	Scrub func() error
 
 	mu      sync.Mutex
 	passes  int64
 	demotes int64
+	scrubs  int64
 	errs    int64
 	lastErr error
 	quit    chan struct{}
@@ -141,6 +148,17 @@ func (d *Daemon) RunPass() error {
 		demoted = true
 	}
 	err := d.Pass()
+	// The scrub runs last: it must see the pass's final record set, and a
+	// demotion or erosion failure must not suppress integrity checking.
+	var scrubErr error
+	scrubbed := false
+	if d.Scrub != nil {
+		scrubErr = d.Scrub()
+		scrubbed = true
+	}
+	if err == nil {
+		err = scrubErr
+	}
 	if demoteErr != nil {
 		err = demoteErr // demotion ran first, so its error wins
 	}
@@ -149,6 +167,9 @@ func (d *Daemon) RunPass() error {
 	d.passes++
 	if demoted {
 		d.demotes++
+	}
+	if scrubbed {
+		d.scrubs++
 	}
 	if err != nil {
 		d.errs++
@@ -181,5 +202,5 @@ func (d *Daemon) Stats() DaemonStats {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return DaemonStats{Passes: d.passes, DemotePasses: d.demotes, Errors: d.errs, Running: d.quit != nil}
+	return DaemonStats{Passes: d.passes, DemotePasses: d.demotes, ScrubPasses: d.scrubs, Errors: d.errs, Running: d.quit != nil}
 }

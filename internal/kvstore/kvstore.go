@@ -18,12 +18,16 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 const (
 	recHeaderSize  = 4 + 4 + 4 // crc, keyLen, valLen
 	tombstoneVLen  = ^uint32(0)
 	logSuffix      = ".log"
+	tmpSuffix      = ".tmp"   // compaction staging files: <id>.log.tmp
 	defaultMaxFile = 64 << 20 // rotate active log at 64 MiB
 	maxKeyLen      = 1 << 16
 	maxValLen      = 1 << 30
@@ -32,6 +36,14 @@ const (
 // ErrNotFound is returned by Get for missing keys.
 var ErrNotFound = errors.New("kvstore: key not found")
 
+// ErrCorrupt is returned by Get and Scan when a record's stored checksum
+// no longer matches its bytes — post-write damage (bit rot, a bad
+// sector, a torn overwrite), as opposed to a key that was never written
+// or was deleted (ErrNotFound). Callers distinguish the two because the
+// remedies differ: a corrupt replica can be re-derived from a richer
+// surviving format, a missing one was removed on purpose.
+var ErrCorrupt = errors.New("kvstore: corrupt record")
+
 // Options configures a store.
 type Options struct {
 	// MaxFileBytes rotates the active log once it exceeds this size.
@@ -39,6 +51,11 @@ type Options struct {
 	MaxFileBytes int64
 	// SyncWrites fsyncs the active log after every Put/Delete.
 	SyncWrites bool
+	// FaultScope names this store in fault-injection sites (e.g.
+	// "fast/000" for a tier shard): hooks see "<scope>:<key>" for reads
+	// and writes and "<scope>" for syncs and compactions. Empty is fine —
+	// injection then matches on the key part alone.
+	FaultScope string
 }
 
 type recordLoc struct {
@@ -60,18 +77,38 @@ type Store struct {
 	garbage int64 // bytes of superseded records
 	live    int64 // bytes of live values
 	closed  bool
+
+	corruptReads   atomic.Uint64 // reads whose CRC failure survived a re-read
+	transientReads atomic.Uint64 // CRC failures that cleared on re-read
 }
+
+// rsite is the fault-injection site of one keyed operation.
+func (s *Store) rsite(key string) string { return s.opts.FaultScope + ":" + key }
 
 // Open opens (creating if necessary) a store in dir and replays its logs to
 // rebuild the index. A torn record at the tail of the newest log — the
-// signature of a crash mid-write — is truncated away; any corruption
-// elsewhere is reported as an error.
+// signature of a crash mid-write — is truncated away. A record whose
+// frame is intact but whose checksum no longer matches (post-write
+// damage) is indexed anyway: reading it returns ErrCorrupt, so the
+// repair layer can re-derive it — damage survives a restart instead of
+// making the store unopenable. Corruption that destroys record framing
+// in an older log is still reported as an error. Stale compaction
+// staging files (*.log.tmp) left by a crash mid-compaction are removed.
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.MaxFileBytes <= 0 {
 		opts.MaxFileBytes = defaultMaxFile
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	tmps, err := filepath.Glob(filepath.Join(dir, "*"+logSuffix+tmpSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	for _, t := range tmps {
+		if err := os.Remove(t); err != nil {
+			return nil, fmt.Errorf("kvstore: removing stale %s: %w", t, err)
+		}
 	}
 	s := &Store{
 		dir:   dir,
@@ -167,7 +204,17 @@ func (s *Store) replay(id uint32, f *os.File, tolerateTail bool) (int64, error) 
 			return 0, fmt.Errorf("kvstore: replay %s: %w", s.logPath(id), err)
 		}
 		if crc32.ChecksumIEEE(append(hdr[4:recHeaderSize:recHeaderSize], body...)) != wantCRC {
-			return s.tornTail(id, f, off, tolerateTail)
+			if vl == tombstoneVLen {
+				// A corrupt tombstone neither deletes nor stores: applying
+				// a delete whose key bytes cannot be trusted could drop the
+				// wrong key. Skip the record and keep replaying.
+				off += recHeaderSize + int64(kl)
+				continue
+			}
+			// The frame is intact (the full body was readable at plausible
+			// lengths) but the bytes are damaged — bit rot, not a torn
+			// tail. Fall through and index it: Get fails its own CRC check
+			// with ErrCorrupt and the repair layer re-derives the replica.
 		}
 		key := string(body[:kl])
 		if old, ok := s.index[key]; ok {
@@ -253,10 +300,23 @@ func (s *Store) appendLocked(key string, value []byte, tombstone bool) error {
 	copy(buf[recHeaderSize+len(key):], value)
 	binary.BigEndian.PutUint32(buf[0:], crc32.ChecksumIEEE(buf[4:]))
 	off := s.actSize
+	if n, ferr := fault.OnWrite(s.rsite(key), len(buf)); ferr != nil {
+		if n > 0 {
+			// A torn write: the prefix a crash mid-write would leave on
+			// disk. actSize does not advance, so the next append
+			// overwrites it in-process; after a real crash, replay's
+			// torn-tail truncation removes it.
+			f.WriteAt(buf[:n], off)
+		}
+		return fmt.Errorf("kvstore: append: %w", ferr)
+	}
 	if _, err := f.WriteAt(buf, off); err != nil {
 		return fmt.Errorf("kvstore: append: %w", err)
 	}
 	if s.opts.SyncWrites {
+		if err := fault.OnSync(s.opts.FaultScope); err != nil {
+			return fmt.Errorf("kvstore: sync: %w", err)
+		}
 		if err := f.Sync(); err != nil {
 			return fmt.Errorf("kvstore: sync: %w", err)
 		}
@@ -287,6 +347,9 @@ func (s *Store) Sync() error {
 	if s.closed {
 		return errors.New("kvstore: store is closed")
 	}
+	if err := fault.OnSync(s.opts.FaultScope); err != nil {
+		return fmt.Errorf("kvstore: sync: %w", err)
+	}
 	for _, f := range s.files {
 		if err := f.Sync(); err != nil {
 			return fmt.Errorf("kvstore: sync: %w", err)
@@ -295,7 +358,44 @@ func (s *Store) Sync() error {
 	return nil
 }
 
-// Get returns the value stored under key, or ErrNotFound.
+// readRecord reads key's full record (header, key, value) and reports
+// whether its stored checksum verifies. Caller holds mu.
+func (s *Store) readRecord(key string, loc recordLoc) (rec []byte, ok bool, err error) {
+	recOff := loc.valOff - int64(len(key)) - recHeaderSize
+	rec = make([]byte, recHeaderSize+len(key)+int(loc.valLen))
+	if _, err := s.files[loc.file].ReadAt(rec, recOff); err != nil {
+		return nil, false, fmt.Errorf("kvstore: read %q: %w", key, err)
+	}
+	if err := fault.OnRead(s.rsite(key), rec); err != nil {
+		return nil, false, fmt.Errorf("kvstore: read %q: %w", key, err)
+	}
+	return rec, crc32.ChecksumIEEE(rec[4:]) == binary.BigEndian.Uint32(rec[0:]), nil
+}
+
+// readRecordVerified reads key's record, re-reading once when the
+// checksum fails: a CRC mismatch observed on one read is not always on
+// the medium — corruption picked up on the read path itself (controller,
+// bus, an injected flip) clears on retry, while true bit rot fails
+// again. Only damage that survives the re-read is reported as corrupt;
+// a recovered read counts toward TransientReads. I/O errors are not
+// retried — an error is the device refusing the read, not the data
+// arriving wrong. Caller holds mu.
+func (s *Store) readRecordVerified(key string, loc recordLoc) ([]byte, bool, error) {
+	rec, ok, err := s.readRecord(key, loc)
+	if err != nil || ok {
+		return rec, ok, err
+	}
+	rec, ok, err = s.readRecord(key, loc)
+	if err == nil && ok {
+		s.transientReads.Add(1)
+	}
+	return rec, ok, err
+}
+
+// Get returns the value stored under key, or ErrNotFound. The whole
+// record is re-read and its checksum verified on every call, so damage
+// that landed after the original write (bit rot, a bad sector) surfaces
+// as ErrCorrupt instead of being served silently into a query.
 func (s *Store) Get(key string) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -306,11 +406,15 @@ func (s *Store) Get(key string) ([]byte, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
-	out := make([]byte, loc.valLen)
-	if _, err := s.files[loc.file].ReadAt(out, loc.valOff); err != nil {
-		return nil, fmt.Errorf("kvstore: read %q: %w", key, err)
+	rec, ok, err := s.readRecordVerified(key, loc)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	if !ok {
+		s.corruptReads.Add(1)
+		return nil, fmt.Errorf("kvstore: read %q: %w", key, ErrCorrupt)
+	}
+	return rec[recHeaderSize+len(key):], nil
 }
 
 // Has reports whether key is present.
@@ -406,13 +510,32 @@ type Stats struct {
 	FastSegments  int   // committed segment replicas placed fast
 	ColdSegments  int   // committed segment replicas placed cold
 	Demotions     int64 // segment replicas migrated fast→cold
+
+	// Self-healing counters. CorruptReads is populated by the store
+	// itself (and summed across shards by the tiered engine); the rest
+	// are populated by the server's degraded-serving and repair
+	// machinery (zero otherwise).
+	CorruptReads   int64 // reads whose CRC failure survived a re-read
+	TransientReads int64 // CRC failures that cleared on re-read (read-path corruption)
+	DegradedServes int64 // queries answered from a fallback replica
+	Repairs        int64 // damaged replicas re-derived successfully
+	RepairsFailed  int64 // repair attempts that could not complete
+	ScrubPasses    int64 // background scrub passes completed
+	RepairPending  int   // damaged replicas queued for repair
 }
 
 // Stats returns current occupancy counters.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return Stats{Keys: len(s.index), LiveBytes: s.live, GarbageBytes: s.garbage, Files: len(s.files)}
+	return Stats{
+		Keys:           len(s.index),
+		LiveBytes:      s.live,
+		GarbageBytes:   s.garbage,
+		Files:          len(s.files),
+		CorruptReads:   int64(s.corruptReads.Load()),
+		TransientReads: int64(s.transientReads.Load()),
+	}
 }
 
 // DiskBytes returns the total size of all log files on disk.
@@ -432,47 +555,176 @@ func (s *Store) DiskBytes() (int64, error) {
 
 // Compact rewrites all live records into fresh logs and removes the old
 // ones, reclaiming garbage space. The store is locked for the duration.
+//
+// New logs are staged as *.log.tmp, fsynced, and only then renamed into
+// place and swapped in — a failure at any point removes the staged files
+// and leaves the original state untouched, and a crash mid-compaction
+// leaves only stale *.log.tmp files that Open sweeps away. Records are
+// copied verbatim (original header and CRC included): re-framing a
+// damaged value with a fresh checksum would launder corruption into a
+// silently valid record, so a corrupt record stays corrupt — and
+// detectable — across compactions until the repair layer re-derives it.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return errors.New("kvstore: store is closed")
 	}
-	oldFiles := s.files
-	oldIndex := s.index
-	nextID := s.active + 1
-	s.files = make(map[uint32]*os.File)
-	s.index = make(map[string]recordLoc)
-	s.garbage, s.live = 0, 0
-	if err := s.rotateLocked(nextID); err != nil {
-		s.files = oldFiles
-		s.index = oldIndex
+	if err := fault.OnCompact(s.opts.FaultScope); err != nil {
+		return fmt.Errorf("kvstore: compact: %w", err)
+	}
+	type stagedLog struct {
+		id      uint32
+		f       *os.File
+		size    int64
+		renamed bool
+	}
+	var staged []stagedLog
+	fail := func(err error) error {
+		for i := range staged {
+			st := &staged[i]
+			st.f.Close()
+			path := s.logPath(st.id) + tmpSuffix
+			if st.renamed {
+				path = s.logPath(st.id)
+			}
+			os.Remove(path)
+		}
 		return err
 	}
-	keys := make([]string, 0, len(oldIndex))
-	for k := range oldIndex {
+	open := func(id uint32) error {
+		f, err := os.OpenFile(s.logPath(id)+tmpSuffix, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("kvstore: compact: %w", err)
+		}
+		staged = append(staged, stagedLog{id: id, f: f})
+		return nil
+	}
+	if err := open(s.active + 1); err != nil {
+		return fail(err)
+	}
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	newIndex := make(map[string]recordLoc, len(keys))
+	var newLive int64
 	for _, k := range keys {
-		loc := oldIndex[k]
-		val := make([]byte, loc.valLen)
-		if _, err := oldFiles[loc.file].ReadAt(val, loc.valOff); err != nil {
-			return fmt.Errorf("kvstore: compact read %q: %w", k, err)
+		loc := s.index[k]
+		rec, ok, err := s.readRecordVerified(k, loc)
+		if err != nil {
+			return fail(fmt.Errorf("kvstore: compact: %w", err))
 		}
-		if err := s.appendLocked(k, val, false); err != nil {
-			return err
+		if !ok {
+			// The damage is on the medium; the record is carried into the
+			// new log as-is so the scrubber can still find and repair it.
+			s.corruptReads.Add(1)
+		}
+		cur := &staged[len(staged)-1]
+		if cur.size >= s.opts.MaxFileBytes {
+			if err := open(cur.id + 1); err != nil {
+				return fail(err)
+			}
+			cur = &staged[len(staged)-1]
+		}
+		if n, ferr := fault.OnWrite(s.rsite(k), len(rec)); ferr != nil {
+			if n > 0 {
+				cur.f.WriteAt(rec[:n], cur.size)
+			}
+			return fail(fmt.Errorf("kvstore: compact: %w", ferr))
+		}
+		if _, err := cur.f.WriteAt(rec, cur.size); err != nil {
+			return fail(fmt.Errorf("kvstore: compact write %q: %w", k, err))
+		}
+		newIndex[k] = recordLoc{file: cur.id, valOff: cur.size + recHeaderSize + int64(len(k)), valLen: loc.valLen}
+		newLive += int64(loc.valLen)
+		cur.size += int64(len(rec))
+	}
+	for i := range staged {
+		if err := fault.OnSync(s.opts.FaultScope); err != nil {
+			return fail(fmt.Errorf("kvstore: compact: %w", err))
+		}
+		if err := staged[i].f.Sync(); err != nil {
+			return fail(fmt.Errorf("kvstore: compact sync: %w", err))
 		}
 	}
-	for id, f := range oldFiles {
+	for i := range staged {
+		st := &staged[i]
+		if err := os.Rename(s.logPath(st.id)+tmpSuffix, s.logPath(st.id)); err != nil {
+			return fail(fmt.Errorf("kvstore: compact rename: %w", err))
+		}
+		st.renamed = true
+	}
+	// Commit: swap in the compacted state, then drop the old logs. A
+	// crash between the renames and the removals is safe — the new logs
+	// carry the same live records under higher IDs, so replaying old
+	// then new converges on this exact state.
+	oldFiles := s.files
+	s.files = make(map[uint32]*os.File, len(staged))
+	for _, st := range staged {
+		s.files[st.id] = st.f
+	}
+	s.index = newIndex
+	s.active = staged[len(staged)-1].id
+	s.actSize = staged[len(staged)-1].size
+	s.live = newLive
+	s.garbage = 0
+	for _, f := range oldFiles {
 		name := f.Name()
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("kvstore: compact close: %w", err)
+		f.Close()
+		os.Remove(name)
+	}
+	return nil
+}
+
+// VerifyAll re-reads every live record and verifies its stored checksum,
+// returning the sorted keys that are damaged or unreadable. It is the
+// scrubber's primitive: an empty slice with a nil error means every
+// record in the store is intact. Detections here do not count toward
+// CorruptReads, which tracks the serving read path only.
+func (s *Store) VerifyAll() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, errors.New("kvstore: store is closed")
+	}
+	var bad []string
+	for k, loc := range s.index {
+		if _, ok, err := s.readRecordVerified(k, loc); err != nil || !ok {
+			bad = append(bad, k)
 		}
-		if err := os.Remove(name); err != nil {
-			return fmt.Errorf("kvstore: compact remove: %w", err)
-		}
-		_ = id
+	}
+	sort.Strings(bad)
+	return bad, nil
+}
+
+// DamageValue flips one bit of key's record on disk while leaving the
+// in-memory index untouched, so the next Get returns ErrCorrupt. It
+// simulates post-write bit rot for tests and operational drills
+// (`vstore damage`); it is deliberately not part of the serving API.
+func (s *Store) DamageValue(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("kvstore: store is closed")
+	}
+	loc, ok := s.index[key]
+	if !ok {
+		return ErrNotFound
+	}
+	off := loc.valOff
+	if loc.valLen == 0 {
+		off-- // no value bytes: flip a bit of the key instead
+	}
+	f := s.files[loc.file]
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return fmt.Errorf("kvstore: damage %q: %w", key, err)
+	}
+	b[0] ^= 0x80
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return fmt.Errorf("kvstore: damage %q: %w", key, err)
 	}
 	return nil
 }

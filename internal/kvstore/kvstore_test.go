@@ -199,8 +199,11 @@ func TestCorruptMiddleDetected(t *testing.T) {
 	if len(logs) < 2 {
 		t.Fatalf("want >=2 logs, have %d", len(logs))
 	}
-	// Flip a byte in the middle of the FIRST log: corruption that torn-tail
-	// tolerance must not mask.
+	// Flip a value byte in the middle of the FIRST log (offset 20 is
+	// inside k00's value: 12-byte header + 3-byte key + 5). The frame is
+	// intact, so Open tolerates it — the damage is indexed and surfaces
+	// as ErrCorrupt on read, where the repair layer can act on it,
+	// instead of making the whole shard unopenable.
 	f, err := os.OpenFile(logs[0], os.O_RDWR, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -209,8 +212,33 @@ func TestCorruptMiddleDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
+	s2, err := Open(dir, Options{MaxFileBytes: 256})
+	if err != nil {
+		t.Fatalf("reopen with framed corruption: %v", err)
+	}
+	if _, err := s2.Get("k00"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get(k00) after reopen = %v, want ErrCorrupt", err)
+	}
+	for i := 1; i < 20; i++ {
+		if _, err := s2.Get(fmt.Sprintf("k%02d", i)); err != nil {
+			t.Fatalf("undamaged k%02d unreadable: %v", i, err)
+		}
+	}
+	s2.Close()
+	// Destroy record FRAMING in an old log (keyLen's high byte at offset
+	// 4 makes the length implausible): replay cannot skip past it, and
+	// torn-tail tolerance only applies to the newest log, so this is
+	// still an Open error.
+	f, err = os.OpenFile(logs[0], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
 	if _, err := Open(dir, Options{}); err == nil {
-		t.Fatal("corruption in old log not detected")
+		t.Fatal("unframeable corruption in old log not detected")
 	}
 }
 

@@ -131,6 +131,14 @@ type Engine struct {
 	// change detections. Zero selects runtime.GOMAXPROCS; one forces fully
 	// sequential execution.
 	Workers int
+	// Rebuild, when non-nil, reconstructs a damaged or lost replica from
+	// a richer surviving ancestor so the query answers degraded instead
+	// of failing (see retrieve.Retriever.Rebuild). Degraded serves skip
+	// the frame cache and the results store.
+	Rebuild retrieve.RebuildFunc
+	// OnDegraded, when non-nil, observes every degraded serve — the
+	// server's hook for counting and enqueueing background repair.
+	OnDegraded func(stream string, seg int, sf format.StorageFormat)
 }
 
 // Run executes the cascade over segments [seg0, seg1) of the stream using
@@ -146,7 +154,7 @@ func (e *Engine) Run(ctx context.Context, stream string, c Cascade, b Binding, s
 	if len(b) != len(c.Stages) {
 		return Result{}, fmt.Errorf("query: binding has %d stages, cascade %d", len(b), len(c.Stages))
 	}
-	r := retrieve.Retriever{Store: e.Store, Cache: e.Cache}
+	r := retrieve.Retriever{Store: e.Store, Cache: e.Cache, Rebuild: e.Rebuild, OnDegraded: e.OnDegraded}
 	if e.Workers != 1 {
 		// Intra-segment decode parallelism: each retrieval fans its
 		// segment's independent GOPs across this pool (merged in position
@@ -383,6 +391,13 @@ func (e *Engine) materializedSegment(r *retrieve.Retriever, stream string, op op
 		return ops.Output{}, rst, ops.Stats{}, err
 	}
 	out, ost := runStage(op, frames, sb.CF.Fidelity, workers)
+	if rst.Degraded > 0 {
+		// The frames came from a fallback reconstruction, possibly
+		// best-effort: answer the query but never materialize the output,
+		// so post-repair queries recompute from the restored replica.
+		e.Results.Abandon(stream)
+		return out, rst, ost, nil
+	}
 	e.Results.Put(k, results.Entry{PTS: out.PTS, Detections: out.Detections, Retrieval: rst, Consumption: ost}, gen)
 	return out, rst, ost, nil
 }
@@ -426,6 +441,12 @@ func (e *Engine) runStageRangeMaterialized(ctx context.Context, r *retrieve.Retr
 	if err != nil {
 		e.Results.Abandon(stream)
 		return ops.Output{}, rst, ops.Stats{}, err
+	}
+	if rst.Degraded > 0 {
+		// Degraded serves are answered but never materialized (see
+		// materializedSegment).
+		e.Results.Abandon(stream)
+		return out, rst, ost, nil
 	}
 	e.Results.Put(k, results.Entry{Segs: visible, PTS: out.PTS, Detections: out.Detections, Retrieval: rst, Consumption: ost}, gen)
 	return out, rst, ost, nil

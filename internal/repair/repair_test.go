@@ -1,0 +1,287 @@
+package repair
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/ingest"
+	"repro/internal/kvstore"
+	"repro/internal/segment"
+	"repro/internal/tier"
+	"repro/internal/vidsim"
+)
+
+var (
+	// golden: lossless full-fidelity raw — decodes to exactly the frames
+	// ingest saw, so repairs from it are byte-identical to fresh ingest.
+	goldenSF = format.StorageFormat{
+		Fidelity: format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 720, Sampling: format.Sampling{Num: 1, Den: 1}},
+		Coding:   format.RawCoding,
+	}
+	// mid: an intermediate lossless raw rung — richer than leafSF, poorer
+	// than golden, so the fallback tree chains leaf → mid → golden.
+	midSF = format.StorageFormat{
+		Fidelity: format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 360, Sampling: format.Sampling{Num: 1, Den: 2}},
+		Coding:   format.RawCoding,
+	}
+	// leaf: an encoded derived format, the typical repair target.
+	leafSF = format.StorageFormat{
+		Fidelity: format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 200, Sampling: format.Sampling{Num: 1, Den: 6}},
+		Coding:   format.Coding{Speed: format.SpeedFast, KeyframeI: 10},
+	}
+)
+
+func derivation(sfs ...format.StorageFormat) *core.StorageDerivation {
+	d := &core.StorageDerivation{Golden: 0}
+	for _, sf := range sfs {
+		d.SFs = append(d.SFs, core.DerivedSF{SF: sf})
+	}
+	return d
+}
+
+// seed ingests nSegments of the dataset into a fresh untiered store.
+func seed(t *testing.T, sfs []format.StorageFormat, nSegments int) *segment.Store {
+	t.Helper()
+	kv, err := kvstore.Open(t.TempDir(), kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kv.Close() })
+	store := segment.NewStore(kv)
+	ing := &ingest.Ingester{Store: store, SFs: sfs}
+	if _, err := ing.Stream(vidsim.Datasets[0], "cam", 0, nSegments); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func encBytes(t *testing.T, s *segment.Store, sf format.StorageFormat, idx int) []byte {
+	t.Helper()
+	enc, err := s.GetEncoded("cam", sf, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc.Marshal()
+}
+
+func TestFallbackChain(t *testing.T) {
+	d := derivation(goldenSF, midSF, leafSF)
+	parent := d.FallbackTree()
+	if parent[0] != -1 || parent[1] != 0 || parent[2] != 1 {
+		t.Fatalf("fallback tree = %v, want [-1 0 1]", parent)
+	}
+}
+
+// TestRepairByteIdenticalFromGolden: the acceptance property — a replica
+// rebuilt from the lossless golden copy is byte-identical to what a fresh
+// ingest would have stored.
+func TestRepairByteIdenticalFromGolden(t *testing.T) {
+	sfs := []format.StorageFormat{goldenSF, leafSF}
+	store := seed(t, sfs, 2)
+	orig := encBytes(t, store, leafSF, 1)
+
+	ref := segment.RefOf("cam", leafSF, 1)
+	if err := store.DamageRef(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.GetEncoded("cam", leafSF, 1); !errors.Is(err, segment.ErrCorrupt) {
+		t.Fatalf("damaged read = %v, want ErrCorrupt", err)
+	}
+
+	r := New(store, nil, derivation(sfs...))
+	ok, err := r.RepairRef(ref)
+	if err != nil || !ok {
+		t.Fatalf("RepairRef = %v, %v", ok, err)
+	}
+	repaired := encBytes(t, store, leafSF, 1)
+	if !bytes.Equal(repaired, orig) {
+		t.Fatalf("repaired replica differs from fresh ingest: %d vs %d bytes", len(repaired), len(orig))
+	}
+	// The other segment's replica was untouched.
+	if refs, _, err := store.VerifyAll(); err != nil || len(refs) != 0 {
+		t.Fatalf("post-repair verify: refs=%v err=%v", refs, err)
+	}
+}
+
+// TestRepairRawReplica: raw (per-frame) replicas rebuild too, and the
+// rebuilt frames equal the originals exactly.
+func TestRepairRawReplica(t *testing.T) {
+	rawLeaf := format.StorageFormat{
+		Fidelity: format.Fidelity{Quality: format.QBest, Crop: format.Crop100, Res: 200, Sampling: format.Sampling{Num: 1, Den: 30}},
+		Coding:   format.RawCoding,
+	}
+	sfs := []format.StorageFormat{goldenSF, rawLeaf}
+	store := seed(t, sfs, 1)
+	orig, _, err := store.GetRaw("cam", rawLeaf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := segment.RefOf("cam", rawLeaf, 0)
+	if err := store.DamageRef(ref); err != nil {
+		t.Fatal(err)
+	}
+	r := New(store, nil, derivation(sfs...))
+	if ok, err := r.RepairRef(ref); err != nil || !ok {
+		t.Fatalf("RepairRef = %v, %v", ok, err)
+	}
+	got, _, err := store.GetRaw("cam", rawLeaf, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("repaired %d frames, want %d", len(got), len(orig))
+	}
+	for i := range got {
+		if !framesEqual(got[i], orig[i]) {
+			t.Fatalf("repaired frame %d differs", i)
+		}
+	}
+}
+
+// TestRebuildWalksPastMissingAncestor: when the direct parent is gone,
+// repair climbs the chain to the golden root.
+func TestRebuildWalksPastMissingAncestor(t *testing.T) {
+	sfs := []format.StorageFormat{goldenSF, midSF, leafSF}
+	store := seed(t, sfs, 1)
+	orig := encBytes(t, store, leafSF, 0)
+	// Erode the mid rung entirely and damage the leaf.
+	if err := store.DeleteRef(segment.RefOf("cam", midSF, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ref := segment.RefOf("cam", leafSF, 0)
+	if err := store.DamageRef(ref); err != nil {
+		t.Fatal(err)
+	}
+	r := New(store, nil, derivation(sfs...))
+	if ok, err := r.RepairRef(ref); err != nil || !ok {
+		t.Fatalf("RepairRef = %v, %v", ok, err)
+	}
+	if !bytes.Equal(encBytes(t, store, leafSF, 0), orig) {
+		t.Fatal("repair via golden root not byte-identical")
+	}
+}
+
+// TestRebuildNoAncestor: a damaged golden replica has nothing richer to
+// rebuild from; the error is typed so callers can distinguish it.
+func TestRebuildNoAncestor(t *testing.T) {
+	sfs := []format.StorageFormat{goldenSF, leafSF}
+	store := seed(t, sfs, 1)
+	r := New(store, nil, derivation(sfs...))
+	if _, _, err := r.Rebuild("cam", 0, goldenSF); !errors.Is(err, ErrNoAncestor) {
+		t.Fatalf("Rebuild(golden) = %v, want ErrNoAncestor", err)
+	}
+	// Every ancestor gone: same typed error.
+	if err := store.DeleteRef(segment.RefOf("cam", goldenSF, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Rebuild("cam", 0, leafSF); !errors.Is(err, ErrNoAncestor) {
+		t.Fatalf("Rebuild with no survivors = %v, want ErrNoAncestor", err)
+	}
+}
+
+// TestScrubHealsCorruptAndLost is the scrubber end to end over a tiered
+// store with a manifest: one replica corrupted on disk, one lost outright;
+// the scrub locates both, rebuilds them onto their recorded tiers, and a
+// second pass finds nothing.
+func TestScrubHealsCorruptAndLost(t *testing.T) {
+	ts, err := tier.Open(t.TempDir(), tier.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ts.Close() })
+	store := segment.NewStore(ts)
+	man := segment.NewManifest(store.DeleteRef)
+	sfs := []format.StorageFormat{goldenSF, midSF, leafSF}
+	ing := &ingest.Ingester{Store: store, SFs: sfs}
+	if _, err := ing.Stream(vidsim.Datasets[0], "cam", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	var refs []segment.Ref
+	var tiers []tier.ID
+	for idx := 0; idx < 2; idx++ {
+		for _, sf := range sfs {
+			refs = append(refs, segment.RefOf("cam", sf, idx))
+			tiers = append(tiers, tier.Fast)
+		}
+	}
+	man.CommitPlaced(refs, tiers)
+
+	// Demote the leaf replica of segment 0 to cold, then lose it; corrupt
+	// the mid replica of segment 1 in place.
+	lost := segment.RefOf("cam", leafSF, 0)
+	if err := store.DemoteRef(lost); err != nil {
+		t.Fatal(err)
+	}
+	man.SetTier(lost, tier.Cold)
+	if err := store.DeleteRef(lost); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := segment.RefOf("cam", midSF, 1)
+	if err := store.DamageRef(corrupt); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(store, man, derivation(sfs...))
+	rep, err := r.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != corrupt {
+		t.Fatalf("Corrupt = %v, want [%v]", rep.Corrupt, corrupt)
+	}
+	if len(rep.Lost) != 1 || rep.Lost[0] != lost {
+		t.Fatalf("Lost = %v, want [%v]", rep.Lost, lost)
+	}
+	if len(rep.Repaired) != 2 || len(rep.Failed) != 0 {
+		t.Fatalf("Repaired=%v Failed=%v", rep.Repaired, rep.Failed)
+	}
+	if rep.Scanned != len(refs) {
+		t.Fatalf("Scanned = %d, want %d", rep.Scanned, len(refs))
+	}
+	// The lost replica came back on its recorded (cold) tier.
+	if tr, ok := store.TierOf(lost); !ok || tr != tier.Cold {
+		t.Fatalf("repaired lost replica on tier %v (present=%v), want cold", tr, ok)
+	}
+	rep2, err := r.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Damaged() != 0 {
+		t.Fatalf("second scrub still found damage: %+v", rep2)
+	}
+}
+
+// TestScrubSkipsErodedReplica: damage detected on a replica that erosion
+// removes before repair runs must not be resurrected.
+func TestScrubSkipsErodedReplica(t *testing.T) {
+	sfs := []format.StorageFormat{goldenSF, leafSF}
+	store := seed(t, sfs, 1)
+	man := segment.NewManifest(store.DeleteRef)
+	// Only the golden replica is committed; the leaf replica exists
+	// physically but is (say) mid-erosion.
+	man.Commit(segment.RefOf("cam", goldenSF, 0))
+	ref := segment.RefOf("cam", leafSF, 0)
+	if err := store.DamageRef(ref); err != nil {
+		t.Fatal(err)
+	}
+	r := New(store, man, derivation(sfs...))
+	rep, err := r.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Skipped) != 1 || rep.Skipped[0] != ref {
+		t.Fatalf("Skipped = %v, want [%v]", rep.Skipped, ref)
+	}
+	if len(rep.Repaired) != 0 || len(rep.Failed) != 0 {
+		t.Fatalf("eroded replica was acted on: %+v", rep)
+	}
+}
+
+func framesEqual(a, b *frame.Frame) bool {
+	return a.PTS == b.PTS && a.W == b.W && a.H == b.H &&
+		bytes.Equal(a.Y, b.Y) && bytes.Equal(a.Cb, b.Cb) && bytes.Equal(a.Cr, b.Cr)
+}

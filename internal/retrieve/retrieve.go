@@ -24,6 +24,12 @@ type Stats struct {
 	FramesDecoded   int64
 	FramesDelivered int64
 	VirtualSeconds  float64
+	// Degraded counts segments served by reconstructing a damaged or
+	// lost replica from a fallback ancestor instead of reading the
+	// subscribed replica. Degraded output may be best-effort (see
+	// Retriever.Rebuild), so callers gate caching and materialization
+	// on it.
+	Degraded int64
 }
 
 // Add accumulates other into s.
@@ -32,6 +38,7 @@ func (s *Stats) Add(other Stats) {
 	s.FramesDecoded += other.FramesDecoded
 	s.FramesDelivered += other.FramesDelivered
 	s.VirtualSeconds += other.VirtualSeconds
+	s.Degraded += other.Degraded
 }
 
 // SegmentReader is the read surface the retriever needs from segment
@@ -63,7 +70,26 @@ type Retriever struct {
 	// Results are merged in position order, so delivered frames and stats
 	// are byte-identical to the sequential path at any worker count.
 	DecodePool *sched.Pool
+	// Rebuild, when non-nil, reconstructs a replica whose stored bytes
+	// are damaged (segment.ErrCorrupt, a failing shard) or lost (visible
+	// in the reader's view yet physically absent): it re-derives segment
+	// seg of the stream in sf from the nearest richer surviving ancestor
+	// on the erosion fallback tree, returning the encoded container (for
+	// encoded formats) or the full frame set (for raw formats). The query
+	// then answers from the reconstruction — degraded, not failed — and
+	// OnDegraded lets the owner enqueue a background repair. The
+	// reconstruction is byte-identical to the original when rebuilt from
+	// a lossless ancestor and best-effort otherwise, so degraded serves
+	// are never cached or materialized.
+	Rebuild RebuildFunc
+	// OnDegraded, when non-nil, observes every successful degraded serve.
+	// Called synchronously; implementations hand off and return.
+	OnDegraded func(stream string, seg int, sf format.StorageFormat)
 }
+
+// RebuildFunc re-derives one replica: exactly one of enc (encoded
+// formats) and frames (raw formats) is non-nil on success.
+type RebuildFunc func(stream string, seg int, sf format.StorageFormat) (enc *codec.Encoded, frames []*frame.Frame, err error)
 
 // Segment retrieves segment idx of the stream stored in sf and converts it
 // to cf. sf must satisfy cf (R1). The within predicate, if non-nil, further
@@ -121,13 +147,30 @@ func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf for
 	}
 	var frames []*frame.Frame
 	var st Stats
+	degraded := false
 	if sf.Coding.Raw {
 		got, bytes, err := r.Store.GetRaw(stream, sf, idx, rawKeep(cf.Fidelity.Sampling, within))
 		if err != nil {
-			if cacheable {
-				r.Cache.abandon(stream)
+			// The segment is visible, so any read failure — corrupt
+			// record, failing shard, or a replica that vanished without
+			// being eroded — is damage. Reconstruct from a fallback
+			// ancestor and answer degraded rather than failing the query.
+			full, ok := r.rebuildRaw(stream, sf, idx)
+			if !ok {
+				if cacheable {
+					r.Cache.abandon(stream)
+				}
+				return nil, st, err
 			}
-			return nil, st, err
+			degraded = true
+			keep := rawKeep(cf.Fidelity.Sampling, within)
+			got = got[:0:0]
+			for _, f := range full {
+				if keep(f.PTS) {
+					got = append(got, f)
+				}
+			}
+			bytes = 0
 		}
 		frames = got
 		st.BytesRead = bytes
@@ -135,10 +178,15 @@ func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf for
 	} else {
 		enc, err := r.Store.GetEncoded(stream, sf, idx)
 		if err != nil {
-			if cacheable {
-				r.Cache.abandon(stream)
+			renc, ok := r.rebuildEncoded(stream, sf, idx)
+			if !ok {
+				if cacheable {
+					r.Cache.abandon(stream)
+				}
+				return nil, st, err
 			}
-			return nil, st, err
+			degraded = true
+			enc = renc
 		}
 		keep := encodedKeep(enc, cf.Fidelity.Sampling, within)
 		keepFn := func(i int) bool { return keep[i] }
@@ -168,9 +216,47 @@ func (r *Retriever) SegmentTagged(stream string, sf format.StorageFormat, cf for
 	st.VirtualSeconds += profile.TransformSeconds(pixels)
 	st.FramesDelivered = int64(len(out))
 	if cacheable {
-		r.Cache.put(stream, key, out, gen)
+		if degraded {
+			// Reconstructed bytes may be best-effort; never let them
+			// shadow the repaired replica from the cache.
+			r.Cache.abandon(stream)
+		} else {
+			r.Cache.put(stream, key, out, gen)
+		}
+	}
+	if degraded {
+		st.Degraded = 1
+		if r.OnDegraded != nil {
+			r.OnDegraded(stream, idx, sf)
+		}
 	}
 	return out, st, nil
+}
+
+// rebuildEncoded reconstructs an encoded replica through Rebuild,
+// reporting ok=false when no rebuild path exists (no hook installed, or
+// re-derivation itself failed — e.g. the segment really was eroded).
+func (r *Retriever) rebuildEncoded(stream string, sf format.StorageFormat, idx int) (*codec.Encoded, bool) {
+	if r.Rebuild == nil {
+		return nil, false
+	}
+	enc, _, err := r.Rebuild(stream, idx, sf)
+	if err != nil || enc == nil {
+		return nil, false
+	}
+	return enc, true
+}
+
+// rebuildRaw is rebuildEncoded for raw (coding-bypass) formats.
+func (r *Retriever) rebuildRaw(stream string, sf format.StorageFormat, idx int) ([]*frame.Frame, bool) {
+	if r.Rebuild == nil {
+		return nil, false
+	}
+	_, frames, err := r.Rebuild(stream, idx, sf)
+	if err != nil || len(frames) == 0 {
+		return nil, false
+	}
+	return frames, true
 }
 
 // convertFidelity converts decoded frames to the consumption fidelity,

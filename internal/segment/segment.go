@@ -36,6 +36,25 @@ const Frames = Seconds * vidsim.FPS
 // ErrNotFound is returned when a requested segment does not exist.
 var ErrNotFound = errors.New("segment: not found")
 
+// ErrCorrupt is returned when a segment's stored bytes are damaged: a
+// record failed its stored checksum (kvstore.ErrCorrupt, with no intact
+// replica in any tier), or the bytes read back but no longer parse as
+// the container they were written as. Distinct from ErrNotFound so the
+// repair layer knows the replica needs re-derivation, not re-ingest.
+var ErrCorrupt = errors.New("segment: corrupt")
+
+// asSegmentErr maps storage-layer read failures onto the segment
+// store's typed errors.
+func asSegmentErr(err error) error {
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return ErrNotFound
+	}
+	if errors.Is(err, kvstore.ErrCorrupt) {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return err
+}
+
 // KV is the key-value surface the segment store needs. A bare
 // *kvstore.Store satisfies it (one log, one lock); a *tier.Store
 // satisfies it with sharded fast/cold tiers behind tier-transparent
@@ -147,16 +166,55 @@ func (s *Store) PutEncoded(stream string, sf format.StorageFormat, idx int, enc 
 	return s.put(sf.Key(), encKey(stream, sf, idx), enc.Marshal())
 }
 
-// GetEncoded loads an encoded segment.
+// putAt writes one record to an explicit tier, bypassing the placement
+// function — how repair lands a rebuilt replica back on the tier the
+// manifest records for it, even if the live placement plan has moved on.
+func (s *Store) putAt(t tier.ID, key string, value []byte) error {
+	if s.ts != nil {
+		return s.ts.PutTier(t, key, value)
+	}
+	return s.kv.Put(key, value)
+}
+
+// PutEncodedAt stores an encoded segment on an explicit tier.
+func (s *Store) PutEncodedAt(t tier.ID, stream string, sf format.StorageFormat, idx int, enc *codec.Encoded) error {
+	if sf.Coding.Raw {
+		return errors.New("segment: PutEncodedAt with raw coding; use PutRawAt")
+	}
+	return s.putAt(t, encKey(stream, sf, idx), enc.Marshal())
+}
+
+// PutRawAt stores a raw segment on an explicit tier, frames first and
+// the metadata anchor last — so an interrupted repair never leaves an
+// anchor that promises frames which were not yet rewritten.
+func (s *Store) PutRawAt(t tier.ID, stream string, sf format.StorageFormat, idx int, frames []*frame.Frame) error {
+	if !sf.Coding.Raw {
+		return errors.New("segment: PutRawAt with encoded coding; use PutEncodedAt")
+	}
+	if len(frames) == 0 {
+		return errors.New("segment: empty raw segment")
+	}
+	for _, f := range frames {
+		if err := s.putAt(t, rawFrameKey(stream, sf, idx, f.PTS), marshalFrame(f)); err != nil {
+			return err
+		}
+	}
+	meta := rawMeta{w: frames[0].W, h: frames[0].H, n: len(frames), firstPTS: frames[0].PTS}
+	return s.putAt(t, rawMetaKey(stream, sf, idx), meta.marshal())
+}
+
+// GetEncoded loads an encoded segment. Damaged bytes — a failed record
+// checksum or an unparseable container — return ErrCorrupt.
 func (s *Store) GetEncoded(stream string, sf format.StorageFormat, idx int) (*codec.Encoded, error) {
 	b, err := s.kv.Get(encKey(stream, sf, idx))
-	if errors.Is(err, kvstore.ErrNotFound) {
-		return nil, ErrNotFound
-	}
 	if err != nil {
-		return nil, err
+		return nil, asSegmentErr(err)
 	}
-	return codec.Unmarshal(b)
+	enc, err := codec.Unmarshal(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return enc, nil
 }
 
 // rawMeta is the fixed-size per-segment header for raw segments.
@@ -243,15 +301,12 @@ func (s *Store) PutRaw(stream string, sf format.StorageFormat, idx int, frames [
 // returned read-bytes count reflects the disk traffic incurred.
 func (s *Store) GetRaw(stream string, sf format.StorageFormat, idx int, keep func(pts int) bool) ([]*frame.Frame, int64, error) {
 	mb, err := s.kv.Get(rawMetaKey(stream, sf, idx))
-	if errors.Is(err, kvstore.ErrNotFound) {
-		return nil, 0, ErrNotFound
-	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, asSegmentErr(err)
 	}
 	meta, err := unmarshalRawMeta(mb)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	var out []*frame.Frame
 	var read int64
@@ -264,12 +319,12 @@ func (s *Store) GetRaw(stream string, sf format.StorageFormat, idx int, keep fun
 			continue // frame may have been individually eroded
 		}
 		if err != nil {
-			return nil, read, err
+			return nil, read, asSegmentErr(err)
 		}
 		read += int64(len(b))
 		f, err := unmarshalFrame(b)
 		if err != nil {
-			return nil, read, err
+			return nil, read, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 		out = append(out, f)
 	}
@@ -420,6 +475,111 @@ func (s *Store) RefBytes(r Ref) int64 {
 		}
 	}
 	return total
+}
+
+// ParseKey maps a raw store key back to the segment replica owning it:
+// encoded records, raw metadata records and per-frame raw records all
+// resolve to their segment's Ref. Non-segment keys (server metadata)
+// report ok=false. It is how the scrubber turns damaged KV keys into
+// repairable replicas.
+func ParseKey(key string) (Ref, bool) {
+	switch {
+	case strings.HasPrefix(key, encPrefix):
+		return parseRefKey(key[len(encPrefix):], false)
+	case strings.HasPrefix(key, rawMetaPrefix):
+		return parseRefKey(key[len(rawMetaPrefix):], true)
+	case strings.HasPrefix(key, rawPrefix):
+		rest := key[len(rawPrefix):]
+		last := strings.LastIndexByte(rest, '/')
+		if last < 0 {
+			return Ref{}, false
+		}
+		return parseRefKey(rest[:last], true) // strip the per-frame pts
+	}
+	return Ref{}, false
+}
+
+// VerifyAll checksums every record in the store and returns the segment
+// replicas owning damaged records (deduplicated, deterministically
+// ordered) plus any damaged non-segment keys (server metadata). It is
+// the scrubber's walk.
+func (s *Store) VerifyAll() ([]Ref, []string, error) {
+	var badKeys []string
+	switch {
+	case s.ts != nil:
+		bks, err := s.ts.VerifyAll()
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, bk := range bks {
+			badKeys = append(badKeys, bk.Key)
+		}
+	default:
+		kv, ok := s.kv.(*kvstore.Store)
+		if !ok {
+			return nil, nil, errors.New("segment: store does not support verification")
+		}
+		bad, err := kv.VerifyAll()
+		if err != nil {
+			return nil, nil, err
+		}
+		badKeys = bad
+	}
+	seen := make(map[Ref]bool)
+	var refs []Ref
+	var meta []string
+	for _, k := range badKeys {
+		r, ok := ParseKey(k)
+		if !ok {
+			meta = append(meta, k)
+			continue
+		}
+		if !seen[r] {
+			seen[r] = true
+			refs = append(refs, r)
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Stream != refs[j].Stream {
+			return refs[i].Stream < refs[j].Stream
+		}
+		if refs[i].Idx != refs[j].Idx {
+			return refs[i].Idx < refs[j].Idx
+		}
+		return refs[i].SFKey < refs[j].SFKey
+	})
+	return refs, meta, nil
+}
+
+// DamageRef flips one stored bit of the replica's anchor record on disk
+// — the bit-rot simulator behind `vstore damage` and the scrub smoke
+// test. Returns ErrNotFound for absent replicas.
+func (s *Store) DamageRef(r Ref) error {
+	var err error
+	switch {
+	case s.ts != nil:
+		err = s.ts.DamageValue(anchorKey(r))
+	default:
+		kv, ok := s.kv.(*kvstore.Store)
+		if !ok {
+			return errors.New("segment: store does not support damage injection")
+		}
+		err = kv.DamageValue(anchorKey(r))
+	}
+	return asSegmentErr(err)
+}
+
+// Sync makes every record written so far durable — repair's barrier
+// after committing a rebuilt replica, mirroring demotion's
+// write-then-sync discipline.
+func (s *Store) Sync() error {
+	if s.ts != nil {
+		return s.ts.Sync()
+	}
+	if kv, ok := s.kv.(*kvstore.Store); ok {
+		return kv.Sync()
+	}
+	return nil
 }
 
 // BytesFor returns the stored bytes of all segments of the stream/format.

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/segment"
+	"repro/internal/vidsim"
+)
+
+// TestCrashChild is the victim half of the crash-kill harness — not a
+// test on its own. When VSTORE_CRASH_DIR is set it opens the store there
+// and ingests (with interleaved demotion passes) until the parent
+// SIGKILLs it mid-write; otherwise it skips. Failures exit non-zero so
+// the parent can tell "child broke" from "child was killed".
+func TestCrashChild(t *testing.T) {
+	dir := os.Getenv("VSTORE_CRASH_DIR")
+	if dir == "" {
+		t.Skip("crash-harness child; run via TestCrashKillRecovery")
+	}
+	s, err := OpenWith(dir, Options{Shards: 2, DemoteAfterDays: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash child open:", err)
+		os.Exit(3)
+	}
+	sc, err := vidsim.DatasetByName("jackson")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crash child scene:", err)
+		os.Exit(3)
+	}
+	// Ingest forever, demoting everything old on every other turn so the
+	// kill can land mid-ingest or mid-demotion with equal ease. Only the
+	// SIGKILL ends this loop.
+	for i := 0; ; i++ {
+		if _, err := s.Ingest(sc, "cam", 1); err != nil {
+			fmt.Fprintln(os.Stderr, "crash child ingest:", err)
+			os.Exit(3)
+		}
+		if i%2 == 1 {
+			if _, err := s.DemotePass(func(string, int) int { return 10 }); err != nil {
+				fmt.Fprintln(os.Stderr, "crash child demote:", err)
+				os.Exit(3)
+			}
+		}
+	}
+}
+
+// TestCrashKillRecovery is the crash harness: repeatedly SIGKILL a child
+// process mid-ingest and mid-demotion over one store directory, then
+// reopen it and hold the durability line — the store opens, every
+// committed replica passes checksum verification, committed leaf bytes
+// equal a never-crashed ingest of the same footage, and queries answer.
+func TestCrashKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	dir := t.TempDir()
+	s, err := OpenWith(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reconfigure(selfhealConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill delays are staggered so the SIGKILL lands at different points
+	// of the ingest/demote cycle on every run.
+	for run, delay := range []time.Duration{500 * time.Millisecond, 1100 * time.Millisecond, 800 * time.Millisecond} {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestCrashChild$", "-test.v")
+		cmd.Env = append(os.Environ(), "VSTORE_CRASH_DIR="+dir)
+		var out bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(delay)
+		if err := cmd.Process.Signal(syscall.Signal(0)); err != nil {
+			cmd.Wait()
+			t.Fatalf("run %d: child died on its own before the kill:\n%s", run, out.String())
+		}
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatalf("run %d: kill: %v", run, err)
+		}
+		cmd.Wait()
+	}
+
+	// The store must reopen: replay tolerates whatever the kills tore.
+	s2, err := OpenWith(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatalf("reopen after crashes: %v", err)
+	}
+	defer s2.Close()
+	assertStoreClean(t, s2)
+
+	// Committed segments survive byte-identically: re-ingest the same
+	// footage in a never-crashed reference store and compare each
+	// committed leaf replica. A kill mid-ingest may leave index holes
+	// (reserved but never committed) — those are skipped, like erosion.
+	n := s2.SegmentsOf("cam")
+	if n == 0 {
+		t.Fatal("no segment survived three crash runs; the child never committed")
+	}
+	ref, err := OpenWith(t.TempDir(), Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if err := ref.Reconfigure(selfhealConfig()); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := vidsim.DatasetByName("jackson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Ingest(sc, "cam", n); err != nil {
+		t.Fatal(err)
+	}
+	committed, holes := 0, 0
+	for i := 0; i < n; i++ {
+		if !s2.manifest.Contains(segment.RefOf("cam", healLeafSF, i)) {
+			holes++
+			continue
+		}
+		committed++
+		got, err := s2.segs.GetEncoded("cam", healLeafSF, i)
+		if err != nil {
+			t.Fatalf("segment %d committed but unreadable: %v", i, err)
+		}
+		want, err := ref.segs.GetEncoded("cam", healLeafSF, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Marshal(), want.Marshal()) {
+			t.Fatalf("segment %d replica bytes differ from a never-crashed ingest", i)
+		}
+	}
+	t.Logf("crash recovery: %d segments committed, %d holes over 3 kills", committed, holes)
+	if committed == 0 {
+		t.Fatal("every surviving index is a hole")
+	}
+
+	// Queries answer over the survivor; with no holes the detections must
+	// equal the never-crashed store's.
+	cascade, names := motionCascade()
+	got, err := s2.Query(context.Background(), "cam", cascade, names, 0.9, 0, n)
+	if err != nil {
+		t.Fatalf("query after crash recovery: %v", err)
+	}
+	if holes == 0 {
+		want, err := ref.Query(context.Background(), "cam", cascade, names, 0.9, 0, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDetections(t, want, got, "crash recovery")
+	}
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/kvstore"
+	"repro/internal/vidsim"
+)
+
+// soakSeeds returns how many seeds each soak scenario runs.
+// VSTORE_SOAK_SEEDS widens the matrix — the nightly job sets it — while
+// the default keeps the tier-1 suite quick.
+func soakSeeds(t *testing.T) int {
+	if v := os.Getenv("VSTORE_SOAK_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("VSTORE_SOAK_SEEDS=%q: want a positive integer", v)
+		}
+		return n
+	}
+	return 1
+}
+
+// TestFaultSoak drives a full ingest/demote/query/scrub workload under
+// each class of injected fault and holds one line per phase: operations
+// either succeed or fail with the injected error surfaced cleanly (no
+// panics, no garbage served), and once the injector is removed a single
+// scrub pass leaves the store verifiably intact with queries answering.
+// Every run is seeded, so a failure reproduces with the same schedule.
+func TestFaultSoak(t *testing.T) {
+	scenarios := []struct {
+		name string
+		spec string
+	}{
+		{"read-flips", "read=flip:0.02"},
+		{"read-errors", "read@fast=err:0.05"},
+		{"torn-writes", "write=torn:0.05"},
+		{"sync-errors", "sync=err:0.05"},
+		{"mixed", "read=flip:0.01,write=torn:0.02,sync=err:0.01"},
+	}
+	seeds := soakSeeds(t)
+	sc, err := vidsim.DatasetByName("jackson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sn := range scenarios {
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", sn.name, seed), func(t *testing.T) {
+				rules, err := fault.Parse(sn.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := OpenWith(t.TempDir(), Options{Shards: 2, DemoteAfterDays: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				if err := s.Reconfigure(selfhealConfig()); err != nil {
+					t.Fatal(err)
+				}
+				cascade, names := motionCascade()
+
+				fault.Install(fault.New(seed, rules))
+				defer fault.Install(nil)
+				const segments = 4
+				for i := 0; i < segments; i++ {
+					// A failed ingest under injected write/sync faults
+					// leaves an invisible hole — tolerated, like erosion.
+					// Anything else is a real bug the soak exists to catch.
+					if _, err := s.Ingest(sc, "cam", 1); err != nil && !errors.Is(err, fault.ErrInjected) {
+						t.Fatalf("ingest %d: %v", i, err)
+					}
+					if _, err := s.DemotePass(func(string, int) int { return 10 }); err != nil &&
+						!errors.Is(err, fault.ErrInjected) && !errors.Is(err, kvstore.ErrCorrupt) {
+						t.Fatalf("demote %d: %v", i, err)
+					}
+					// Queries under read faults either answer (the degraded
+					// path masked the damage) or surface corruption as a
+					// typed error — never garbage, never a panic.
+					_, err := s.Query(context.Background(), "cam", cascade, names, 0.9, 0, s.SegmentsOf("cam"))
+					if err != nil && !errors.Is(err, fault.ErrInjected) && !errors.Is(err, kvstore.ErrCorrupt) {
+						t.Fatalf("query %d: %v", i, err)
+					}
+				}
+
+				// Disarm, heal, and verify: one scrub pass must leave the
+				// store intact and serving. Injected flips were transient
+				// (nothing landed on disk) and torn writes never committed,
+				// so the scrub has nothing it cannot repair.
+				fault.Install(nil)
+				rep, err := s.ScrubPass()
+				if err != nil {
+					t.Fatalf("post-soak scrub: %v", err)
+				}
+				if len(rep.Failed) != 0 {
+					t.Fatalf("post-soak scrub could not heal %d replicas: %+v", len(rep.Failed), rep.Failed)
+				}
+				assertStoreClean(t, s)
+				if n := s.SegmentsOf("cam"); n > 0 {
+					if _, err := s.Query(context.Background(), "cam", cascade, names, 0.9, 0, n); err != nil {
+						t.Fatalf("post-soak query: %v", err)
+					}
+				}
+			})
+		}
+	}
+}

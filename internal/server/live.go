@@ -230,6 +230,12 @@ func (s *Server) StartErosionDaemon(interval time.Duration, clock erode.Clock, a
 			_, err := s.ErodePass(age)
 			return err
 		},
+		// The integrity scrub joins the rotation after erosion: bit rot
+		// is found and healed on the same cadence footage ages.
+		Scrub: func() error {
+			_, err := s.ScrubPass()
+			return err
+		},
 	}
 	if err := d.Start(); err != nil {
 		return nil, err

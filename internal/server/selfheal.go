@@ -1,0 +1,242 @@
+// Self-healing: the server-level wiring of corruption repair. Queries
+// that hit a damaged replica rebuild it on the fly through the repair
+// layer (degraded serving) and enqueue the replica for durable background
+// repair; a scrub pass — manual or on the erosion daemon's rotation —
+// verifies every record checksum and re-derives whatever is damaged or
+// lost. See internal/repair for the re-derivation itself.
+
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/repair"
+	"repro/internal/segment"
+)
+
+// repairQueueDepth bounds the background repair queue. Overflow drops the
+// enqueue: every degraded serve re-enqueues, and the scrub rotation heals
+// anything the queue missed.
+const repairQueueDepth = 256
+
+// selfheal carries the server's repair state: the lazily built repairer,
+// the deduplicating background repair queue, and the counters Stats()
+// reports.
+type selfheal struct {
+	mu       sync.Mutex
+	repairer *repair.Repairer
+	pending  map[segment.Ref]bool
+	queue    chan segment.Ref
+	quit     chan struct{}
+	done     chan struct{}
+	stopped  bool
+
+	degradedServes atomic.Int64
+	repairs        atomic.Int64
+	repairsFailed  atomic.Int64
+	scrubPasses    atomic.Int64
+	// unhealed is the damage count the latest scrub pass could not repair
+	// — what keeps /healthz degraded until an operator intervenes.
+	unhealed atomic.Int64
+}
+
+// repairerLocked returns the repairer spanning every epoch's derivation,
+// building it on first use. Caller holds s.mu; Reconfigure invalidates.
+func (s *Server) repairerLocked() *repair.Repairer {
+	if s.heal.repairer == nil {
+		ds := make([]*core.StorageDerivation, 0, len(s.epochs))
+		for _, ep := range s.epochs {
+			ds = append(ds, ep.Cfg.Derivation)
+		}
+		s.heal.repairer = repair.NewMulti(s.segs, s.manifest, ds...)
+	}
+	return s.heal.repairer
+}
+
+func (s *Server) currentRepairer() *repair.Repairer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repairerLocked()
+}
+
+// rebuildReplica is the query engine's Rebuild hook: re-derive a damaged
+// replica from its nearest surviving fallback ancestor so the query
+// answers degraded instead of failing.
+func (s *Server) rebuildReplica(stream string, seg int, sf format.StorageFormat) (*codec.Encoded, []*frame.Frame, error) {
+	return s.currentRepairer().Rebuild(stream, seg, sf)
+}
+
+// onDegraded observes every degraded serve: count it and enqueue the
+// damaged replica for durable background repair.
+func (s *Server) onDegraded(stream string, seg int, sf format.StorageFormat) {
+	s.heal.degradedServes.Add(1)
+	s.enqueueRepair(segment.RefOf(stream, sf, seg))
+}
+
+// enqueueRepair hands a damaged replica to the background repair worker,
+// deduplicating against repairs already queued. The worker starts on
+// first use; a full queue drops the enqueue (the scrub rotation is the
+// backstop).
+func (s *Server) enqueueRepair(ref segment.Ref) {
+	h := &s.heal
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.stopped {
+		return
+	}
+	if h.queue == nil {
+		h.pending = make(map[segment.Ref]bool)
+		h.queue = make(chan segment.Ref, repairQueueDepth)
+		h.quit = make(chan struct{})
+		h.done = make(chan struct{})
+		go s.repairWorker(h.queue, h.quit, h.done)
+	}
+	if h.pending[ref] {
+		return
+	}
+	select {
+	case h.queue <- ref:
+		h.pending[ref] = true
+	default:
+	}
+}
+
+// repairWorker drains the repair queue, healing one replica at a time
+// under erodeMu — a repair's rebuilt records must never interleave with a
+// demotion copying or an erosion pass deleting the same replica.
+func (s *Server) repairWorker(queue chan segment.Ref, quit, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-quit:
+			return
+		case ref := <-queue:
+			s.erodeMu.Lock()
+			ok, err := s.currentRepairer().RepairRef(ref)
+			s.erodeMu.Unlock()
+			s.heal.mu.Lock()
+			delete(s.heal.pending, ref)
+			s.heal.mu.Unlock()
+			switch {
+			case err != nil:
+				s.heal.repairsFailed.Add(1)
+			case ok:
+				s.heal.repairs.Add(1)
+				s.invalidateCacheFor(ref.Stream)
+			}
+		}
+	}
+}
+
+// stopRepairWorker halts the background worker and waits for an in-flight
+// repair to finish — Close must not release the store under it. Further
+// enqueues become no-ops.
+func (s *Server) stopRepairWorker() {
+	h := &s.heal
+	h.mu.Lock()
+	h.stopped = true
+	quit, done := h.quit, h.done
+	h.quit, h.done = nil, nil
+	h.mu.Unlock()
+	if quit != nil {
+		close(quit)
+		<-done
+	}
+}
+
+// invalidateCacheFor drops the stream's cached frames after a repair: a
+// best-effort degraded reconstruction is never cached, but post-repair
+// reads must come from the healed replica, not from frames decoded before
+// the damage was found.
+func (s *Server) invalidateCacheFor(stream string) {
+	s.mu.Lock()
+	if s.cache != nil {
+		s.cache.Invalidate(stream)
+	}
+	s.mu.Unlock()
+}
+
+// DamageReplica deliberately corrupts one committed replica of the
+// stream's segment — the fault-injection hook the scrub smoke test, the
+// CLI `damage` verb and the API tests use to exercise self-healing on a
+// real store. sfKey selects the storage format by key; empty picks the
+// first non-golden format of the newest epoch (the golden itself when it
+// is the only format). The flipped bit is found on the next read or scrub
+// of the replica, not here.
+func (s *Server) DamageReplica(stream, sfKey string, idx int) (segment.Ref, error) {
+	s.mu.Lock()
+	if len(s.epochs) == 0 {
+		s.mu.Unlock()
+		return segment.Ref{}, fmt.Errorf("server: no configuration installed")
+	}
+	d := s.epochs[len(s.epochs)-1].Cfg.Derivation
+	var sf format.StorageFormat
+	found := false
+	for i, dsf := range d.SFs {
+		if sfKey == "" && i != d.Golden {
+			sf, found = dsf.SF, true
+			break
+		}
+		if sfKey != "" && dsf.SF.Key() == sfKey {
+			sf, found = dsf.SF, true
+			break
+		}
+	}
+	if !found && sfKey == "" && len(d.SFs) > 0 {
+		sf, found = d.SFs[d.Golden].SF, true
+	}
+	s.mu.Unlock()
+	if !found {
+		return segment.Ref{}, fmt.Errorf("server: no storage format %q in the current epoch", sfKey)
+	}
+	ref := segment.RefOf(stream, sf, idx)
+	if err := s.segs.DamageRef(ref); err != nil {
+		return segment.Ref{}, err
+	}
+	return ref, nil
+}
+
+// ScrubPass verifies every record checksum in the store, cross-checks the
+// manifest for lost replicas, and re-derives whatever is damaged — one
+// full self-healing pass, serialised with demotion and erosion. The
+// erosion daemon runs it on every tick (see StartErosionDaemon); the
+// `vstore scrub` verb and the POST /v1/scrub endpoint invoke it manually.
+func (s *Server) ScrubPass() (repair.Report, error) {
+	s.erodeMu.Lock()
+	defer s.erodeMu.Unlock()
+	rep, err := s.currentRepairer().Scrub()
+	s.heal.scrubPasses.Add(1)
+	s.heal.repairs.Add(int64(len(rep.Repaired)))
+	s.heal.repairsFailed.Add(int64(len(rep.Failed)))
+	s.heal.unhealed.Store(int64(len(rep.Failed)))
+	streams := map[string]bool{}
+	for _, ref := range rep.Repaired {
+		streams[ref.Stream] = true
+	}
+	for stream := range streams {
+		s.invalidateCacheFor(stream)
+	}
+	return rep, err
+}
+
+// RepairPending reports how many damaged replicas await background repair.
+func (s *Server) RepairPending() int {
+	s.heal.mu.Lock()
+	defer s.heal.mu.Unlock()
+	return len(s.heal.pending)
+}
+
+// Degraded reports whether the store is serving in degraded mode: damaged
+// replicas are awaiting background repair, or the latest scrub pass left
+// damage it could not heal. A degraded store still answers queries — via
+// fallback reconstruction — but redundancy is reduced until repairs
+// complete.
+func (s *Server) Degraded() bool {
+	return s.RepairPending() > 0 || s.heal.unhealed.Load() > 0
+}

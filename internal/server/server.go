@@ -82,11 +82,17 @@ type Server struct {
 	// ErosionPasses counter stays monotonic across daemon restarts.
 	pastErodePasses int64
 	closed          bool
-	// erodeMu serialises lifecycle passes (demotion and erosion): a
-	// demoter copying records fast→cold must never interleave with an
-	// eroder physically deleting those records, or a deleted segment
-	// could be resurrected on the cold tier.
+	// erodeMu serialises lifecycle passes (demotion, erosion, scrub and
+	// background repair): a demoter copying records fast→cold must never
+	// interleave with an eroder physically deleting those records, or a
+	// deleted segment could be resurrected on the cold tier — and a
+	// repair rewriting a replica must never race either of them.
 	erodeMu sync.Mutex
+	// heal is the self-healing state: repairer, background repair queue
+	// and counters (see selfheal.go). heal.repairer is guarded by mu (it
+	// is invalidated under mu on Reconfigure); the queue and counters
+	// have their own synchronisation.
+	heal selfheal
 	// placements maps storage-format keys to their derived disk tier,
 	// merged across epochs (newest wins) so in-flight ingest of an older
 	// epoch's formats still resolves during a reconfiguration.
@@ -280,6 +286,7 @@ func (s *Server) Close() error {
 	s.streams = map[string]*ingest.Stream{}
 	s.mu.Unlock()
 	s.StopErosionDaemon() // folds its passes into the running total
+	s.stopRepairWorker()  // waits for an in-flight repair before the store closes
 	for _, st := range streams {
 		st.Stop() // drains queued segments while the store is still open
 	}
@@ -392,6 +399,9 @@ func (s *Server) Reconfigure(cfg *core.Config) error {
 	for k, p := range cfg.Placements() {
 		s.placements[k] = p
 	}
+	// The repairer spans every epoch's derivation; rebuild it lazily with
+	// the new epoch included.
+	s.heal.repairer = nil
 	return nil
 }
 
@@ -828,7 +838,14 @@ func (s *Server) QueryAt(ctx context.Context, snap *Snapshot, stream string, cas
 		spanPar = min(workers, len(spans))
 	}
 	view := &segment.View{Store: s.segs, Snap: snap.ms}
-	eng := query.Engine{Store: view, Cache: cache, Results: resStore, Workers: max(workers/spanPar, 1)}
+	eng := query.Engine{
+		Store: view, Cache: cache, Results: resStore, Workers: max(workers/spanPar, 1),
+		// A damaged replica rebuilds from its fallback ancestor and the
+		// query answers degraded; the serve is counted and the replica
+		// queued for background repair.
+		Rebuild:    s.rebuildReplica,
+		OnDegraded: s.onDegraded,
+	}
 	results := make([]query.Result, len(spans))
 	errs := make([]error, len(spans))
 	if spanPar > 1 {
@@ -1037,6 +1054,11 @@ func (s *Server) Stats() kvstore.Stats {
 	}
 	s.mu.Unlock()
 	st.ErosionPasses = past + daemon.Stats().Passes
+	st.DegradedServes = s.heal.degradedServes.Load()
+	st.Repairs = s.heal.repairs.Load()
+	st.RepairsFailed = s.heal.repairsFailed.Load()
+	st.ScrubPasses = s.heal.scrubPasses.Load()
+	st.RepairPending = s.RepairPending()
 	return st
 }
 

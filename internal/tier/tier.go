@@ -113,13 +113,16 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s := &Store{dir: dir, opts: opts, shards: shards}
 	for i := 0; i < shards; i++ {
-		f, err := kvstore.Open(s.shardDir(Fast, i), opts.KV)
+		kvOpts := opts.KV
+		kvOpts.FaultScope = fmt.Sprintf("%s/%03d", Fast, i)
+		f, err := kvstore.Open(s.shardDir(Fast, i), kvOpts)
 		if err != nil {
 			s.Close()
 			return nil, err
 		}
 		s.fast = append(s.fast, f)
-		c, err := kvstore.Open(s.shardDir(Cold, i), opts.KV)
+		kvOpts.FaultScope = fmt.Sprintf("%s/%03d", Cold, i)
+		c, err := kvstore.Open(s.shardDir(Cold, i), kvOpts)
 		if err != nil {
 			s.Close()
 			return nil, err
@@ -218,19 +221,28 @@ func discoverShards(dir string) (int, error) {
 func (s *Store) recoverDemotions() error {
 	for i := range s.fast {
 		for _, k := range s.fast[i].Keys("") {
-			cv, err := s.cold[i].Get(k)
-			if errors.Is(err, kvstore.ErrNotFound) {
+			cv, cerr := s.cold[i].Get(k)
+			if errors.Is(cerr, kvstore.ErrNotFound) {
 				continue
 			}
-			if err != nil {
-				return fmt.Errorf("tier: recovering demotion of %q: %w", k, err)
+			if cerr != nil && !errors.Is(cerr, kvstore.ErrCorrupt) {
+				return fmt.Errorf("tier: recovering demotion of %q: %w", k, cerr)
 			}
-			fv, err := s.fast[i].Get(k)
-			if err != nil {
-				return fmt.Errorf("tier: recovering demotion of %q: %w", k, err)
+			fv, ferr := s.fast[i].Get(k)
+			if ferr != nil && !errors.Is(ferr, kvstore.ErrCorrupt) {
+				return fmt.Errorf("tier: recovering demotion of %q: %w", k, ferr)
 			}
+			// A corrupt copy never wins the settle: keep the intact one
+			// (damage on both sides keeps cold — either choice serves
+			// ErrCorrupt until repair re-derives the replica, and cold is
+			// where a completed demotion would have left the key).
 			victim := s.fast[i]
-			if !bytes.Equal(fv, cv) {
+			switch {
+			case cerr != nil && ferr == nil:
+				victim = s.cold[i]
+			case cerr == nil && ferr != nil:
+				// victim stays fast
+			case cerr == nil && ferr == nil && !bytes.Equal(fv, cv):
 				victim = s.cold[i]
 			}
 			if err := victim.Delete(k); err != nil {
@@ -294,14 +306,26 @@ func (s *Store) PutTier(t ID, key string, value []byte) error {
 
 // Get returns the value stored under key, reading through fast→cold: the
 // fast tier is consulted first, and a demoted key serves byte-identically
-// from cold.
+// from cold. A fast read that fails for any reason — a corrupt record, a
+// failing device — is treated as a miss and falls through to the cold
+// replica, so one damaged tier degrades a stream instead of taking it
+// down. If the cold tier has no copy either, the original fast error is
+// returned (it carries the real diagnosis: the data exists but is
+// damaged, not absent).
 func (s *Store) Get(key string) ([]byte, error) {
 	i := s.shardOf(key)
 	v, err := s.fast[i].Get(key)
-	if errors.Is(err, kvstore.ErrNotFound) {
-		return s.cold[i].Get(key)
+	if err == nil {
+		return v, nil
 	}
-	return v, err
+	cv, cerr := s.cold[i].Get(key)
+	if cerr == nil {
+		return cv, nil
+	}
+	if errors.Is(err, kvstore.ErrNotFound) {
+		return nil, cerr
+	}
+	return nil, err
 }
 
 // Has reports whether key is present in either tier.
@@ -433,6 +457,8 @@ func (s *Store) TierStats(t ID) kvstore.Stats {
 		out.LiveBytes += st.LiveBytes
 		out.GarbageBytes += st.GarbageBytes
 		out.Files += st.Files
+		out.CorruptReads += st.CorruptReads
+		out.TransientReads += st.TransientReads
 	}
 	return out
 }
@@ -442,16 +468,74 @@ func (s *Store) TierStats(t ID) kvstore.Stats {
 func (s *Store) Stats() kvstore.Stats {
 	f, c := s.TierStats(Fast), s.TierStats(Cold)
 	return kvstore.Stats{
-		Keys:          f.Keys + c.Keys,
-		LiveBytes:     f.LiveBytes + c.LiveBytes,
-		GarbageBytes:  f.GarbageBytes + c.GarbageBytes,
-		Files:         f.Files + c.Files,
-		Shards:        s.shards,
-		FastKeys:      f.Keys,
-		ColdKeys:      c.Keys,
-		FastLiveBytes: f.LiveBytes,
-		ColdLiveBytes: c.LiveBytes,
+		Keys:           f.Keys + c.Keys,
+		LiveBytes:      f.LiveBytes + c.LiveBytes,
+		GarbageBytes:   f.GarbageBytes + c.GarbageBytes,
+		Files:          f.Files + c.Files,
+		Shards:         s.shards,
+		FastKeys:       f.Keys,
+		ColdKeys:       c.Keys,
+		FastLiveBytes:  f.LiveBytes,
+		ColdLiveBytes:  c.LiveBytes,
+		CorruptReads:   f.CorruptReads + c.CorruptReads,
+		TransientReads: f.TransientReads + c.TransientReads,
 	}
+}
+
+// Sync fsyncs every shard of both tiers — the durability barrier the
+// repair layer uses after committing a re-derived replica.
+func (s *Store) Sync() error {
+	for i := 0; i < s.shards; i++ {
+		if err := s.fast[i].Sync(); err != nil {
+			return err
+		}
+		if err := s.cold[i].Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadKey locates one damaged key: the tier and shard it lives on, for
+// per-shard health reporting.
+type BadKey struct {
+	Key   string
+	Tier  ID
+	Shard int
+}
+
+// VerifyAll runs checksum verification over every record of every shard
+// in both tiers — the scrubber's walk. It returns the damaged keys in
+// sorted key order; an empty slice means the whole store is intact.
+func (s *Store) VerifyAll() ([]BadKey, error) {
+	var out []BadKey
+	for i := 0; i < s.shards; i++ {
+		for _, t := range []ID{Fast, Cold} {
+			bad, err := s.tier(t)[i].VerifyAll()
+			if err != nil {
+				return nil, fmt.Errorf("tier: verify %s/%03d: %w", t, i, err)
+			}
+			for _, k := range bad {
+				out = append(out, BadKey{Key: k, Tier: t, Shard: i})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out, nil
+}
+
+// DamageValue flips one stored bit of key's record in whichever tier
+// holds it — the on-disk bit-rot simulator behind `vstore damage` and
+// the scrub smoke test. Returns kvstore.ErrNotFound for absent keys.
+func (s *Store) DamageValue(key string) error {
+	i := s.shardOf(key)
+	if s.fast[i].Has(key) {
+		return s.fast[i].DamageValue(key)
+	}
+	if s.cold[i].Has(key) {
+		return s.cold[i].DamageValue(key)
+	}
+	return kvstore.ErrNotFound
 }
 
 // DiskBytes returns the total log-file size across all shards of both
