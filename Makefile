@@ -3,7 +3,7 @@
 GO ?= go
 
 # Packages with concurrent paths, exercised under the race detector.
-RACE_PKGS := ./internal/api/... ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/... ./internal/sub/... ./internal/results/... ./internal/tenant/... ./internal/fault/... ./internal/repair/...
+RACE_PKGS := ./internal/api/... ./internal/server/... ./internal/query/... ./internal/kvstore/... ./internal/tier/... ./internal/retrieve/... ./internal/ingest/... ./internal/erode/... ./internal/segment/... ./internal/codec/... ./internal/sched/... ./internal/sub/... ./internal/results/... ./internal/tenant/... ./internal/fault/... ./internal/repair/... ./internal/store/... ./internal/cluster/...
 
 # The retrieval fast path's headline benchmarks: the series tracked in
 # BENCH_PR4.json (ns/op, allocs/op, MB/s) so later PRs can spot
@@ -36,13 +36,13 @@ TENANT_BENCH_REGEX := 'BenchmarkTenantSkewAdmission'
 # concurrency machinery (manifest commits, snapshot release, daemon
 # lifecycle, tier demotion, shard recovery, HTTP admission control,
 # standing-query push) cannot silently lose its tests.
-COVER_PKGS := ./internal/api ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier ./internal/sub ./internal/results ./internal/tenant ./internal/fault ./internal/repair
+COVER_PKGS := ./internal/api ./internal/server ./internal/ingest ./internal/erode ./internal/kvstore ./internal/tier ./internal/sub ./internal/results ./internal/tenant ./internal/fault ./internal/repair ./internal/store ./internal/cluster
 COVER_MIN := 80
 
 # Fuzzing budget: 10s locally keeps the loop fast, nightly CI raises it.
 FUZZTIME ?= 10s
 
-.PHONY: build test race bench bench-json bench-json-sub bench-json-results bench-json-tenant bench-smoke lint fmt vet staticcheck vulncheck cover fuzz soak load-smoke scrub-smoke fault-smoke fault-soak all
+.PHONY: build test race bench bench-json bench-json-sub bench-json-results bench-json-tenant bench-smoke lint fmt vet staticcheck vulncheck cover fuzz soak load-smoke scrub-smoke fault-smoke fault-soak cluster-smoke all
 
 all: build lint test
 
@@ -120,7 +120,7 @@ cover:
 	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
 	@$(GO) tool cover -func=cover.out | awk -v min=$(COVER_MIN) '/^total:/ { \
 		sub(/%/, "", $$3); \
-		printf "coverage (api+server+ingest+erode+kvstore+tier+sub+results+tenant+fault+repair): %s%% (minimum %s%%)\n", $$3, min; \
+		printf "coverage (api+server+ingest+erode+kvstore+tier+sub+results+tenant+fault+repair+store+cluster): %s%% (minimum %s%%)\n", $$3, min; \
 		if ($$3 + 0 < min) { print "FAIL: coverage below minimum"; exit 1 } }'
 
 # A short deterministic-input fuzz pass over configuration persistence:
@@ -234,6 +234,80 @@ fault-smoke:
 SOAK_SEEDS ?= 1
 fault-soak:
 	VSTORE_SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -run TestFaultSoak -timeout 30m -v ./internal/server/
+
+# Cluster mode end to end, with real processes: three `vstore api` nodes
+# behind a real `vstore route` router with replication factor 2. Two
+# streams are seeded through the router (consistent hashing splits their
+# owners) and each takes vload's synchronized burst-wave scenario. Then
+# the first stream's owner — read from the router's own /v1/cluster
+# placement surface — is SIGKILLed, and a queries-only wave against both
+# streams must still answer with zero hard errors (reads fail over to the
+# replica follower), with the router's degraded-route counter moving to
+# prove the failover path, not luck, served them. Every process picks its
+# own port, so parallel CI jobs cannot collide.
+cluster-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$n1 $$n2 $$n3 $$rpid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/vstore" ./cmd/vstore; \
+	$(GO) build -o "$$tmp/vload" ./cmd/vload; \
+	for i in 1 2 3; do \
+		"$$tmp/vstore" configure -db "$$tmp/db$$i" -clip 120 >/dev/null; \
+		"$$tmp/vstore" api -db "$$tmp/db$$i" -listen 127.0.0.1:0 > "$$tmp/node$$i.log" 2>&1 & \
+		eval "n$$i=$$!"; \
+	done; \
+	for i in 1 2 3; do \
+		a=""; \
+		for try in $$(seq 1 50); do \
+			a=$$(sed -n 's/^vstore api listening on \([^ ]*\).*/\1/p' "$$tmp/node$$i.log"); \
+			[ -n "$$a" ] && break; \
+			sleep 0.2; \
+		done; \
+		if [ -z "$$a" ]; then \
+			echo "FAIL: node $$i never reported its listen address"; \
+			cat "$$tmp/node$$i.log"; exit 1; \
+		fi; \
+		eval "a$$i=$$a"; \
+	done; \
+	"$$tmp/vstore" route -nodes "n1=http://$$a1,n2=http://$$a2,n3=http://$$a3" \
+		-replicas 2 -listen 127.0.0.1:0 > "$$tmp/router.log" 2>&1 & \
+	rpid=$$!; \
+	raddr=""; \
+	for try in $$(seq 1 50); do \
+		raddr=$$(sed -n 's/^vstore router listening on \([^ ]*\).*/\1/p' "$$tmp/router.log"); \
+		[ -n "$$raddr" ] && break; \
+		sleep 0.2; \
+	done; \
+	if [ -z "$$raddr" ]; then \
+		echo "FAIL: router never reported its listen address"; \
+		cat "$$tmp/router.log"; exit 1; \
+	fi; \
+	"$$tmp/vload" -addr "http://$$raddr" -cluster -stream cam-a -seed-segments 2 -clients 6 -waves 3; \
+	"$$tmp/vload" -addr "http://$$raddr" -cluster -stream cam-b -seed-segments 2 -clients 6 -waves 3; \
+	reps=0; \
+	for try in $$(seq 1 100); do \
+		reps=$$(curl -sf "http://$$raddr/metrics" | awk '/^vstore_router_replications_total/ { print $$2 + 0 }'); \
+		[ "$$reps" -ge 2 ] && break; \
+		sleep 0.2; \
+	done; \
+	if [ "$$reps" -lt 2 ]; then \
+		echo "FAIL: follower replication never completed (replications=$$reps)"; \
+		curl -sf "http://$$raddr/metrics" | grep '^vstore_router' || true; exit 1; \
+	fi; \
+	victim=$$(curl -sf "http://$$raddr/v1/cluster" | sed -n 's/.*"cam-a":\["\([^"]*\)".*/\1/p'); \
+	if [ -z "$$victim" ]; then \
+		echo "FAIL: router reports no placement for cam-a"; \
+		curl -sf "http://$$raddr/v1/cluster"; exit 1; \
+	fi; \
+	echo "cluster-smoke: killing cam-a's owner $$victim"; \
+	vpid=$$(eval echo \$$n$${victim#n}); \
+	kill -9 $$vpid; \
+	"$$tmp/vload" -addr "http://$$raddr" -cluster -stream cam-a -seed-segments 0 -clients 4 -waves 1; \
+	"$$tmp/vload" -addr "http://$$raddr" -cluster -stream cam-b -seed-segments 0 -clients 4 -waves 1; \
+	curl -sf "http://$$raddr/metrics" | awk '/^vstore_router_degraded_routes_total/ { if ($$2 + 0 > 0) ok = 1 } END { exit ok ? 0 : 1 }' || \
+		{ echo "FAIL: a node died but vstore_router_degraded_routes_total never moved"; exit 1; }; \
+	kill -TERM $$rpid; \
+	wait $$rpid
 
 lint: vet fmt staticcheck vulncheck
 

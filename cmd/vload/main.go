@@ -74,6 +74,14 @@ var (
 	// Fault-probe scenario: queries only, zero hard errors tolerated, and
 	// the server must report that injected corruption actually fired.
 	faultProbe = flag.Bool("fault-probe", false, "availability probe through an induced storage fault: queries only, fail on any query error or if the server reports no corrupt reads / degraded serves / repairs (start the server with VSTORE_FAULTS)")
+
+	// Cluster burst scenario: -addr points at a `vstore route` router and
+	// the load arrives in synchronized waves — every client fires at the
+	// same instant, the worst case for admission control — reporting each
+	// wave's p99 and how the rejection rate moves wave over wave.
+	clusterFlag  = flag.Bool("cluster", false, "burst-arrival scenario against a cluster router: -clients fire simultaneously in -waves synchronized waves, reporting per-wave p99 and the rejection trajectory")
+	waves        = flag.Int("waves", 5, "synchronized arrival waves (cluster scenario)")
+	waveInterval = flag.Duration("wave-interval", 500*time.Millisecond, "pause between waves (cluster scenario)")
 )
 
 // op is one completed operation's record.
@@ -129,6 +137,10 @@ func run() error {
 		}); err != nil {
 			return fmt.Errorf("seed ingest: %w", err)
 		}
+	}
+
+	if *clusterFlag {
+		return runClusterBurst(cl)
 	}
 
 	// The standing subscription registers BEFORE the load starts: nothing
@@ -200,6 +212,89 @@ func run() error {
 	}
 	if *faultProbe {
 		return reportFaultProbe(ctx, cl)
+	}
+	return nil
+}
+
+// runClusterBurst is the burst-arrival scenario: -clients queries fired
+// at the same instant (a barrier releases them together), repeated for
+// -waves waves. Synchronized arrival is the admission controller's worst
+// case — every request lands before any slot frees — so the interesting
+// output is the trajectory: how each wave's p99 and rejection rate move
+// as the cluster absorbs (or keeps refusing) the bursts. Queries run
+// whole-range (chunk 0) so a node's 429 reaches the client as a real 429
+// with its Retry-After hint instead of an in-band line.
+func runClusterBurst(cl *api.Client) error {
+	fmt.Printf("vload: cluster burst — %d waves of %d synchronized clients against %s\n",
+		*waves, *clients, *addr)
+	var rates []float64
+	var hardErrs int
+	var firstErr error
+	for w := 0; w < *waves; w++ {
+		ops := make([]op, *clients)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ccl := api.NewClient(*addr)
+				ccl.APIKey = cl.APIKey
+				<-start // the barrier: every client fires at the same instant
+				ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+				defer cancel()
+				t0 := time.Now()
+				_, _, err := ccl.Query(ctx, api.QueryRequest{
+					Stream: *stream, Query: *queryN, Accuracy: *accuracy,
+				})
+				o := op{kind: "query", latency: time.Since(t0)}
+				if err != nil {
+					if api.IsRejected(err) || api.IsUnavailable(err) {
+						o.rejected = true
+					} else {
+						o.err = err
+					}
+				}
+				ops[c] = o
+			}()
+		}
+		close(start)
+		wg.Wait()
+
+		var lats []time.Duration
+		rejected := 0
+		for _, o := range ops {
+			switch {
+			case o.err != nil:
+				hardErrs++
+				if firstErr == nil {
+					firstErr = o.err
+				}
+			case o.rejected:
+				rejected++
+			default:
+				lats = append(lats, o.latency)
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rate := float64(rejected) / float64(*clients) * 100
+		rates = append(rates, rate)
+		fmt.Printf("wave %2d: %3d ok  %3d rejected (%5.1f%%)  p50 %8.1fms  p99 %8.1fms\n",
+			w+1, len(lats), rejected, rate,
+			float64(percentile(lats, 0.50).Microseconds())/1000,
+			float64(percentile(lats, 0.99).Microseconds())/1000)
+		if w < *waves-1 {
+			time.Sleep(*waveInterval)
+		}
+	}
+	traj := make([]string, len(rates))
+	for i, r := range rates {
+		traj[i] = fmt.Sprintf("%.0f%%", r)
+	}
+	fmt.Printf("rejection trajectory: %s\n", strings.Join(traj, " -> "))
+	if hardErrs > 0 {
+		return fmt.Errorf("cluster burst: %d queries failed hard; first: %w", hardErrs, firstErr)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@
 //	                 [-shards N] [-fast-bytes N] [-demote-after D]
 //	vstore api       -db DIR [-listen :8080] [-max-inflight N] [-max-queue N] [-max-subs N] [-query-timeout D]
 //	                 [-erode-interval D] [-today D] [-shards N] [-fast-bytes N] [-demote-after D]
+//	vstore route     -nodes n1=http://H:P,n2=http://H:P[,...] [-listen :8090] [-replicas N] [-workers N] [-hash rendezvous|ring]
 //	vstore scrub     -db DIR [-shards N]
 //	vstore damage    -db DIR -stream NAME [-segment I] [-sf KEY] [-shards N]
 //	vstore stats     -db DIR
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/erode"
 	"repro/internal/experiments"
@@ -73,6 +75,8 @@ func main() {
 		err = cmdServe(args)
 	case "api":
 		err = cmdAPI(args)
+	case "route":
+		err = cmdRoute(args)
 	case "scrub":
 		err = cmdScrub(args)
 	case "damage":
@@ -89,7 +93,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: vstore <configure|ingest|query|erode|serve|api|scrub|damage|stats> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: vstore <configure|ingest|query|erode|serve|api|route|scrub|damage|stats> [flags]`)
 	os.Exit(2)
 }
 
@@ -540,6 +544,76 @@ func cmdStats(args []string) error {
 		fmt.Printf("configuration: %d consumers, %d storage formats, erosion k=%.2f\n",
 			len(cfg.Derivation.Choices), len(cfg.Derivation.SFs), cfg.Erosion.K)
 	}
+	return nil
+}
+
+// parseNodes parses the -nodes flag: comma-separated name=url pairs
+// (bare URLs are auto-named node0, node1, ... — fine for throwaway
+// clusters, but placements key on names, so production memberships
+// should name their nodes explicitly).
+func parseNodes(spec string) ([]cluster.Node, error) {
+	var nodes []cluster.Node
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, url, ok := strings.Cut(part, "="); ok {
+			nodes = append(nodes, cluster.Node{Name: strings.TrimSpace(name), URL: strings.TrimSpace(url)})
+		} else {
+			nodes = append(nodes, cluster.Node{Name: fmt.Sprintf("node%d", i), URL: part})
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("route: -nodes is required (name=url,name=url,...)")
+	}
+	return nodes, nil
+}
+
+// cmdRoute runs the stateless cluster router: no store of its own, just
+// the membership, the placement hash, and the fan-out/merge machinery —
+// any number of these can front the same nodes.
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	nodesSpec := fs.String("nodes", "", "comma-separated member nodes: name=http://host:port (bare URLs auto-name)")
+	listen := fs.String("listen", ":8090", "listen address")
+	replicas := fs.Int("replicas", 1, "nodes serving each stream (owner + replicas-1 followers)")
+	workers := fs.Int("workers", 4, "concurrent chunk executions per query")
+	hash := fs.String("hash", "rendezvous", "placement strategy: rendezvous or ring")
+	fs.Parse(args)
+	nodes, err := parseNodes(*nodesSpec)
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.NewRouter(cluster.Options{
+		Nodes:    nodes,
+		Replicas: *replicas,
+		Workers:  *workers,
+		Hash:     *hash,
+	})
+	if err != nil {
+		return err
+	}
+	addr, err := rt.Start(*listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vstore router listening on %s (%d nodes, %s placement, %d replicas, %d workers)\n",
+		addr, len(nodes), *hash, *replicas, *workers)
+	for _, n := range nodes {
+		fmt.Printf("  node %-12s %s\n", n.Name, n.URL)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining: waiting for in-flight requests...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println("drained")
 	return nil
 }
 

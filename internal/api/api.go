@@ -37,6 +37,16 @@
 //	GET  /metrics     Prometheus text exposition (served during drain)
 //	GET  /healthz     liveness (reports draining during shutdown)
 //
+// Peer endpoints (what a remote store implementation and the cluster
+// router drive; see internal/store for the boundary they transport):
+//
+//	POST /v1/snapshot          pin a snapshot, returning a TTL lease
+//	POST /v1/snapshot/release  release a snapshot lease
+//	GET  /v1/refs              a leased snapshot's committed replicas
+//	GET  /v1/segment           one replica's bytes through a lease
+//	GET  /v1/commits           NDJSON stream of segment commits
+//	POST /v1/pull              replicate a stream from a peer node
+//
 // Authentication: clients present an API key via the X-API-Key header (or
 // Authorization: Bearer). Keys map to tenants through tenant.Registry;
 // an unknown key is answered 401. No key at all selects the default
@@ -59,6 +69,7 @@ import (
 
 	"repro/internal/query"
 	"repro/internal/server"
+	storepkg "repro/internal/store"
 	"repro/internal/sub"
 	"repro/internal/tenant"
 	"repro/internal/vidsim"
@@ -96,6 +107,11 @@ type Limits struct {
 	// Webhook tunes rule-alert delivery (queue depth, retry budget,
 	// backoff). The zero value selects the hub defaults.
 	Webhook sub.WebhookOptions
+	// SnapshotLeaseTTL bounds how long an untouched snapshot lease
+	// (POST /v1/snapshot) pins its snapshot before expiring — the guard
+	// against a remote peer pinning erosion's deletes forever. Zero
+	// selects store.DefaultLeaseTTL.
+	SnapshotLeaseTTL time.Duration
 }
 
 func (l Limits) withDefaults() Limits {
@@ -171,12 +187,18 @@ type Server struct {
 	// overrides the gate's load-derived hint on every 429.
 	retryAfterSet bool
 	hub           *sub.Hub
+	leases        *storepkg.Leases
 	mux           *http.ServeMux
 	metrics       map[string]*endpointMetrics
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
-	draining   atomic.Bool
+	// drainCtx ends when Shutdown begins — before the HTTP server's own
+	// drain — so long-lived streams with no natural end (GET /v1/commits)
+	// return promptly instead of holding the drain to its deadline.
+	drainCtx    context.Context
+	cancelDrain context.CancelFunc
+	draining    atomic.Bool
 
 	httpSrv  *http.Server
 	lis      net.Listener
@@ -201,7 +223,9 @@ func New(store *server.Server, lim Limits) *Server {
 		MaxSubscriptions: s.lim.MaxSubscriptions,
 		Webhook:          s.lim.Webhook,
 	})
+	s.leases = storepkg.NewLeases(s.lim.SnapshotLeaseTTL)
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.drainCtx, s.cancelDrain = context.WithCancel(context.Background())
 	s.route("query", "POST /v1/query", s.handleQuery)
 	s.route("ingest", "POST /v1/ingest", s.handleIngest)
 	s.route("subscribe", "POST /v1/subscribe", s.handleSubscribe)
@@ -213,6 +237,12 @@ func New(store *server.Server, lim Limits) *Server {
 	s.route("demote", "POST /v1/demote", s.handleDemote)
 	s.route("compact", "POST /v1/compact", s.handleCompact)
 	s.route("scrub", "POST /v1/scrub", s.handleScrub)
+	s.route("snapshot", "POST /v1/snapshot", s.handleSnapshot)
+	s.route("snapshot_release", "POST /v1/snapshot/release", s.handleSnapshotRelease)
+	s.route("refs", "GET /v1/refs", s.handleRefs)
+	s.route("segment", "GET /v1/segment", s.handleSegment)
+	s.route("commits", "GET /v1/commits", s.handleCommits)
+	s.route("pull", "POST /v1/pull", s.handlePull)
 	s.route("metrics", "GET /metrics", s.handleMetrics)
 	s.route("healthz", "GET /healthz", s.handleHealthz)
 	return s
@@ -254,6 +284,10 @@ func (s *Server) route(name, pattern string, fn http.HandlerFunc) {
 		// metrics must stay scrapable while the server winds down.
 		if s.draining.Load() && name != "healthz" && name != "metrics" {
 			m.unavailable.Add(1)
+			// A drain is transient — the replacement instance (or the
+			// restarted one) is seconds away — so the 503 carries the same
+			// backoff hint a 429 does instead of leaving clients to guess.
+			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server draining", http.StatusServiceUnavailable)
 			return
 		}
@@ -367,12 +401,16 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 // by the caller afterwards.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Commit streams never return on their own either; ending drainCtx
+	// lets each /v1/commits handler write nothing further and return.
+	s.cancelDrain()
 	// Subscriptions never return on their own, so the hub must close
 	// before httpSrv.Shutdown can drain: each subscribe handler sees its
 	// push channel close, writes its trailer line, and returns.
 	s.hub.Close()
 	if s.httpSrv == nil {
 		s.cancelBase()
+		s.leases.ReleaseAll()
 		return nil
 	}
 	err := s.httpSrv.Shutdown(ctx)
@@ -386,6 +424,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if serveErr := <-s.serveErr; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
 		err = serveErr
 	}
+	// No remote pin outlives the server: whatever leases peers abandoned
+	// release here, before the caller closes the store.
+	s.leases.ReleaseAll()
 	return err
 }
 
@@ -506,12 +547,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	snap, err := s.store.Snapshot()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
+	var snap *server.Snapshot
+	if req.Snap != "" {
+		// The query runs against a leased snapshot: same frozen view as
+		// every other read through the lease, and the lease's owner — not
+		// this request — releases the pin.
+		leased, ok := s.leases.Get(req.Snap)
+		if !ok {
+			http.Error(w, "unknown snapshot lease", http.StatusNotFound)
+			return
+		}
+		snap, ok = leased.(*server.Snapshot)
+		if !ok {
+			http.Error(w, "snapshot lease is not queryable here", http.StatusInternalServerError)
+			return
+		}
+	} else {
+		pinned, err := s.store.Snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer pinned.Release()
+		snap = pinned
 	}
-	defer snap.Release()
 	from, to := req.From, req.To
 	if to == 0 {
 		to = snap.Segments(req.Stream)
@@ -630,6 +689,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	hs := s.hub.Stats()
 	resp.Subs = &hs
+	ls := s.leases.Stats()
+	resp.Leases = &ls
 	writeJSON(w, http.StatusOK, resp)
 }
 

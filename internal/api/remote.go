@@ -1,0 +1,236 @@
+// RemoteStore: the store boundary (internal/store) implemented over the
+// HTTP wire. Everything the engine packages do against an in-process
+// Server — pin a snapshot, enumerate and read segments, evaluate a
+// cascade, follow commits — works identically against a peer node through
+// this type, and yields byte-identical results: reads carry the same
+// bytes (the codec container and raw-segment framings are lossless), and
+// evaluation runs server-side under the same leased snapshot the reads
+// use.
+
+package api
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/ops"
+	"repro/internal/query"
+	"repro/internal/segment"
+	"repro/internal/store"
+)
+
+// RemoteStore implements store.Store against one peer node.
+type RemoteStore struct {
+	Client *Client
+}
+
+var _ store.Store = (*RemoteStore)(nil)
+
+// Pin pins a snapshot on the peer and wraps its lease. The returned
+// snapshot is released here (or by the peer's lease TTL if this process
+// vanishes).
+func (r *RemoteStore) Pin() (store.Snapshot, error) {
+	resp, err := r.Client.PinSnapshot(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	return &remoteSnapshot{
+		c:    r.Client,
+		id:   resp.ID,
+		lens: resp.Streams,
+		refs: map[string]map[int]bool{},
+	}, nil
+}
+
+// Evaluate runs the cascade on the peer under the snapshot's lease —
+// execution happens where the bytes live — and reassembles the wire chunk
+// into a store.Result. The peer's handler resolves defaults exactly as
+// the local Evaluate does.
+func (r *RemoteStore) Evaluate(ctx context.Context, snap store.Snapshot, req store.Request) (store.Result, error) {
+	sn, ok := snap.(*remoteSnapshot)
+	if !ok {
+		return store.Result{}, fmt.Errorf("api: snapshot %T was not pinned by this store", snap)
+	}
+	if req.Seg1 <= req.Seg0 {
+		// An empty range evaluates to an empty result locally; remotely a
+		// zero To would select the full committed range instead.
+		return store.Result{}, nil
+	}
+	chunks, _, err := r.Client.Query(ctx, QueryRequest{
+		Stream:   req.Stream,
+		Query:    req.Query,
+		Accuracy: req.Accuracy,
+		From:     req.Seg0,
+		To:       req.Seg1,
+		Snap:     sn.id,
+	})
+	if err != nil {
+		return store.Result{}, err
+	}
+	var res store.Result
+	for _, c := range chunks {
+		qr := query.Result{
+			FinalPTS:       append([]int{}, c.FinalPTS...),
+			VideoSeconds:   c.VideoSeconds,
+			VirtualSeconds: c.VirtualSeconds,
+		}
+		for _, d := range c.Detections {
+			qr.Detections = append(qr.Detections, ops.Detection{PTS: d.PTS, Label: d.Label, X: d.X, Y: d.Y})
+		}
+		res.Results = append(res.Results, qr)
+	}
+	return res, nil
+}
+
+// SubscribeCommits follows the peer's commit stream in a goroutine. The
+// returned cancel tears the stream down and waits for the last fn call to
+// finish, preserving the local contract that fn never runs after cancel
+// returns. The stream is best-effort across reconnects: if it lags past
+// the peer's buffer or the peer drains, delivery simply stops (standing
+// consumers resync from a fresh snapshot, as the hub's catch-up already
+// does for local gaps).
+func (r *RemoteStore) SubscribeCommits(fn func(segment.Commit)) (cancel func()) {
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = r.Client.Commits(ctx, func(cl CommitLine) error {
+			fn(segment.Commit{Stream: cl.Stream, Idx: cl.Idx, Seq: cl.Seq})
+			return nil
+		})
+	}()
+	return func() {
+		stop()
+		<-done
+	}
+}
+
+// StreamSegments reports every stream's committed length on the peer now
+// (not under any snapshot).
+func (r *RemoteStore) StreamSegments() map[string]int {
+	streams, err := r.Client.Streams(context.Background())
+	if err != nil {
+		return map[string]int{}
+	}
+	out := make(map[string]int, len(streams))
+	for name, info := range streams {
+		out[name] = info.Segments
+	}
+	return out
+}
+
+// remoteSnapshot is one peer-side snapshot lease. Committed-replica sets
+// are fetched lazily per (stream, format) and cached — the snapshot is
+// immutable by contract, so a set fetched once holds for the lease's
+// life.
+type remoteSnapshot struct {
+	c    *Client
+	id   string
+	lens map[string]int
+
+	mu   sync.Mutex
+	refs map[string]map[int]bool // stream+"\x00"+sfKey → committed index set
+
+	releaseOnce sync.Once
+	releaseErr  error
+}
+
+var _ store.Snapshot = (*remoteSnapshot)(nil)
+
+func (sn *remoteSnapshot) Segments(stream string) int { return sn.lens[stream] }
+
+func (sn *remoteSnapshot) refSet(stream, sfKey string) (map[int]bool, error) {
+	key := stream + "\x00" + sfKey
+	sn.mu.Lock()
+	set, ok := sn.refs[key]
+	sn.mu.Unlock()
+	if ok {
+		return set, nil
+	}
+	wrs, err := sn.c.Refs(context.Background(), sn.id, stream, sfKey)
+	if err != nil {
+		return nil, err
+	}
+	set = make(map[int]bool, len(wrs))
+	for _, wr := range wrs {
+		set[wr.Idx] = true
+	}
+	sn.mu.Lock()
+	sn.refs[key] = set
+	sn.mu.Unlock()
+	return set, nil
+}
+
+func (sn *remoteSnapshot) Refs(stream, sfKey string) []int {
+	set, err := sn.refSet(stream, sfKey)
+	if err != nil {
+		return nil
+	}
+	idxs := make([]int, 0, len(set))
+	for idx := range set {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+func (sn *remoteSnapshot) Visible(stream string, sf format.StorageFormat, idx int) bool {
+	set, err := sn.refSet(stream, sf.Key())
+	return err == nil && set[idx]
+}
+
+func (sn *remoteSnapshot) GetEncoded(stream string, sf format.StorageFormat, idx int) (*codec.Encoded, error) {
+	set, err := sn.refSet(stream, sf.Key())
+	if err != nil {
+		return nil, err
+	}
+	if !set[idx] {
+		return nil, segment.ErrNotFound
+	}
+	return sn.c.SegmentEncoded(context.Background(), sn.id, stream, sf.Key(), idx)
+}
+
+// GetRaw fetches the whole raw replica and filters locally — the keep
+// predicate is a closure and cannot cross the wire. Byte accounting
+// matches the local reader exactly: each kept frame costs its stored
+// record length (8-byte header + planes).
+func (sn *remoteSnapshot) GetRaw(stream string, sf format.StorageFormat, idx int, keep func(pts int) bool) ([]*frame.Frame, int64, error) {
+	set, err := sn.refSet(stream, sf.Key())
+	if err != nil {
+		return nil, 0, err
+	}
+	if !set[idx] {
+		return nil, 0, segment.ErrNotFound
+	}
+	frames, err := sn.c.SegmentRaw(context.Background(), sn.id, stream, sf.Key(), idx)
+	if err != nil {
+		return nil, 0, err
+	}
+	var kept []*frame.Frame
+	var bytes int64
+	for _, f := range frames {
+		if keep != nil && !keep(f.PTS) {
+			continue
+		}
+		kept = append(kept, f)
+		bytes += int64(8 + f.Bytes())
+	}
+	return kept, bytes, nil
+}
+
+// Release releases the peer-side lease. Idempotent; a lease the peer
+// already expired releases as a no-op.
+func (sn *remoteSnapshot) Release() error {
+	sn.releaseOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, sn.releaseErr = sn.c.ReleaseSnapshot(ctx, sn.id)
+	})
+	return sn.releaseErr
+}

@@ -238,10 +238,13 @@ func TestClientAbortCounted(t *testing.T) {
 	}
 
 	// Occupy the slot with an ingest, so the query endpoint's counters
-	// see nothing but the abort.
+	// see nothing but the abort. The batch must be big enough to hold the
+	// slot well past the cancel below even on a fast machine — if the slot
+	// frees first, the parked query runs to completion and no abort ever
+	// happens.
 	holderDone := make(chan error, 1)
 	go func() {
-		_, err := cl.Ingest(ctx, api.IngestRequest{Stream: "cam", Scene: "jackson", Segments: 4})
+		_, err := cl.Ingest(ctx, api.IngestRequest{Stream: "cam", Scene: "jackson", Segments: 32})
 		holderDone <- err
 	}()
 	waitEndpointInFlight(t, cl, "ingest", 1)

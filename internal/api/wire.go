@@ -7,6 +7,7 @@ package api
 import (
 	"repro/internal/kvstore"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/sub"
 	"repro/internal/tenant"
 )
@@ -34,6 +35,12 @@ type QueryRequest struct {
 	// TimeoutMs bounds the query server-side; zero defers to the server's
 	// configured default. The smaller of the two wins.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Snap, when set, runs the query against a snapshot lease previously
+	// granted by POST /v1/snapshot instead of pinning a fresh one — how a
+	// remote store (or the cluster router) issues several chunked reads
+	// against one frozen view. The lease stays live after the query; its
+	// owner releases it.
+	Snap string `json:"snap,omitempty"`
 }
 
 // Detection is one operator detection on the wire.
@@ -88,6 +95,63 @@ func ChunkFromResult(seg0, seg1 int, res server.QueryResult) QueryChunk {
 	}
 	c.Speed = res.Speed()
 	return c
+}
+
+// SnapshotResponse is the body of POST /v1/snapshot: the granted lease ID
+// and every stream's committed segment count at the pin. The lease pins
+// the snapshot server-side until released (POST /v1/snapshot/release) or
+// idle past the server's lease TTL; any operation naming it renews the
+// clock.
+type SnapshotResponse struct {
+	ID      string         `json:"id"`
+	Streams map[string]int `json:"streams"`
+}
+
+// SnapshotReleaseRequest is the body of POST /v1/snapshot/release.
+type SnapshotReleaseRequest struct {
+	ID string `json:"id"`
+}
+
+// SnapshotReleaseResponse reports whether the lease was live.
+type SnapshotReleaseResponse struct {
+	Found bool `json:"found"`
+}
+
+// WireRef is one committed segment replica on the wire: the storage-format
+// key, whether the format stores raw frames, and the segment index.
+type WireRef struct {
+	SF  string `json:"sf"`
+	Raw bool   `json:"raw,omitempty"`
+	Idx int    `json:"idx"`
+}
+
+// RefsResponse is the body of GET /v1/refs: every committed replica of one
+// stream in the leased snapshot, sorted by (format key, index).
+type RefsResponse struct {
+	Refs []WireRef `json:"refs"`
+}
+
+// CommitLine is one NDJSON line of GET /v1/commits: a segment commit,
+// in commit order (Seq strictly increasing).
+type CommitLine struct {
+	Stream string `json:"stream"`
+	Idx    int    `json:"idx"`
+	Seq    int64  `json:"seq"`
+}
+
+// PullRequest is the body of POST /v1/pull: replicate the stream's
+// committed segments from the peer node at Source onto this node. The pull
+// is idempotent — segments whose replicas are all already committed here
+// are skipped — which is how the cluster layer re-runs replication safely.
+type PullRequest struct {
+	Stream string `json:"stream"`
+	Source string `json:"source"`
+}
+
+// PullResponse reports how many segments the pull adopted (already-present
+// segments excluded).
+type PullResponse struct {
+	Segments int `json:"segments"`
 }
 
 // SubscribeRequest is the body of POST /v1/subscribe: register a standing
@@ -254,6 +318,7 @@ type StatsResponse struct {
 	API     map[string]EndpointStats `json:"api"`
 	Tenants map[string]TenantStats   `json:"tenants,omitempty"`
 	Subs    *sub.HubStats            `json:"subs,omitempty"`
+	Leases  *store.LeaseStats        `json:"leases,omitempty"`
 }
 
 // StreamInfo is one stream's serving state.

@@ -1,0 +1,828 @@
+// The stateless router: one HTTP server fronting a static membership of
+// vstore nodes. Reads resolve the stream to its owner through the
+// consistent-hash placer, fan the requested range out in chunks over a
+// bounded worker pool against one leased snapshot, and merge the chunk
+// results back in segment order — so the response is byte-identical to
+// the same query against a single node holding the data, at any worker
+// count. When the owner is down the session fails over to the stream's
+// replica followers (chunks are deterministic, so a re-run lands the
+// same bytes) and counts the degraded route. Writes forward to the owner
+// and fan replication pulls out to the followers in the background.
+
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Options configures a router.
+type Options struct {
+	// Nodes is the static membership; at least one node.
+	Nodes []Node
+	// Replicas is how many nodes serve each stream (the owner plus
+	// Replicas-1 followers). Zero or one means no replication.
+	Replicas int
+	// Workers bounds how many chunks of one query execute concurrently.
+	// Zero selects 4; the merge order is segment order at any setting.
+	Workers int
+	// Hash names the placement strategy: "rendezvous" (default) or
+	// "ring".
+	Hash string
+}
+
+// Router serves the cluster. Create with NewRouter, start with Start (or
+// mount Handler), stop with Shutdown.
+type Router struct {
+	nodes    []Node
+	placer   Placer
+	replicas int
+	workers  int
+	hashKind string
+
+	http *http.Client // shared transport to the nodes; no global timeout (streams)
+	mux  *http.ServeMux
+
+	draining        atomic.Bool
+	degradedRoutes  atomic.Int64
+	replications    atomic.Int64
+	replicationErrs atomic.Int64
+	metrics         map[string]*endpointCounters
+
+	// drainCtx ends when Shutdown begins, aborting background replication
+	// pulls and any straggling fan-out.
+	drainCtx    context.Context
+	cancelDrain context.CancelFunc
+	background  sync.WaitGroup
+
+	httpSrv  *http.Server
+	lis      net.Listener
+	serveErr chan error
+}
+
+type endpointCounters struct {
+	requests   atomic.Int64
+	rejections atomic.Int64
+	errors     atomic.Int64
+}
+
+func (c *endpointCounters) stats() EndpointStats {
+	return EndpointStats{
+		Requests:   c.requests.Load(),
+		Rejections: c.rejections.Load(),
+		Errors:     c.errors.Load(),
+	}
+}
+
+// NewRouter builds a router over the membership.
+func NewRouter(opts Options) (*Router, error) {
+	placer, err := NewPlacer(opts.Hash, opts.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		nodes:    append([]Node(nil), opts.Nodes...),
+		placer:   placer,
+		replicas: opts.Replicas,
+		workers:  opts.Workers,
+		hashKind: opts.Hash,
+		http:     &http.Client{},
+		mux:      http.NewServeMux(),
+		metrics:  map[string]*endpointCounters{},
+	}
+	if r.replicas < 1 {
+		r.replicas = 1
+	}
+	if r.workers <= 0 {
+		r.workers = 4
+	}
+	if r.hashKind == "" {
+		r.hashKind = "rendezvous"
+	}
+	r.drainCtx, r.cancelDrain = context.WithCancel(context.Background())
+	r.route("query", "POST /v1/query", r.handleQuery)
+	r.route("ingest", "POST /v1/ingest", r.handleIngest)
+	r.route("subscribe", "POST /v1/subscribe", r.handleSubscribe)
+	r.route("stats", "GET /v1/stats", r.handleStats)
+	r.route("streams", "GET /v1/streams", r.handleStreams)
+	r.route("cluster", "GET /v1/cluster", r.handleCluster)
+	r.route("metrics", "GET /metrics", r.handleMetrics)
+	r.route("healthz", "GET /healthz", r.handleHealthz)
+	return r, nil
+}
+
+// clientFor builds the per-request client to one node, carrying the
+// caller's API key through so the node accounts the work against the
+// right tenant.
+func (r *Router) clientFor(n Node, key string) *api.Client {
+	return &api.Client{BaseURL: n.URL, APIKey: key, HTTP: r.http}
+}
+
+// Place exposes the router's placement — what GET /v1/cluster reports
+// and what tests assert against.
+func (r *Router) Place(stream string) []Node { return r.placer.Place(stream, r.replicas) }
+
+// DegradedRoutes reports how many candidate nodes reads had to skip.
+func (r *Router) DegradedRoutes() int64 { return r.degradedRoutes.Load() }
+
+// statusWriter captures enough of the response to classify it.
+type statusWriter struct {
+	http.ResponseWriter
+	status       int
+	midStreamErr bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// route mounts one counted endpoint behind the drain gate (healthz and
+// metrics stay reachable while draining, as on a node).
+func (r *Router) route(name, pattern string, fn http.HandlerFunc) {
+	c := &endpointCounters{}
+	r.metrics[name] = c
+	r.mux.HandleFunc(pattern, func(w http.ResponseWriter, req *http.Request) {
+		c.requests.Add(1)
+		if r.draining.Load() && name != "healthz" && name != "metrics" {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "router draining", http.StatusServiceUnavailable)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		fn(sw, req)
+		switch {
+		case sw.status == http.StatusTooManyRequests:
+			c.rejections.Add(1)
+		case sw.status >= 500 || sw.midStreamErr:
+			c.errors.Add(1)
+		}
+	})
+}
+
+// apiKey mirrors the node-side extraction so the router forwards exactly
+// what it was given.
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if k, found := strings.CutPrefix(auth, "Bearer "); found {
+			return strings.TrimSpace(k)
+		}
+	}
+	return ""
+}
+
+// writeStatusError forwards a node's status error verbatim — code,
+// message, and Retry-After hint — so admission control at the nodes is
+// visible through the router; anything else is a 502.
+func writeStatusError(w http.ResponseWriter, err error) {
+	var se *api.StatusError
+	if errors.As(err, &se) {
+		if se.RetryAfter > 0 {
+			secs := int(se.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		http.Error(w, se.Msg, se.Code)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadGateway)
+}
+
+// querySession is one query's routing state: the candidate nodes in
+// placement order and the snapshot lease on whichever of them is
+// currently serving. Workers share it; a failed chunk advances the
+// session to the next candidate exactly once no matter how many workers
+// hit the failure.
+type querySession struct {
+	r      *Router
+	key    string
+	stream string
+	cands  []Node
+
+	mu       sync.Mutex
+	cur      int // index of the serving candidate
+	cl       *api.Client
+	lease    string
+	streams  map[string]int // committed lengths at the FIRST pin (resolves To)
+	releases []func()
+}
+
+// acquire returns the serving candidate's client and lease, advancing
+// past dead candidates. The returned generation identifies the candidate
+// for fail().
+func (s *querySession) acquire(ctx context.Context) (gen int, cl *api.Client, lease string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.cl != nil {
+			return s.cur, s.cl, s.lease, nil
+		}
+		if s.cur >= len(s.cands) {
+			return 0, nil, "", fmt.Errorf("cluster: no live replica of %q (%d candidates tried)", s.stream, len(s.cands))
+		}
+		node := s.cands[s.cur]
+		cl := s.r.clientFor(node, s.key)
+		pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		resp, perr := cl.PinSnapshot(pctx)
+		cancel()
+		if perr != nil {
+			// This candidate is down (or refusing): count the degraded
+			// route and move on.
+			s.r.degradedRoutes.Add(1)
+			s.cur++
+			continue
+		}
+		s.cl, s.lease = cl, resp.ID
+		if s.streams == nil {
+			s.streams = resp.Streams
+		}
+		id := resp.ID
+		s.releases = append(s.releases, func() {
+			rctx, rcancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer rcancel()
+			_, _ = cl.ReleaseSnapshot(rctx, id)
+		})
+		return s.cur, s.cl, s.lease, nil
+	}
+}
+
+// fail abandons the candidate identified by gen; later acquires move to
+// the next one. A stale gen (another worker already advanced) is a no-op.
+func (s *querySession) fail(gen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen == s.cur {
+		s.cl, s.lease = nil, ""
+		s.cur++
+		s.r.degradedRoutes.Add(1)
+	}
+}
+
+// release releases every lease the session pinned (best-effort; a lease
+// on a dead node expires by TTL instead).
+func (s *querySession) release() {
+	s.mu.Lock()
+	rels := s.releases
+	s.releases = nil
+	s.mu.Unlock()
+	for _, rel := range rels {
+		rel()
+	}
+}
+
+// run executes one span [lo, hi) on the serving candidate, failing over
+// until a candidate answers or all are exhausted. Chunks are
+// deterministic functions of the replicated bytes, so a re-run on a
+// follower returns the same chunk the owner would have. retry429 selects
+// whether node-side admission rejections are retried here (mid-stream
+// spans, where the 429 can no longer become a status code) or surfaced
+// to the caller (the first span, which still can).
+func (s *querySession) run(ctx context.Context, req api.QueryRequest, lo, hi int, retry429 bool) (api.QueryChunk, error) {
+	for {
+		gen, cl, lease, err := s.acquire(ctx)
+		if err != nil {
+			return api.QueryChunk{}, err
+		}
+		chunks, _, err := cl.Query(ctx, api.QueryRequest{
+			Stream:   req.Stream,
+			Query:    req.Query,
+			Accuracy: req.Accuracy,
+			From:     lo,
+			To:       hi,
+			Snap:     lease,
+		})
+		if err == nil {
+			if len(chunks) != 1 {
+				return api.QueryChunk{}, fmt.Errorf("cluster: node returned %d chunks for one span", len(chunks))
+			}
+			return chunks[0], nil
+		}
+		if ctx.Err() != nil {
+			return api.QueryChunk{}, err
+		}
+		if api.IsRejected(err) {
+			if !retry429 {
+				return api.QueryChunk{}, err
+			}
+			hint, _ := api.RetryAfterHint(err)
+			if hint <= 0 {
+				hint = time.Second
+			}
+			select {
+			case <-ctx.Done():
+				return api.QueryChunk{}, ctx.Err()
+			case <-time.After(hint):
+			}
+			continue
+		}
+		var se *api.StatusError
+		if errors.As(err, &se) && se.Code < 500 && se.Code != http.StatusNotFound {
+			// The node understood and refused (bad request, unauthorized):
+			// no other replica will answer differently.
+			return api.QueryChunk{}, err
+		}
+		// Transport failure, 5xx, truncated stream, or an expired lease
+		// (404): the candidate is gone — fail over.
+		s.fail(gen)
+	}
+}
+
+// handleQuery serves one query across the cluster: resolve the stream's
+// candidates, lease a snapshot on the first live one, fan the range out
+// in chunks over the worker pool, and merge the results back in segment
+// order. Errors before the first byte keep their status codes (a node's
+// 429 stays a 429, hint included); errors after it travel in-band, as on
+// a node.
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	var qr api.QueryRequest
+	if err := json.NewDecoder(req.Body).Decode(&qr); err != nil && !errors.Is(err, io.EOF) {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if qr.Stream == "" {
+		http.Error(w, "missing stream", http.StatusBadRequest)
+		return
+	}
+	if qr.From < 0 || (qr.To != 0 && qr.To < qr.From) || qr.Chunk < 0 {
+		http.Error(w, "invalid segment range", http.StatusBadRequest)
+		return
+	}
+	if qr.Snap != "" {
+		http.Error(w, "snapshot leases are node-scoped; query the node directly", http.StatusBadRequest)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(req.Context())
+	defer cancel()
+	sess := &querySession{r: r, key: apiKey(req), stream: qr.Stream, cands: r.Place(qr.Stream)}
+	defer sess.release()
+	if _, _, _, err := sess.acquire(ctx); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	from, to := qr.From, qr.To
+	if to == 0 {
+		to = sess.streams[qr.Stream]
+	}
+	if from > to {
+		from = to
+	}
+
+	// The spans: one per chunk of the merge, executed concurrently,
+	// emitted in order.
+	step := qr.Chunk
+	if step <= 0 {
+		step = to - from
+	}
+	type span struct{ lo, hi int }
+	var spans []span
+	for lo := from; lo < to; lo += step {
+		spans = append(spans, span{lo, minInt(lo+step, to)})
+	}
+
+	type spanResult struct {
+		chunk api.QueryChunk
+		err   error
+	}
+	results := make([]chan spanResult, len(spans))
+	sem := make(chan struct{}, r.workers)
+	for i := range spans {
+		results[i] = make(chan spanResult, 1)
+		go func(i int) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				results[i] <- spanResult{err: ctx.Err()}
+				return
+			}
+			c, err := sess.run(ctx, qr, spans[i].lo, spans[i].hi, i > 0)
+			results[i] <- spanResult{chunk: c, err: err}
+		}(i)
+	}
+
+	t0 := time.Now()
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	wroteHeader := false
+	emitted := 0
+	for i := range spans {
+		res := <-results[i]
+		if res.err != nil {
+			if !wroteHeader {
+				// Nothing sent yet: the error keeps its status code.
+				writeStatusError(w, res.err)
+				return
+			}
+			if sw, ok := w.(*statusWriter); ok {
+				sw.midStreamErr = true
+			}
+			_ = enc.Encode(api.QueryLine{Error: res.err.Error()})
+			flush()
+			return
+		}
+		if !wroteHeader {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			wroteHeader = true
+		}
+		c := res.chunk
+		_ = enc.Encode(api.QueryLine{Chunk: &c})
+		flush()
+		emitted++
+	}
+	if !wroteHeader {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	_ = enc.Encode(api.QueryLine{Done: &api.QuerySummary{
+		Chunks:   emitted,
+		Segments: to - from,
+		WallMs:   float64(time.Since(t0).Nanoseconds()) / 1e6,
+	}})
+	flush()
+}
+
+// handleIngest forwards the write to the stream's owner, then fans
+// replication pulls out to the followers in the background. Pulls are
+// idempotent stream-level copies, so a failed pull is simply retried by
+// the next ingest's fan-out.
+func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
+	var ir api.IngestRequest
+	if err := json.NewDecoder(req.Body).Decode(&ir); err != nil && !errors.Is(err, io.EOF) {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if ir.Stream == "" {
+		http.Error(w, "missing stream", http.StatusBadRequest)
+		return
+	}
+	cands := r.Place(ir.Stream)
+	owner := cands[0]
+	key := apiKey(req)
+	resp, err := r.clientFor(owner, key).Ingest(req.Context(), ir)
+	if err != nil {
+		// Writes have one home: the owner down means the ingest fails
+		// (replication is for read availability, not multi-master writes).
+		writeStatusError(w, err)
+		return
+	}
+	for _, follower := range cands[1:] {
+		follower := follower
+		r.background.Add(1)
+		go func() {
+			defer r.background.Done()
+			pctx, cancel := context.WithTimeout(r.drainCtx, 2*time.Minute)
+			defer cancel()
+			if _, err := r.clientFor(follower, key).Pull(pctx, api.PullRequest{
+				Stream: ir.Stream, Source: owner.URL,
+			}); err != nil {
+				r.replicationErrs.Add(1)
+				return
+			}
+			r.replications.Add(1)
+		}()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSubscribe proxies the standing-query stream to the stream's
+// owner: the subscription lives where commits happen. The NDJSON lines
+// pass through untouched, flushed as they arrive.
+func (r *Router) handleSubscribe(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var sr api.SubscribeRequest
+	if err := json.Unmarshal(body, &sr); err != nil && len(body) > 0 {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if sr.Stream == "" {
+		http.Error(w, "missing stream", http.StatusBadRequest)
+		return
+	}
+	owner := r.Place(sr.Stream)[0]
+	preq, err := http.NewRequestWithContext(req.Context(), http.MethodPost, owner.URL+"/v1/subscribe", bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	if k := apiKey(req); k != "" {
+		preq.Header.Set("X-API-Key", k)
+	}
+	resp, err := r.http.Do(preq)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("owner %s unreachable: %v", owner.Name, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		w.Header().Set("Retry-After", v)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// routerStats snapshots the router's own counters.
+func (r *Router) routerStats() RouterStats {
+	rs := RouterStats{
+		DegradedRoutes:    r.degradedRoutes.Load(),
+		Replications:      r.replications.Load(),
+		ReplicationErrors: r.replicationErrs.Load(),
+		Endpoints:         map[string]EndpointStats{},
+	}
+	for name, c := range r.metrics {
+		rs.Endpoints[name] = c.stats()
+	}
+	return rs
+}
+
+// handleStats aggregates every node's /v1/stats under the router's own
+// counters. Unreachable nodes are reported, not fatal — a degraded
+// cluster still has statistics.
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	resp := StatsResponse{
+		Router:      r.routerStats(),
+		Nodes:       map[string]*api.StatsResponse{},
+		Unreachable: map[string]string{},
+	}
+	key := apiKey(req)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, n := range r.nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(req.Context(), 5*time.Second)
+			defer cancel()
+			st, err := r.clientFor(n, key).Stats(ctx)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				resp.Unreachable[n.Name] = err.Error()
+				return
+			}
+			resp.Nodes[n.Name] = &st
+		}()
+	}
+	wg.Wait()
+	if len(resp.Unreachable) == 0 {
+		resp.Unreachable = nil
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// mergedStreams asks every node for its streams and keeps, per stream,
+// the longest committed length (the owner leads its followers while
+// replication is catching up).
+func (r *Router) mergedStreams(ctx context.Context, key string) map[string]api.StreamInfo {
+	merged := map[string]api.StreamInfo{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, n := range r.nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			streams, err := r.clientFor(n, key).Streams(nctx)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for name, info := range streams {
+				if have, ok := merged[name]; !ok || info.Segments > have.Segments {
+					merged[name] = info
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return merged
+}
+
+func (r *Router) handleStreams(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, api.StreamsResponse{
+		Streams: r.mergedStreams(req.Context(), apiKey(req)),
+	})
+}
+
+// handleCluster is placement introspection: the membership with
+// liveness, and where every known stream lives.
+func (r *Router) handleCluster(w http.ResponseWriter, req *http.Request) {
+	resp := ClusterResponse{
+		Hash:       r.hashKind,
+		Replicas:   r.replicas,
+		Workers:    r.workers,
+		Placements: map[string][]string{},
+	}
+	key := apiKey(req)
+	statuses := make([]NodeStatus, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.nodes {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(req.Context(), 3*time.Second)
+			defer cancel()
+			st := NodeStatus{Node: n}
+			h, err := r.clientFor(n, key).Healthz(ctx)
+			if err != nil {
+				st.Error = err.Error()
+			} else {
+				st.OK = h.OK
+				st.Draining = h.Draining
+			}
+			statuses[i] = st
+		}()
+	}
+	wg.Wait()
+	resp.Nodes = statuses
+	for stream := range r.mergedStreams(req.Context(), key) {
+		var names []string
+		for _, n := range r.Place(stream) {
+			names = append(names, n.Name)
+		}
+		resp.Placements[stream] = names
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics is the router's own Prometheus text exposition. Node
+// metrics stay on the nodes (scrape each /metrics directly); the router
+// exports what only it knows — routing health and per-endpoint traffic —
+// plus a liveness gauge per node.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	var b []byte
+	app := func(format string, args ...any) { b = append(b, fmt.Sprintf(format, args...)...) }
+	head := func(name, typ, help string) {
+		app("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	head("vstore_router_degraded_routes_total", "counter",
+		"Candidate nodes skipped while routing reads (owner down, failover to follower).")
+	app("vstore_router_degraded_routes_total %d\n", r.degradedRoutes.Load())
+	head("vstore_router_replications_total", "counter", "Follower replication pulls completed.")
+	app("vstore_router_replications_total %d\n", r.replications.Load())
+	head("vstore_router_replication_errors_total", "counter", "Follower replication pulls failed.")
+	app("vstore_router_replication_errors_total %d\n", r.replicationErrs.Load())
+
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	head("vstore_router_requests_total", "counter", "Requests received, by endpoint.")
+	for _, name := range names {
+		app("vstore_router_requests_total{endpoint=%q} %d\n", name, r.metrics[name].requests.Load())
+	}
+	head("vstore_router_rejections_total", "counter", "429 responses forwarded, by endpoint.")
+	for _, name := range names {
+		app("vstore_router_rejections_total{endpoint=%q} %d\n", name, r.metrics[name].rejections.Load())
+	}
+	head("vstore_router_errors_total", "counter", "5xx responses and mid-stream failures, by endpoint.")
+	for _, name := range names {
+		app("vstore_router_errors_total{endpoint=%q} %d\n", name, r.metrics[name].errors.Load())
+	}
+
+	// Node liveness, probed now.
+	up := make([]int, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.nodes {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(req.Context(), 2*time.Second)
+			defer cancel()
+			if h, err := r.clientFor(n, "").Healthz(ctx); err == nil && h.OK {
+				up[i] = 1
+			}
+		}()
+	}
+	wg.Wait()
+	head("vstore_router_node_up", "gauge", "Whether the node answered its health check.")
+	for i, n := range r.nodes {
+		app("vstore_router_node_up{node=%q} %d\n", n.Name, up[i])
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	_, _ = w.Write(b)
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, api.HealthResponse{OK: true, Draining: r.draining.Load()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the routed handler for mounting under a caller-owned
+// server.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background until Shutdown. It returns the bound address.
+func (r *Router) Start(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r.lis = lis
+	r.httpSrv = &http.Server{Handler: r.mux, ReadHeaderTimeout: 10 * time.Second}
+	r.serveErr = make(chan error, 1)
+	go func() { r.serveErr <- r.httpSrv.Serve(lis) }()
+	return lis.Addr(), nil
+}
+
+// Shutdown drains the router: new requests are refused, in-flight ones
+// finish, and background replication pulls are aborted (they are
+// idempotent and resume on the next ingest).
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.draining.Store(true)
+	r.cancelDrain()
+	done := make(chan struct{})
+	go func() {
+		r.background.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+	if r.httpSrv == nil {
+		return nil
+	}
+	err := r.httpSrv.Shutdown(ctx)
+	if err != nil {
+		_ = r.httpSrv.Close()
+	}
+	if serveErr := <-r.serveErr; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

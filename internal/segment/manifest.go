@@ -407,6 +407,25 @@ func (s *Snapshot) Segments(stream, sfKey string) []int {
 	return out
 }
 
+// Refs returns every committed replica of the stream in the snapshot,
+// sorted by (format key, index) — the enumeration inter-node transfers
+// (remote reads, replication pulls) walk.
+func (s *Snapshot) Refs(stream string) []Ref {
+	var out []Ref
+	for r := range s.live {
+		if r.Stream == stream {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SFKey != out[j].SFKey {
+			return out[i].SFKey < out[j].SFKey
+		}
+		return out[i].Idx < out[j].Idx
+	})
+	return out
+}
+
 // Release ends the snapshot's pin on removed-but-undeleted segments,
 // physically deleting any that no other snapshot can reach. It returns the
 // first deletion error, and nil on every call after the first.

@@ -299,24 +299,40 @@ func (s *Store) PutRaw(stream string, sf format.StorageFormat, idx int, frames [
 // GetRaw loads the raw frames of a segment for which keep(pts) is true;
 // keep == nil loads all. Only the kept frames are read from disk. The
 // returned read-bytes count reflects the disk traffic incurred.
+//
+// Frames are found by enumerating the segment's stored frame keys, not by
+// assuming a contiguous PTS run from the metadata anchor: a temporally
+// sampled storage format keeps its frames at their original strided
+// timeline positions, which the old [firstPTS, firstPTS+n) walk silently
+// truncated to the first 1/stride of the segment.
 func (s *Store) GetRaw(stream string, sf format.StorageFormat, idx int, keep func(pts int) bool) ([]*frame.Frame, int64, error) {
-	mb, err := s.kv.Get(rawMetaKey(stream, sf, idx))
+	return s.getRawByPrefix(rawMetaKey(stream, sf, idx), rawFramePrefixOf(stream, sf.Key(), idx), keep)
+}
+
+// getRawByPrefix is the shared raw-segment reader: the metadata anchor
+// gates existence (no anchor means no committed replica), then every
+// stored frame record under the prefix is visited in PTS order.
+func (s *Store) getRawByPrefix(metaKey, prefix string, keep func(pts int) bool) ([]*frame.Frame, int64, error) {
+	mb, err := s.kv.Get(metaKey)
 	if err != nil {
 		return nil, 0, asSegmentErr(err)
 	}
-	meta, err := unmarshalRawMeta(mb)
-	if err != nil {
+	if _, err := unmarshalRawMeta(mb); err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	var out []*frame.Frame
 	var read int64
-	for pts := meta.firstPTS; pts < meta.firstPTS+meta.n; pts++ {
+	for _, key := range s.kv.Keys(prefix) {
+		pts, err := strconv.Atoi(key[len(prefix):])
+		if err != nil {
+			return nil, read, fmt.Errorf("%w: bad raw frame key %q", ErrCorrupt, key)
+		}
 		if keep != nil && !keep(pts) {
 			continue
 		}
-		b, err := s.kv.Get(rawFrameKey(stream, sf, idx, pts))
+		b, err := s.kv.Get(key)
 		if errors.Is(err, kvstore.ErrNotFound) {
-			continue // frame may have been individually eroded
+			continue // frame individually eroded between listing and read
 		}
 		if err != nil {
 			return nil, read, asSegmentErr(err)
@@ -329,6 +345,106 @@ func (s *Store) GetRaw(stream string, sf format.StorageFormat, idx int, keep fun
 		out = append(out, f)
 	}
 	return out, read, nil
+}
+
+// GetEncodedRef is GetEncoded addressed by manifest ref — the form
+// inter-node transfers use, where only the format KEY travels on the wire.
+func (s *Store) GetEncodedRef(r Ref) (*codec.Encoded, error) {
+	b, err := s.kv.Get(encKeyOf(r.Stream, r.SFKey, r.Idx))
+	if err != nil {
+		return nil, asSegmentErr(err)
+	}
+	enc, err := codec.Unmarshal(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return enc, nil
+}
+
+// GetRawRef loads every present frame of a raw replica by manifest ref,
+// with the same per-frame byte accounting and key enumeration as GetRaw.
+func (s *Store) GetRawRef(r Ref) ([]*frame.Frame, int64, error) {
+	return s.getRawByPrefix(rawMetaKeyOf(r.Stream, r.SFKey, r.Idx), rawFramePrefixOf(r.Stream, r.SFKey, r.Idx), nil)
+}
+
+// PutEncodedRef stores an encoded replica by manifest ref, through the
+// write-time tier placement — how a node adopts a segment replicated from
+// a peer.
+func (s *Store) PutEncodedRef(r Ref, enc *codec.Encoded) error {
+	if r.Raw {
+		return errors.New("segment: PutEncodedRef with raw ref; use PutRawRef")
+	}
+	return s.put(r.SFKey, encKeyOf(r.Stream, r.SFKey, r.Idx), enc.Marshal())
+}
+
+// PutRawRef stores a raw replica by manifest ref, frames first and the
+// metadata anchor last — an interrupted adoption never leaves an anchor
+// promising frames that were not yet written.
+func (s *Store) PutRawRef(r Ref, frames []*frame.Frame) error {
+	if !r.Raw {
+		return errors.New("segment: PutRawRef with encoded ref; use PutEncodedRef")
+	}
+	if len(frames) == 0 {
+		return errors.New("segment: empty raw segment")
+	}
+	prefix := rawFramePrefixOf(r.Stream, r.SFKey, r.Idx)
+	for _, f := range frames {
+		if err := s.put(r.SFKey, fmt.Sprintf("%s%08d", prefix, f.PTS), marshalFrame(f)); err != nil {
+			return err
+		}
+	}
+	meta := rawMeta{w: frames[0].W, h: frames[0].H, n: len(frames), firstPTS: frames[0].PTS}
+	return s.put(r.SFKey, rawMetaKeyOf(r.Stream, r.SFKey, r.Idx), meta.marshal())
+}
+
+// MarshalRawSegment is the wire framing for shipping a raw segment between
+// nodes (remote store reads, replication): a frame count followed by
+// length-prefixed per-frame records in the store's own record encoding, so
+// the receiver's per-frame byte accounting matches the sender's disk
+// accounting exactly.
+func MarshalRawSegment(frames []*frame.Frame) []byte {
+	size := 4
+	for _, f := range frames {
+		size += 4 + 8 + f.Bytes()
+	}
+	out := make([]byte, 0, size)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(frames)))
+	for _, f := range frames {
+		rec := marshalFrame(f)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(rec)))
+		out = append(out, rec...)
+	}
+	return out
+}
+
+// UnmarshalRawSegment parses MarshalRawSegment's framing.
+func UnmarshalRawSegment(b []byte) ([]*frame.Frame, error) {
+	if len(b) < 4 {
+		return nil, errors.New("segment: truncated raw segment wire header")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	off := 4
+	out := make([]*frame.Frame, 0, n)
+	for i := 0; i < n; i++ {
+		if off+4 > len(b) {
+			return nil, errors.New("segment: truncated raw segment wire record")
+		}
+		l := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		if off+l > len(b) {
+			return nil, errors.New("segment: truncated raw segment wire record")
+		}
+		f, err := unmarshalFrame(b[off : off+l])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+		off += l
+	}
+	if off != len(b) {
+		return nil, errors.New("segment: trailing bytes after raw segment records")
+	}
+	return out, nil
 }
 
 // Has reports whether the segment exists (encoded or raw).

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/erode"
 	"repro/internal/format"
 	"repro/internal/frame"
@@ -25,6 +26,7 @@ import (
 // eroded after the snapshot stay physically readable until Release.
 type Snapshot struct {
 	ms     *segment.Snapshot
+	view   *segment.View // snapshot-scoped read surface over the segment store
 	epochs []*Epoch
 	lens   map[string]int
 }
@@ -41,8 +43,10 @@ func (s *Server) Snapshot() (*Snapshot, error) {
 	for k, v := range s.next {
 		lens[k] = v
 	}
+	ms := s.manifest.Snapshot()
 	return &Snapshot{
-		ms:     s.manifest.Snapshot(),
+		ms:     ms,
+		view:   &segment.View{Store: s.segs, Snap: ms},
 		epochs: append([]*Epoch(nil), s.epochs...),
 		lens:   lens,
 	}, nil
@@ -52,9 +56,71 @@ func (s *Server) Snapshot() (*Snapshot, error) {
 // [0, Segments) is the widest range a snapshot query can cover.
 func (sn *Snapshot) Segments(stream string) int { return sn.lens[stream] }
 
+// StreamSegments returns every stream's committed length at the pin — what
+// a snapshot lease reports to the remote peer that pinned it.
+func (sn *Snapshot) StreamSegments() map[string]int {
+	out := make(map[string]int, len(sn.lens))
+	for k, v := range sn.lens {
+		out[k] = v
+	}
+	return out
+}
+
+// Refs returns the snapshot's sorted committed segment indices of the
+// stream in the storage format identified by sfKey (store.Snapshot's
+// enumeration surface).
+func (sn *Snapshot) Refs(stream, sfKey string) []int { return sn.ms.Segments(stream, sfKey) }
+
+// RefsOf returns every committed replica of the stream in the snapshot,
+// sorted by (format key, index) — the full enumeration replication pulls
+// walk.
+func (sn *Snapshot) RefsOf(stream string) []segment.Ref { return sn.ms.Refs(stream) }
+
+// Visible reports whether the replica was committed when the snapshot was
+// taken. Together with GetEncoded and GetRaw this makes the Snapshot
+// itself a retrieve.SegmentReader — the surface a query engine (local or
+// remote) reads through.
+func (sn *Snapshot) Visible(stream string, sf format.StorageFormat, idx int) bool {
+	return sn.view.Visible(stream, sf, idx)
+}
+
+// GetEncoded loads an encoded segment the snapshot contains.
+func (sn *Snapshot) GetEncoded(stream string, sf format.StorageFormat, idx int) (*codec.Encoded, error) {
+	return sn.view.GetEncoded(stream, sf, idx)
+}
+
+// GetRaw loads a raw segment's kept frames if the snapshot contains it.
+func (sn *Snapshot) GetRaw(stream string, sf format.StorageFormat, idx int, keep func(pts int) bool) ([]*frame.Frame, int64, error) {
+	return sn.view.GetRaw(stream, sf, idx, keep)
+}
+
+// ContainsRef reports whether the replica (by manifest ref) is in the
+// snapshot's committed set.
+func (sn *Snapshot) ContainsRef(r segment.Ref) bool { return sn.ms.Contains(r) }
+
+// GetEncodedRef reads an encoded replica by manifest ref through the
+// snapshot: outside the committed set is ErrNotFound, inside it the bytes
+// are physically readable even if erosion removed the segment after the
+// pin — exactly what /v1/segment serves a remote peer.
+func (sn *Snapshot) GetEncodedRef(r segment.Ref) (*codec.Encoded, error) {
+	if !sn.ms.Contains(r) {
+		return nil, segment.ErrNotFound
+	}
+	return sn.view.Store.GetEncodedRef(r)
+}
+
+// GetRawRef reads every present frame of a raw replica by manifest ref
+// through the snapshot.
+func (sn *Snapshot) GetRawRef(r segment.Ref) ([]*frame.Frame, int64, error) {
+	if !sn.ms.Contains(r) {
+		return nil, 0, segment.ErrNotFound
+	}
+	return sn.view.Store.GetRawRef(r)
+}
+
 // Release ends the snapshot's pin on eroded-but-undeleted segments. It is
 // idempotent.
-func (sn *Snapshot) Release() { sn.ms.Release() }
+func (sn *Snapshot) Release() error { return sn.ms.Release() }
 
 // SubscribeCommits registers fn to observe every segment commit from this
 // point on — the hook standing queries hang off. fn runs inside the

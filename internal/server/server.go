@@ -50,6 +50,7 @@ import (
 	"repro/internal/results"
 	"repro/internal/retrieve"
 	"repro/internal/segment"
+	"repro/internal/store"
 	"repro/internal/tier"
 	"repro/internal/vidsim"
 )
@@ -726,28 +727,10 @@ func intersectFidelity(a, b format.Fidelity) format.Fidelity {
 	return out
 }
 
-// QueryResult is a server query's outcome: per-epoch results merged.
-type QueryResult struct {
-	Results []query.Result
-}
-
-// Speed returns the overall query speed across epochs.
-func (q QueryResult) Speed() float64 {
-	var vid, sec float64
-	for _, r := range q.Results {
-		vid += r.VideoSeconds
-		sec += r.VirtualSeconds
-	}
-	if sec <= 0 {
-		return 0
-	}
-	return vid / sec
-}
-
-// Detections returns all final-stage detections across epochs.
-func (q QueryResult) Detections() []query.Result {
-	return q.Results
-}
+// QueryResult is a server query's outcome: per-epoch results merged. It
+// is the transport-agnostic store.Result — the same value type whichever
+// side of a socket produced it (see internal/store).
+type QueryResult = store.Result
 
 // Query runs the cascade at the target accuracy over segments [seg0, seg1)
 // of the stream, splitting the range by configuration epoch and resolving
@@ -837,9 +820,8 @@ func (s *Server) QueryAt(ctx context.Context, snap *Snapshot, stream string, cas
 	if workers > 1 && len(spans) > 1 {
 		spanPar = min(workers, len(spans))
 	}
-	view := &segment.View{Store: s.segs, Snap: snap.ms}
 	eng := query.Engine{
-		Store: view, Cache: cache, Results: resStore, Workers: max(workers/spanPar, 1),
+		Store: snap.view, Cache: cache, Results: resStore, Workers: max(workers/spanPar, 1),
 		// A damaged replica rebuilds from its fallback ancestor and the
 		// query answers degraded; the serve is counted and the replica
 		// queued for background repair.

@@ -1,0 +1,117 @@
+// Package store is the transport-agnostic boundary between the query/
+// serving engine and whatever holds the segments. It names the narrow
+// surface the engine actually uses — pin a consistent snapshot, enumerate
+// committed refs, read segments through the snapshot, evaluate a query
+// against it, observe commits — without saying anything about where the
+// bytes live.
+//
+// Two implementations exist: the in-process *server.Server (the store and
+// the engine share an address space — the original single-node deployment)
+// and api.RemoteStore (the same surface over the HTTP NDJSON wire, so the
+// engine can run against a peer node). The contract that makes the split
+// safe is byte-identity: every read and every evaluation through a
+// Snapshot must return exactly what the in-process path returns over the
+// same committed set, so the engine packages (query, retrieve, results,
+// sub, repair) cannot tell — and must not care — which side of a socket
+// their store is on. The cluster layer (internal/cluster) builds on this:
+// a router fans one query's spans across nodes and merges the chunks, and
+// the answer is provably the single-node answer.
+package store
+
+import (
+	"context"
+
+	"repro/internal/codec"
+	"repro/internal/format"
+	"repro/internal/frame"
+	"repro/internal/query"
+	"repro/internal/segment"
+)
+
+// Snapshot is one pinned, immutable view of a store's committed segment
+// set. Reads through it are repeatable: segments eroded after the pin stay
+// readable until Release, segments committed after it stay invisible. The
+// read methods satisfy retrieve.SegmentReader, so a query engine pointed
+// at a Snapshot observes exactly the pinned set for its whole run.
+//
+// Implementations must be safe for concurrent use — the engine fans
+// per-segment reads across a worker pool.
+type Snapshot interface {
+	// Segments returns the stream's committed segment count at pin time;
+	// [0, Segments) is the widest range a snapshot query can cover.
+	Segments(stream string) int
+	// Refs returns the sorted committed segment indices of the stream in
+	// the storage format identified by sfKey.
+	Refs(stream, sfKey string) []int
+	// Visible reports whether the replica may be read at all (it was
+	// committed when the snapshot was pinned). Consulted before every
+	// lookup, cache lookups included.
+	Visible(stream string, sf format.StorageFormat, idx int) bool
+	// GetEncoded loads an encoded segment the snapshot contains.
+	GetEncoded(stream string, sf format.StorageFormat, idx int) (*codec.Encoded, error)
+	// GetRaw loads the raw frames for which keep(pts) is true (nil keeps
+	// all), returning the disk bytes the read cost — implementations must
+	// account exactly like segment.Store.GetRaw so stats stay identical
+	// across transports.
+	GetRaw(stream string, sf format.StorageFormat, idx int, keep func(pts int) bool) ([]*frame.Frame, int64, error)
+	// Release ends the pin. Idempotent; reads after Release are undefined.
+	Release() error
+}
+
+// Request names one query evaluation: the cascade (by name, resolved
+// through query.ByName), the target accuracy, and the segment range
+// [Seg0, Seg1) of the stream. Zero Query selects "A"; zero Accuracy
+// selects 0.9 — the defaults every existing entry point applies.
+type Request struct {
+	Stream   string
+	Query    string
+	Accuracy float64
+	Seg0     int
+	Seg1     int
+}
+
+// Result is a query's outcome: per-epoch span results merged in segment
+// order, exactly server.QueryResult (which aliases this type).
+type Result struct {
+	Results []query.Result
+}
+
+// Speed returns the overall query speed across spans.
+func (r Result) Speed() float64 {
+	var vid, sec float64
+	for _, one := range r.Results {
+		vid += one.VideoSeconds
+		sec += one.VirtualSeconds
+	}
+	if sec <= 0 {
+		return 0
+	}
+	return vid / sec
+}
+
+// Detections returns all final-stage results across spans.
+func (r Result) Detections() []query.Result {
+	return r.Results
+}
+
+// Store is the transport-agnostic store surface. All methods are safe for
+// concurrent use.
+type Store interface {
+	// Pin freezes the current committed state for querying. The caller
+	// must Release the snapshot.
+	Pin() (Snapshot, error)
+	// Evaluate runs the request against the pinned snapshot, through the
+	// full engine path (epoch splitting, binding resolution, degraded
+	// fallback) of whichever node owns the bytes. snap must come from this
+	// store's Pin. The result is byte-identical at the wire-chunk level to
+	// any other evaluation of the same request over the same committed set.
+	Evaluate(ctx context.Context, snap Snapshot, req Request) (Result, error)
+	// SubscribeCommits registers fn to observe every segment commit from
+	// this point on, exactly once, in commit order — the hook standing
+	// queries hang off. fn must be fast and non-blocking (hand off to a
+	// bounded channel); the returned cancel detaches it.
+	SubscribeCommits(fn func(segment.Commit)) (cancel func())
+	// StreamSegments returns every known stream with its committed segment
+	// count.
+	StreamSegments() map[string]int
+}

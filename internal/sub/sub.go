@@ -41,7 +41,7 @@ import (
 
 	"repro/internal/query"
 	"repro/internal/segment"
-	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // DefaultBuffer is a subscription's pending-commit queue depth when the
@@ -142,7 +142,7 @@ type Request struct {
 type Push struct {
 	Seq        int64 // manifest commit sequence (strictly increasing)
 	Seg0, Seg1 int
-	Result     server.QueryResult
+	Result     store.Result
 	Alerts     []Alert
 	Dropped    int64     // cumulative PolicyDrop gaps so far (0 = gap-free)
 	Enqueued   time.Time // when the commit was observed (latency = deliver time - Enqueued)
@@ -263,7 +263,7 @@ type HubOptions struct {
 // register with Subscribe, tear down with Close (part of graceful drain:
 // in-flight pushes finish, every subscription ends with ErrClosed).
 type Hub struct {
-	store *server.Server
+	store store.Store
 	opt   HubOptions
 	hooks *webhooks
 
@@ -295,7 +295,7 @@ type Hub struct {
 // entry never strands them.
 type flight struct {
 	done chan struct{}
-	res  server.QueryResult
+	res  store.Result
 	err  error
 }
 
@@ -311,9 +311,10 @@ func flightKey(s *Subscription, idx int) string {
 	return fmt.Sprintf("%s\x00%d\x00%s\x00%g", s.req.Stream, idx, s.cascade.Name, s.req.Accuracy)
 }
 
-// NewHub wires a hub to the store's commit stream. The caller must Close
-// it before closing the store.
-func NewHub(store *server.Server, opt HubOptions) *Hub {
+// NewHub wires a hub to the store's commit stream — any store.Store: the
+// in-process server or a remote peer, the hub cannot tell. The caller must
+// Close it before closing the store.
+func NewHub(store store.Store, opt HubOptions) *Hub {
 	if opt.MaxSubscriptions == 0 {
 		opt.MaxSubscriptions = DefaultMaxSubscriptions
 	}
@@ -511,7 +512,7 @@ func (h *Hub) evalOne(ctx context.Context, s *Subscription, ev event) bool {
 // the table) and waiters fall back to an independent evaluation, so one
 // subscription's transient error cannot cascade. quit reports that THIS
 // subscription ended while waiting; res/err are meaningless then.
-func (h *Hub) sharedEval(ctx context.Context, s *Subscription, ev event) (res server.QueryResult, err error, quit bool) {
+func (h *Hub) sharedEval(ctx context.Context, s *Subscription, ev event) (res store.Result, err error, quit bool) {
 	key := flightKey(s, ev.c.Idx)
 	h.mu.Lock()
 	if f, ok := h.flights[key]; ok {
@@ -519,7 +520,7 @@ func (h *Hub) sharedEval(ctx context.Context, s *Subscription, ev event) (res se
 		select {
 		case <-f.done:
 		case <-s.quit:
-			return server.QueryResult{}, nil, true
+			return store.Result{}, nil, true
 		}
 		if f.err == nil {
 			h.evalShared.Add(1)
@@ -554,22 +555,29 @@ func (h *Hub) sharedEval(ctx context.Context, s *Subscription, ev event) (res se
 }
 
 // directEval runs one commit's query against a freshly pinned snapshot —
-// the exact historical query path, so the chunk is byte-identical to a
-// post-hoc query over the same span.
-func (h *Hub) directEval(ctx context.Context, s *Subscription, ev event) (server.QueryResult, error) {
-	snap, err := h.store.Snapshot()
+// the exact historical query path (through the transport-agnostic store
+// boundary), so the chunk is byte-identical to a post-hoc query over the
+// same span.
+func (h *Hub) directEval(ctx context.Context, s *Subscription, ev event) (store.Result, error) {
+	snap, err := h.store.Pin()
 	if err != nil {
-		return server.QueryResult{}, fmt.Errorf("snapshot: %w", err)
+		return store.Result{}, fmt.Errorf("snapshot: %w", err)
 	}
 	defer snap.Release()
 	h.evalRuns.Add(1)
-	return h.store.QueryAt(ctx, snap, s.req.Stream, s.cascade, s.opNames, s.req.Accuracy, ev.c.Idx, ev.c.Idx+1)
+	return h.store.Evaluate(ctx, snap, store.Request{
+		Stream:   s.req.Stream,
+		Query:    orA(s.req.Query), // ByName validated it at Subscribe
+		Accuracy: s.req.Accuracy,
+		Seg0:     ev.c.Idx,
+		Seg1:     ev.c.Idx + 1,
+	})
 }
 
 // applyRules advances every rule's sliding window with this chunk's
 // detection counts and returns the alerts that fired. Runs only on the
 // evaluator goroutine.
-func (s *Subscription) applyRules(c segment.Commit, res server.QueryResult) []Alert {
+func (s *Subscription) applyRules(c segment.Commit, res store.Result) []Alert {
 	if len(s.req.Rules) == 0 {
 		return nil
 	}
